@@ -1,0 +1,55 @@
+//! Ablation bench: state-representation cost — the paper's mirrored
+//! `dir[u,v]` maps + neighbor lists (PrEngine) versus the compact
+//! Gafni–Bertsekas triple heights (TripleHeightsEngine) versus labeled
+//! links (BllEngine), all computing the same executions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lr_core::alg::{BllEngine, BllLabeling, PrEngine, ReversalEngine, TripleHeightsEngine};
+use lr_graph::generate;
+
+fn run_all(engine: &mut dyn ReversalEngine) -> usize {
+    let mut steps = 0;
+    while let Some(&u) = engine.enabled_nodes().first() {
+        engine.step(u);
+        steps += 1;
+        assert!(steps < 10_000_000);
+    }
+    steps
+}
+
+fn bench_representations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/representation");
+    for n in [64usize, 256] {
+        let inst = generate::alternating_chain(n + 1);
+        group.bench_with_input(
+            BenchmarkId::new("mirrored_dirs_lists", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut e = PrEngine::new(inst);
+                    run_all(&mut e)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("triple_heights", n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut e = TripleHeightsEngine::new(inst);
+                run_all(&mut e)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("binary_link_labels", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut e = BllEngine::new(inst, BllLabeling::PartialReversal);
+                    run_all(&mut e)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_representations);
+criterion_main!(benches);

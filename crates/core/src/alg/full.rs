@@ -1,0 +1,232 @@
+//! Full Reversal (FR): when a node is a sink it reverses **all** of its
+//! incident edges (§1 of the paper, originally Gafni–Bertsekas).
+//!
+//! FR needs no per-node bookkeeping at all, which is why its acyclicity
+//! argument is one paragraph: the last node to step has all edges
+//! outgoing, so it cannot lie on a cycle.
+
+use lr_graph::{NodeId, Orientation, ReversalInstance};
+use lr_ioa::Automaton;
+
+use crate::alg::ReversalEngine;
+use crate::{MirroredDirs, ReversalStep};
+
+/// FR state: just the mirrored edge directions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FullReversalState {
+    /// The `dir[u, v]` variables.
+    pub dirs: MirroredDirs,
+}
+
+impl FullReversalState {
+    /// The initial state for an instance.
+    pub fn initial(inst: &ReversalInstance) -> Self {
+        FullReversalState {
+            dirs: MirroredDirs::from_instance(inst),
+        }
+    }
+}
+
+/// Applies one FR step at `u`: reverse every incident edge outward.
+///
+/// # Panics
+///
+/// Panics if `u` is not a sink or is the destination.
+pub(crate) fn full_reversal_step(
+    inst: &ReversalInstance,
+    state: &mut FullReversalState,
+    u: NodeId,
+) -> ReversalStep {
+    assert_ne!(u, inst.dest, "destination {u} never takes steps");
+    assert!(
+        state.dirs.is_sink(&inst.graph, u),
+        "reverse({u}) precondition: {u} must be a sink"
+    );
+    let targets: Vec<NodeId> = inst.graph.neighbors(u).collect();
+    for &v in &targets {
+        state.dirs.reverse_outward(u, v);
+    }
+    ReversalStep {
+        node: u,
+        reversed: targets,
+        dummy: false,
+    }
+}
+
+/// FR as an in-place engine.
+#[derive(Debug, Clone)]
+pub struct FullReversalEngine<'a> {
+    inst: &'a ReversalInstance,
+    state: FullReversalState,
+}
+
+impl<'a> FullReversalEngine<'a> {
+    /// Creates the engine in the initial state.
+    pub fn new(inst: &'a ReversalInstance) -> Self {
+        FullReversalEngine {
+            inst,
+            state: FullReversalState::initial(inst),
+        }
+    }
+
+    /// Read access to the current state.
+    pub fn state(&self) -> &FullReversalState {
+        &self.state
+    }
+}
+
+impl ReversalEngine for FullReversalEngine<'_> {
+    fn instance(&self) -> &ReversalInstance {
+        self.inst
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "FR"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.state.dirs.is_sink(&self.inst.graph, u)
+    }
+
+    fn step(&mut self, u: NodeId) -> ReversalStep {
+        full_reversal_step(self.inst, &mut self.state, u)
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.state.dirs.orientation()
+    }
+
+    fn reset(&mut self) {
+        self.state = FullReversalState::initial(self.inst);
+    }
+}
+
+/// FR as an I/O automaton with single-node `reverse(u)` actions.
+#[derive(Debug, Clone, Copy)]
+pub struct FullReversalAutomaton<'a> {
+    /// The fixed instance.
+    pub inst: &'a ReversalInstance,
+}
+
+impl Automaton for FullReversalAutomaton<'_> {
+    type State = FullReversalState;
+    type Action = NodeId;
+
+    fn initial_state(&self) -> FullReversalState {
+        FullReversalState::initial(self.inst)
+    }
+
+    fn enabled_actions(&self, state: &FullReversalState) -> Vec<NodeId> {
+        self.inst
+            .graph
+            .nodes()
+            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+            .collect()
+    }
+
+    fn is_enabled(&self, state: &FullReversalState, &u: &NodeId) -> bool {
+        u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u)
+    }
+
+    fn apply(&self, state: &FullReversalState, &u: &NodeId) -> FullReversalState {
+        let mut next = state.clone();
+        full_reversal_step(self.inst, &mut next, u);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_graph::{generate, DirectedView};
+    use lr_ioa::{run, schedulers::FirstEnabled};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn fr_step_reverses_all_edges() {
+        let inst = generate::star_away(3); // leaves 1,2,3 are sinks
+        let mut e = FullReversalEngine::new(&inst);
+        let step = e.step(n(1));
+        assert_eq!(step.reversed, vec![n(0)]);
+        assert!(!step.dummy);
+        assert!(!e.is_sink(n(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a sink")]
+    fn fr_step_requires_sink() {
+        let inst = generate::chain_away(3);
+        let mut e = FullReversalEngine::new(&inst);
+        e.step(n(1)); // node 1 has an outgoing edge
+    }
+
+    #[test]
+    #[should_panic(expected = "never takes steps")]
+    fn destination_never_steps() {
+        let inst = generate::chain_toward(2); // dest 0 is a sink here
+        let mut e = FullReversalEngine::new(&inst);
+        e.step(n(0));
+    }
+
+    #[test]
+    fn fr_terminates_destination_oriented_on_chain() {
+        let inst = generate::chain_away(5);
+        let mut e = FullReversalEngine::new(&inst);
+        let mut total = 0usize;
+        while let Some(&u) = e.enabled_nodes().first() {
+            total += e.step(u).reversal_count();
+            assert!(total < 10_000, "runaway execution");
+        }
+        let o = e.orientation();
+        let view = DirectedView::new(&inst.graph, &o);
+        assert!(view.is_destination_oriented(inst.dest));
+        assert!(view.is_acyclic());
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn fr_engine_reset_restores_initial() {
+        let inst = generate::chain_away(4);
+        let mut e = FullReversalEngine::new(&inst);
+        let before = e.orientation();
+        e.step(n(3));
+        assert_ne!(e.orientation(), before);
+        e.reset();
+        assert_eq!(e.orientation(), before);
+    }
+
+    #[test]
+    fn fr_automaton_agrees_with_engine() {
+        let inst = generate::chain_away(4);
+        let aut = FullReversalAutomaton { inst: &inst };
+        let exec = run(&aut, &mut FirstEnabled, 1_000);
+        assert!(exec.validate(&aut).is_ok());
+        assert!(aut.is_quiescent(exec.last_state()));
+
+        let mut eng = FullReversalEngine::new(&inst);
+        for &u in exec.actions() {
+            eng.step(u);
+        }
+        assert_eq!(eng.orientation(), exec.last_state().dirs.orientation());
+    }
+
+    #[test]
+    fn fr_preserves_acyclicity_along_random_runs() {
+        let inst = generate::random_connected(10, 8, 42);
+        let aut = FullReversalAutomaton { inst: &inst };
+        let exec = run(
+            &aut,
+            &mut lr_ioa::schedulers::UniformRandom::seeded(1),
+            10_000,
+        );
+        for s in exec.states() {
+            let o = s.dirs.orientation();
+            assert!(DirectedView::new(&inst.graph, &o).is_acyclic());
+            assert!(s.dirs.check_consistency().is_ok());
+        }
+        assert!(aut.is_quiescent(exec.last_state()), "FR must terminate");
+    }
+}

@@ -1,0 +1,401 @@
+//! The Gafni–Bertsekas *height* formulations of link reversal ([4] in the
+//! paper).
+//!
+//! GB assign every node a totally-ordered label ("height") and direct
+//! every edge from the higher endpoint to the lower. Reversal never touches
+//! edges directly: a sink raises its own height, implicitly flipping some
+//! incident edges. Two label schemes are classical:
+//!
+//! * **pair heights** `(α, id)` — a stepping sink sets
+//!   `α_u := 1 + max{α_v : v ∈ nbrs(u)}`, flipping *all* incident edges:
+//!   exactly Full Reversal.
+//! * **triple heights** `(α, β, id)` — a stepping sink sets
+//!   `α_u := 1 + min{α_v}` and, if some neighbor now ties on `α`,
+//!   `β_u := min{β_v : α_v = α_u} − 1`: it rises above only the
+//!   lowest-`α` neighbors — exactly Partial Reversal.
+//!
+//! Because heights totally order the nodes, acyclicity is *free* in this
+//! representation — which is exactly the labeling machinery the paper's
+//! new proof avoids. We implement both schemes to (a) cross-validate the
+//! list-based implementations step-by-step (experiment E11) and (b) serve
+//! as the local-state algorithm in the distributed simulator, where nodes
+//! only know their neighbors' heights.
+
+use std::collections::BTreeMap;
+
+use lr_graph::{NodeId, Orientation, PlaneEmbedding, ReversalInstance};
+
+use crate::alg::ReversalEngine;
+use crate::ReversalStep;
+
+/// A Gafni–Bertsekas pair height `(α, id)`, ordered lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PairHeight {
+    /// The reversal counter component.
+    pub alpha: i64,
+    /// Unique tie-breaker.
+    pub id: NodeId,
+}
+
+/// A Gafni–Bertsekas triple height `(α, β, id)`, ordered lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TripleHeight {
+    /// The primary component, incremented past the lowest neighbors.
+    pub alpha: i64,
+    /// The secondary component, lowered below same-`α` neighbors.
+    pub beta: i64,
+    /// Unique tie-breaker.
+    pub id: NodeId,
+}
+
+fn initial_positions(inst: &ReversalInstance) -> BTreeMap<NodeId, usize> {
+    let emb = PlaneEmbedding::of_initial(&inst.graph, &inst.init)
+        .expect("instance orientation is acyclic");
+    inst.graph
+        .nodes()
+        .map(|u| (u, emb.x(u).expect("embedding covers all nodes")))
+        .collect()
+}
+
+/// Full Reversal via pair heights.
+#[derive(Debug, Clone)]
+pub struct PairHeightsEngine<'a> {
+    inst: &'a ReversalInstance,
+    heights: BTreeMap<NodeId, PairHeight>,
+}
+
+impl<'a> PairHeightsEngine<'a> {
+    /// Creates the engine with heights consistent with the initial
+    /// orientation: `α_u = n − 1 − x(u)` where `x` is the plane-embedding
+    /// coordinate, so initial edges (left → right) run from higher to
+    /// lower height.
+    pub fn new(inst: &'a ReversalInstance) -> Self {
+        let n = inst.node_count() as i64;
+        let heights = initial_positions(inst)
+            .into_iter()
+            .map(|(u, x)| {
+                (
+                    u,
+                    PairHeight {
+                        alpha: n - 1 - x as i64,
+                        id: u,
+                    },
+                )
+            })
+            .collect();
+        PairHeightsEngine { inst, heights }
+    }
+
+    /// The current height of a node.
+    pub fn height(&self, u: NodeId) -> PairHeight {
+        self.heights[&u]
+    }
+
+    fn points_from_to(&self, u: NodeId, v: NodeId) -> bool {
+        self.heights[&u] > self.heights[&v]
+    }
+}
+
+impl ReversalEngine for PairHeightsEngine<'_> {
+    fn instance(&self) -> &ReversalInstance {
+        self.inst
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "GB-pair"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.inst.graph.degree(u) > 0
+            && self
+                .inst
+                .graph
+                .neighbors(u)
+                .all(|v| self.points_from_to(v, u))
+    }
+
+    fn step(&mut self, u: NodeId) -> ReversalStep {
+        assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
+        assert!(self.is_sink(u), "reverse({u}) precondition: {u} must be a sink");
+        let max_alpha = self
+            .inst
+            .graph
+            .neighbors(u)
+            .map(|v| self.heights[&v].alpha)
+            .max()
+            .expect("sink has at least one neighbor");
+        let reversed: Vec<NodeId> = self.inst.graph.neighbors(u).collect();
+        self.heights.get_mut(&u).expect("node exists").alpha = max_alpha + 1;
+        ReversalStep {
+            node: u,
+            reversed,
+            dummy: false,
+        }
+    }
+
+    fn orientation(&self) -> Orientation {
+        let mut o = Orientation::new();
+        for (u, v) in self.inst.graph.edges() {
+            if self.points_from_to(u, v) {
+                o.set_from_to(u, v);
+            } else {
+                o.set_from_to(v, u);
+            }
+        }
+        o
+    }
+
+    fn reset(&mut self) {
+        *self = PairHeightsEngine::new(self.inst);
+    }
+}
+
+/// Partial Reversal via triple heights.
+#[derive(Debug, Clone)]
+pub struct TripleHeightsEngine<'a> {
+    inst: &'a ReversalInstance,
+    heights: BTreeMap<NodeId, TripleHeight>,
+}
+
+impl<'a> TripleHeightsEngine<'a> {
+    /// Creates the engine with `α = 0` everywhere and `β_u = −x(u)` from
+    /// the plane embedding, so initial edges run from higher to lower
+    /// height.
+    pub fn new(inst: &'a ReversalInstance) -> Self {
+        let heights = initial_positions(inst)
+            .into_iter()
+            .map(|(u, x)| {
+                (
+                    u,
+                    TripleHeight {
+                        alpha: 0,
+                        beta: -(x as i64),
+                        id: u,
+                    },
+                )
+            })
+            .collect();
+        TripleHeightsEngine { inst, heights }
+    }
+
+    /// The current height of a node.
+    pub fn height(&self, u: NodeId) -> TripleHeight {
+        self.heights[&u]
+    }
+
+    fn points_from_to(&self, u: NodeId, v: NodeId) -> bool {
+        self.heights[&u] > self.heights[&v]
+    }
+}
+
+impl ReversalEngine for TripleHeightsEngine<'_> {
+    fn instance(&self) -> &ReversalInstance {
+        self.inst
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "GB-triple"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.inst.graph.degree(u) > 0
+            && self
+                .inst
+                .graph
+                .neighbors(u)
+                .all(|v| self.points_from_to(v, u))
+    }
+
+    fn step(&mut self, u: NodeId) -> ReversalStep {
+        assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
+        assert!(self.is_sink(u), "reverse({u}) precondition: {u} must be a sink");
+        let min_alpha = self
+            .inst
+            .graph
+            .neighbors(u)
+            .map(|v| self.heights[&v].alpha)
+            .min()
+            .expect("sink has at least one neighbor");
+        let new_alpha = min_alpha + 1;
+        // Neighbors tying on the new α: u must drop below them on β.
+        let min_beta_tying = self
+            .inst
+            .graph
+            .neighbors(u)
+            .filter(|&v| self.heights[&v].alpha == new_alpha)
+            .map(|v| self.heights[&v].beta)
+            .min();
+        // The edges that flip are exactly those to minimum-α neighbors.
+        let reversed: Vec<NodeId> = self
+            .inst
+            .graph
+            .neighbors(u)
+            .filter(|&v| self.heights[&v].alpha == min_alpha)
+            .collect();
+        let h = self.heights.get_mut(&u).expect("node exists");
+        h.alpha = new_alpha;
+        if let Some(b) = min_beta_tying {
+            h.beta = b - 1;
+        }
+        ReversalStep {
+            node: u,
+            reversed,
+            dummy: false,
+        }
+    }
+
+    fn orientation(&self) -> Orientation {
+        let mut o = Orientation::new();
+        for (u, v) in self.inst.graph.edges() {
+            if self.points_from_to(u, v) {
+                o.set_from_to(u, v);
+            } else {
+                o.set_from_to(v, u);
+            }
+        }
+        o
+    }
+
+    fn reset(&mut self) {
+        *self = TripleHeightsEngine::new(self.inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{FullReversalEngine, PrEngine};
+    use lr_graph::{generate, DirectedView};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn pair_heights_initially_match_orientation() {
+        let inst = generate::random_connected(10, 8, 21);
+        let e = PairHeightsEngine::new(&inst);
+        assert_eq!(e.orientation(), inst.init);
+    }
+
+    #[test]
+    fn triple_heights_initially_match_orientation() {
+        let inst = generate::random_connected(10, 8, 22);
+        let e = TripleHeightsEngine::new(&inst);
+        assert_eq!(e.orientation(), inst.init);
+    }
+
+    #[test]
+    fn pair_step_flips_all_edges() {
+        let inst = generate::chain_away(4);
+        let mut e = PairHeightsEngine::new(&inst);
+        let step = e.step(n(3));
+        assert_eq!(step.reversed, vec![n(2)]);
+        assert!(e.height(n(3)) > e.height(n(2)));
+        assert!(!e.is_sink(n(3)));
+    }
+
+    #[test]
+    fn triple_step_spares_already_raised_neighbors() {
+        // Path 0(D) — 1 — 2 — 3 with edges 0 > 1, 1 > 2, 3 > 2: node 2 is
+        // the initial sink, node 3 an initial source.
+        let inst = lr_graph::parse::parse_instance("dest 0\n0 > 1\n1 > 2\n3 > 2").unwrap();
+        let mut e = TripleHeightsEngine::new(&inst);
+        // 2 steps: both neighbors have α = 0, so both edges flip.
+        let s2 = e.step(n(2));
+        assert_eq!(s2.reversed, vec![n(1), n(3)]);
+        assert_eq!(e.height(n(2)).alpha, 1);
+        // 3 is now a sink again (only edge 2 → 3): its neighbor 2 has the
+        // minimum α = 1, so α_3 := 2 and the edge flips back.
+        let s3 = e.step(n(3));
+        assert_eq!(s3.reversed, vec![n(2)]);
+        assert_eq!(e.height(n(3)).alpha, 2);
+        // 1 is a sink (0 → 1 from the start, 2 → 1 since 2's step). Its
+        // neighbors are 0 (α = 0) and 2 (α = 1): new α_1 = 1 TIES with
+        // node 2, so β_1 drops below β_2 and **only** the edge to 0
+        // flips — node 2, which already reversed toward 1, is spared.
+        assert!(e.is_sink(n(1)));
+        let s1 = e.step(n(1));
+        assert_eq!(s1.reversed, vec![n(0)]);
+        assert_eq!(e.height(n(1)).alpha, 1);
+        assert_eq!(e.height(n(1)).beta, e.height(n(2)).beta - 1);
+        assert!(e.height(n(2)) > e.height(n(1)), "edge 2 → 1 must survive");
+    }
+
+    #[test]
+    fn pair_heights_equal_full_reversal_step_by_step() {
+        for seed in 0..10 {
+            let inst = generate::random_connected(12, 9, seed);
+            let mut gb = PairHeightsEngine::new(&inst);
+            let mut fr = FullReversalEngine::new(&inst);
+            let mut steps = 0;
+            loop {
+                let sinks = gb.enabled_nodes();
+                assert_eq!(sinks, fr.enabled_nodes(), "sink sets must agree");
+                let Some(&u) = sinks.first() else { break };
+                let a = gb.step(u);
+                let b = fr.step(u);
+                assert_eq!(a.reversed, b.reversed, "reversal sets must agree");
+                assert_eq!(gb.orientation(), fr.orientation());
+                steps += 1;
+                assert!(steps < 100_000, "runaway");
+            }
+        }
+    }
+
+    #[test]
+    fn triple_heights_equal_partial_reversal_step_by_step() {
+        for seed in 0..10 {
+            let inst = generate::random_connected(12, 9, 100 + seed);
+            let mut gb = TripleHeightsEngine::new(&inst);
+            let mut pr = PrEngine::new(&inst);
+            let mut steps = 0;
+            loop {
+                let sinks = gb.enabled_nodes();
+                assert_eq!(sinks, pr.enabled_nodes(), "sink sets must agree");
+                let Some(&u) = sinks.last() else { break };
+                let a = gb.step(u);
+                let b = pr.step(u);
+                assert_eq!(
+                    a.reversed, b.reversed,
+                    "reversal sets must agree (seed {seed}, node {u})"
+                );
+                assert_eq!(gb.orientation(), pr.orientation());
+                steps += 1;
+                assert!(steps < 100_000, "runaway");
+            }
+        }
+    }
+
+    #[test]
+    fn heights_terminate_destination_oriented() {
+        let inst = generate::grid_away(4, 5);
+        for kind in [true, false] {
+            let mut eng: Box<dyn ReversalEngine> = if kind {
+                Box::new(PairHeightsEngine::new(&inst))
+            } else {
+                Box::new(TripleHeightsEngine::new(&inst))
+            };
+            let mut steps = 0usize;
+            while let Some(&u) = eng.enabled_nodes().first() {
+                eng.step(u);
+                steps += 1;
+                assert!(steps < 1_000_000, "runaway");
+            }
+            let o = eng.orientation();
+            assert!(
+                DirectedView::new(&inst.graph, &o).is_destination_oriented(inst.dest),
+                "{} must orient the grid",
+                eng.algorithm_name()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a sink")]
+    fn triple_step_requires_sink() {
+        let inst = generate::chain_away(3);
+        let mut e = TripleHeightsEngine::new(&inst);
+        e.step(n(1));
+    }
+}

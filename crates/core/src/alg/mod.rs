@@ -1,0 +1,153 @@
+//! The link-reversal algorithms: the paper's three Partial Reversal
+//! automata, Full Reversal, the Gafni–Bertsekas height formulations, and a
+//! labeled-reversal generalization.
+//!
+//! Every algorithm is available in two forms:
+//!
+//! * an **engine** ([`ReversalEngine`]) — an imperative, in-place state
+//!   machine used by the run loops and benchmarks; and
+//! * an **automaton** ([`lr_ioa::Automaton`]) — a pure transition system
+//!   with cloneable states, used by the model checker and the simulation
+//!   relation machinery.
+//!
+//! Both forms share the same transition functions, so what is model-checked
+//! is what is benchmarked.
+
+mod bll;
+mod full;
+mod heights;
+mod newpr;
+mod pr;
+
+pub use bll::{BllEngine, BllLabeling, BllState};
+pub use full::{FullReversalAutomaton, FullReversalEngine, FullReversalState};
+pub use heights::{PairHeight, PairHeightsEngine, TripleHeight, TripleHeightsEngine};
+pub use newpr::{newpr_step, NewPrAutomaton, NewPrEngine, NewPrState, Parity};
+pub use pr::{
+    onestep_pr_step, pr_reverse_set, OneStepPrAutomaton, PrEngine, PrSetAutomaton, PrState,
+    ReverseSet,
+};
+
+use lr_graph::{NodeId, Orientation, ReversalInstance};
+
+use crate::ReversalStep;
+
+/// An imperative link-reversal state machine over a fixed instance.
+///
+/// A node may step when it is a sink and is not the destination; `step`
+/// performs one node's reversal in place. The greedy/random run loops in
+/// [`crate::engine`] drive engines to termination.
+pub trait ReversalEngine {
+    /// The instance this engine runs on.
+    fn instance(&self) -> &ReversalInstance;
+
+    /// A short algorithm name for reports ("FR", "PR", "NewPR", ...).
+    fn algorithm_name(&self) -> &'static str;
+
+    /// Whether `u` currently is a sink (all incident edges incoming).
+    fn is_sink(&self, u: NodeId) -> bool;
+
+    /// The nodes currently allowed to take a step: all sinks except the
+    /// destination, ascending.
+    fn enabled_nodes(&self) -> Vec<NodeId> {
+        let inst = self.instance();
+        inst.graph
+            .nodes()
+            .filter(|&u| u != inst.dest && self.is_sink(u))
+            .collect()
+    }
+
+    /// Performs node `u`'s reversal step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not enabled (not a sink, or is the destination) —
+    /// that is a scheduling bug, not a runtime condition.
+    fn step(&mut self, u: NodeId) -> ReversalStep;
+
+    /// The current single-copy orientation of the graph.
+    fn orientation(&self) -> Orientation;
+
+    /// Whether the execution has terminated (no enabled node). For
+    /// connected instances this is exactly destination-orientedness.
+    fn is_terminated(&self) -> bool {
+        self.enabled_nodes().is_empty()
+    }
+
+    /// Restores the initial state.
+    fn reset(&mut self);
+}
+
+/// Identifies an algorithm for table rows and CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AlgorithmKind {
+    /// Full Reversal (§1).
+    FullReversal,
+    /// Partial Reversal in its list-based form (Algorithm 1 / 3).
+    PartialReversal,
+    /// The paper's NewPR (Algorithm 2).
+    NewPr,
+    /// Gafni–Bertsekas pair heights (full reversal by lexicographic order).
+    PairHeights,
+    /// Gafni–Bertsekas triple heights (partial reversal by lexicographic
+    /// order).
+    TripleHeights,
+}
+
+impl AlgorithmKind {
+    /// All kinds, for iteration in experiments.
+    pub const ALL: [AlgorithmKind; 5] = [
+        AlgorithmKind::FullReversal,
+        AlgorithmKind::PartialReversal,
+        AlgorithmKind::NewPr,
+        AlgorithmKind::PairHeights,
+        AlgorithmKind::TripleHeights,
+    ];
+
+    /// A stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::FullReversal => "FR",
+            AlgorithmKind::PartialReversal => "PR",
+            AlgorithmKind::NewPr => "NewPR",
+            AlgorithmKind::PairHeights => "GB-pair",
+            AlgorithmKind::TripleHeights => "GB-triple",
+        }
+    }
+
+    /// Builds a fresh engine of this kind over `inst`.
+    pub fn engine<'a>(self, inst: &'a ReversalInstance) -> Box<dyn ReversalEngine + 'a> {
+        match self {
+            AlgorithmKind::FullReversal => Box::new(FullReversalEngine::new(inst)),
+            AlgorithmKind::PartialReversal => Box::new(PrEngine::new(inst)),
+            AlgorithmKind::NewPr => Box::new(NewPrEngine::new(inst)),
+            AlgorithmKind::PairHeights => Box::new(PairHeightsEngine::new(inst)),
+            AlgorithmKind::TripleHeights => Box::new(TripleHeightsEngine::new(inst)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_graph::generate;
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::BTreeSet<_> =
+            AlgorithmKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), AlgorithmKind::ALL.len());
+    }
+
+    #[test]
+    fn engines_constructed_for_all_kinds() {
+        let inst = generate::chain_away(4);
+        for kind in AlgorithmKind::ALL {
+            let e = kind.engine(&inst);
+            assert_eq!(e.instance().dest, inst.dest);
+            assert!(!e.is_terminated(), "{} should have work", kind.name());
+            assert_eq!(e.enabled_nodes(), vec![lr_graph::NodeId::new(3)]);
+        }
+    }
+}

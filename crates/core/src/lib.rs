@@ -1,0 +1,57 @@
+//! Link-reversal algorithms from Radeva & Lynch, *Partial Reversal
+//! Acyclicity* (MIT-CSAIL-TR-2011-022 / PODC 2011), with every invariant
+//! and simulation obligation of the paper implemented as executable,
+//! falsifiable checks.
+//!
+//! # What's here
+//!
+//! * [`alg`] — the algorithms, each as an in-place engine **and** an I/O
+//!   automaton sharing one transition function:
+//!   * [`alg::PrSetAutomaton`] / [`alg::OneStepPrAutomaton`] — the paper's
+//!     Algorithms 1 and 3 (list-based Partial Reversal),
+//!   * [`alg::NewPrAutomaton`] — the paper's Algorithm 2 (`NewPR`),
+//!   * [`alg::FullReversalEngine`] — Full Reversal,
+//!   * [`alg::PairHeightsEngine`] / [`alg::TripleHeightsEngine`] — the
+//!     Gafni–Bertsekas height formulations,
+//!   * [`alg::BllEngine`] — a labeled-reversal generalization (Binary
+//!     Link Labels).
+//! * [`invariants`] — Invariants 3.1, 3.2, Corollaries 3.3/3.4,
+//!   Invariants 4.1, 4.2(a–d) and the acyclicity theorems 4.3/5.5 as
+//!   named predicates with rich counterexample messages.
+//! * [`engine`] — run loops (greedy rounds, random, deterministic) with
+//!   work accounting: total reversals, per-node work vectors, rounds,
+//!   dummy steps.
+//! * [`work`] — growth-rate fitting for the Θ(n_b²) worst-case work
+//!   experiments.
+//! * [`game`] — the Charron-Bost-style social-cost comparison of FR vs PR.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lr_core::alg::{NewPrEngine, ReversalEngine};
+//! use lr_core::engine::{run_to_destination_oriented, SchedulePolicy, DEFAULT_MAX_STEPS};
+//! use lr_graph::generate;
+//!
+//! let inst = generate::chain_away(16);
+//! let mut engine = NewPrEngine::new(&inst);
+//! let stats = run_to_destination_oriented(
+//!     &mut engine,
+//!     SchedulePolicy::GreedyRounds,
+//!     DEFAULT_MAX_STEPS,
+//! );
+//! assert!(stats.terminated);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dirs;
+
+pub mod alg;
+pub mod engine;
+pub mod game;
+pub mod invariants;
+pub mod trace;
+pub mod work;
+
+pub use dirs::{DirInconsistency, MirroredDirs, ReversalStep};

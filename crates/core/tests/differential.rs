@@ -1,0 +1,147 @@
+//! Differential tests: the same algorithm expressed four ways — pure
+//! automaton, in-place engine, recorded trace, and (where applicable)
+//! alternative representation — must agree action-for-action on shared
+//! schedules and state-for-state at the end.
+
+use lr_core::alg::{
+    AlgorithmKind, BllEngine, BllLabeling, FullReversalAutomaton, FullReversalEngine,
+    NewPrAutomaton, NewPrEngine, OneStepPrAutomaton, PairHeightsEngine, PrEngine,
+    ReversalEngine, TripleHeightsEngine,
+};
+use lr_core::engine::{run_engine, SchedulePolicy, DEFAULT_MAX_STEPS};
+use lr_core::trace::Trace;
+use lr_graph::{generate, NodeId};
+use lr_ioa::{run, schedulers, Automaton};
+
+/// Replay the automaton's action sequence through the engine: identical
+/// final orientations (and for NewPR, identical full state).
+#[test]
+fn automaton_actions_replay_through_engines() {
+    for seed in 0..6 {
+        let inst = generate::random_connected(12, 10, 9000 + seed);
+        // FR
+        let aut = FullReversalAutomaton { inst: &inst };
+        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed), 1_000_000);
+        let mut eng = FullReversalEngine::new(&inst);
+        for &u in exec.actions() {
+            eng.step(u);
+        }
+        assert_eq!(eng.orientation(), exec.last_state().dirs.orientation());
+        // OneStepPR
+        let aut = OneStepPrAutomaton { inst: &inst };
+        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed), 1_000_000);
+        let mut eng = PrEngine::new(&inst);
+        for &u in exec.actions() {
+            eng.step(u);
+        }
+        assert_eq!(eng.state(), exec.last_state());
+        // NewPR
+        let aut = NewPrAutomaton { inst: &inst };
+        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed), 1_000_000);
+        let mut eng = NewPrEngine::new(&inst);
+        for &u in exec.actions() {
+            eng.step(u);
+        }
+        assert_eq!(eng.state(), exec.last_state());
+    }
+}
+
+/// A trace recorded from an engine replays to the same totals the run
+/// loop reports.
+#[test]
+fn traces_agree_with_run_stats() {
+    for seed in 0..6 {
+        let inst = generate::random_connected(14, 12, 9100 + seed);
+        for kind in AlgorithmKind::ALL {
+            let mut a = kind.engine(&inst);
+            let stats = run_engine(
+                a.as_mut(),
+                SchedulePolicy::RandomSingle { seed },
+                DEFAULT_MAX_STEPS,
+            );
+            let mut b = kind.engine(&inst);
+            let trace = Trace::record(
+                b.as_mut(),
+                SchedulePolicy::RandomSingle { seed },
+                DEFAULT_MAX_STEPS,
+            );
+            assert_eq!(trace.len(), stats.steps, "{}", kind.name());
+            assert_eq!(trace.total_reversals(), stats.total_reversals);
+            assert_eq!(trace.dummy_steps(), stats.dummy_steps);
+            trace.validate().expect("trace replays");
+        }
+    }
+}
+
+/// All equivalent representations stay in lockstep under a shared
+/// adversarial (last-sink) schedule on every generator family.
+#[test]
+fn representations_lockstep_across_families() {
+    let instances = vec![
+        generate::chain_away(15),
+        generate::alternating_chain(15),
+        generate::star_away(8),
+        generate::grid_away(4, 4),
+        generate::binary_tree_away(2),
+        generate::random_connected(15, 20, 77),
+    ];
+    for inst in &instances {
+        let mut pr_group: Vec<Box<dyn ReversalEngine>> = vec![
+            Box::new(PrEngine::new(inst)),
+            Box::new(TripleHeightsEngine::new(inst)),
+            Box::new(BllEngine::new(inst, BllLabeling::PartialReversal)),
+        ];
+        lockstep(&mut pr_group);
+        let mut fr_group: Vec<Box<dyn ReversalEngine>> = vec![
+            Box::new(FullReversalEngine::new(inst)),
+            Box::new(PairHeightsEngine::new(inst)),
+            Box::new(BllEngine::new(inst, BllLabeling::FullReversal)),
+        ];
+        lockstep(&mut fr_group);
+    }
+}
+
+fn lockstep(engines: &mut [Box<dyn ReversalEngine + '_>]) {
+    let mut guard = 0;
+    loop {
+        let enabled = engines[0].enabled_nodes();
+        for e in engines.iter().skip(1) {
+            assert_eq!(e.enabled_nodes(), enabled, "sink sets diverged");
+        }
+        let Some(&u) = enabled.last() else { break };
+        let reference: Vec<NodeId> = engines[0].step(u).reversed;
+        for e in engines.iter_mut().skip(1) {
+            assert_eq!(e.step(u).reversed, reference, "reversal sets diverged");
+        }
+        guard += 1;
+        assert!(guard < 1_000_000);
+    }
+    let reference = engines[0].orientation();
+    for e in engines.iter().skip(1) {
+        assert_eq!(e.orientation(), reference, "final orientations diverged");
+    }
+}
+
+/// Reset really restores the initial state: run, reset, run again — both
+/// runs identical.
+#[test]
+fn reset_restores_initial_state_for_all_engines() {
+    let inst = generate::random_connected(12, 10, 9200);
+    for kind in AlgorithmKind::ALL {
+        let mut e = kind.engine(&inst);
+        let first = run_engine(
+            e.as_mut(),
+            SchedulePolicy::RandomSingle { seed: 1 },
+            DEFAULT_MAX_STEPS,
+        );
+        let o_first = e.orientation();
+        e.reset();
+        let second = run_engine(
+            e.as_mut(),
+            SchedulePolicy::RandomSingle { seed: 1 },
+            DEFAULT_MAX_STEPS,
+        );
+        assert_eq!(first, second, "{} runs differ after reset", kind.name());
+        assert_eq!(o_first, e.orientation());
+    }
+}

@@ -1,0 +1,191 @@
+//! Exhaustive enumeration of small graphs and orientations, the substrate
+//! for the model-checking harness (experiments E1–E6).
+//!
+//! The paper's invariants are universally quantified over *reachable
+//! states* of executions starting from *any* connected graph, *any*
+//! acyclic initial orientation, and *any* destination. For small `n`, all
+//! of these can be enumerated, turning the paper's induction proofs into
+//! finite, machine-checkable statements.
+
+use crate::{DirectedView, NodeId, Orientation, ReversalInstance, UndirectedGraph};
+
+/// Enumerates all labeled connected simple graphs on `n` nodes.
+///
+/// The number of edge subsets is `2^(n(n-1)/2)`, so this is intended for
+/// `n ≤ 6` (`n = 5` gives 1024 subsets; `n = 6` gives 32768).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 7` (guards against accidental explosion).
+///
+/// ```
+/// use lr_graph::enumerate::connected_graphs;
+/// // 1, 1, 4, 38, 728 labeled connected graphs on 1..=5 nodes.
+/// assert_eq!(connected_graphs(3).len(), 4);
+/// assert_eq!(connected_graphs(4).len(), 38);
+/// ```
+pub fn connected_graphs(n: usize) -> Vec<UndirectedGraph> {
+    assert!((1..=7).contains(&n), "connected_graphs is for 1 ≤ n ≤ 7");
+    let pairs: Vec<(u32, u32)> = (0..n as u32)
+        .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+        .collect();
+    let m = pairs.len();
+    let mut out = Vec::new();
+    for mask in 0..(1u64 << m) {
+        let mut g = UndirectedGraph::with_nodes(n);
+        for (bit, &(i, j)) in pairs.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                g.add_edge(NodeId::new(i), NodeId::new(j)).expect("fresh");
+            }
+        }
+        if g.is_connected() {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Enumerates all acyclic orientations of `graph`.
+///
+/// Tries all `2^m` direction assignments and keeps the acyclic ones; meant
+/// for graphs with at most ~20 edges.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 24 edges.
+///
+/// ```
+/// use lr_graph::enumerate::acyclic_orientations;
+/// use lr_graph::UndirectedGraph;
+/// // A triangle has 6 orientations, 2 of which are cyclic.
+/// let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (0, 2)]).unwrap();
+/// assert_eq!(acyclic_orientations(&g).len(), 6);
+/// ```
+pub fn acyclic_orientations(graph: &UndirectedGraph) -> Vec<Orientation> {
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let m = edges.len();
+    assert!(m <= 24, "too many edges for exhaustive orientation");
+    let mut out = Vec::new();
+    for mask in 0..(1u64 << m) {
+        let mut o = Orientation::new();
+        for (bit, &(u, v)) in edges.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                o.set_from_to(u, v);
+            } else {
+                o.set_from_to(v, u);
+            }
+        }
+        if DirectedView::new(graph, &o).is_acyclic() {
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// Enumerates every [`ReversalInstance`] on `n` nodes: all connected
+/// graphs × all acyclic orientations × all destinations.
+///
+/// This is the full input space of the paper's model for size `n`. The
+/// counts grow quickly: `n = 3` yields 66 instances, `n = 4` yields
+/// 4,608... use `n ≤ 4` for per-state model checking and `n = 5` only for
+/// spot checks.
+pub fn all_instances(n: usize) -> Vec<ReversalInstance> {
+    let mut out = Vec::new();
+    for g in connected_graphs(n) {
+        for o in acyclic_orientations(&g) {
+            for dest in g.nodes() {
+                out.push(
+                    ReversalInstance::new(g.clone(), o.clone(), dest)
+                        .expect("enumerated instance is valid"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Like [`all_instances`] but with a caller-supplied filter on the graph,
+/// letting harnesses restrict to e.g. trees or bounded edge counts.
+pub fn instances_where<F>(n: usize, mut keep: F) -> Vec<ReversalInstance>
+where
+    F: FnMut(&UndirectedGraph) -> bool,
+{
+    let mut out = Vec::new();
+    for g in connected_graphs(n) {
+        if !keep(&g) {
+            continue;
+        }
+        for o in acyclic_orientations(&g) {
+            for dest in g.nodes() {
+                out.push(
+                    ReversalInstance::new(g.clone(), o.clone(), dest)
+                        .expect("enumerated instance is valid"),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_graph_counts_match_oeis_a001187() {
+        // OEIS A001187: 1, 1, 1, 4, 38, 728 labeled connected graphs.
+        assert_eq!(connected_graphs(1).len(), 1);
+        assert_eq!(connected_graphs(2).len(), 1);
+        assert_eq!(connected_graphs(3).len(), 4);
+        assert_eq!(connected_graphs(4).len(), 38);
+    }
+
+    #[test]
+    fn acyclic_orientation_count_of_path() {
+        // Every orientation of a tree is acyclic: 2^(n-1).
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(acyclic_orientations(&g).len(), 8);
+    }
+
+    #[test]
+    fn acyclic_orientation_count_of_triangle_and_k4() {
+        // Acyclic orientations are counted by |chi(-1)| where chi is the
+        // chromatic polynomial: triangle -> 6, K4 -> 24.
+        let tri = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(acyclic_orientations(&tri).len(), 6);
+        let k4 = UndirectedGraph::from_edges(&[
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+        ])
+        .unwrap();
+        assert_eq!(acyclic_orientations(&k4).len(), 24);
+    }
+
+    #[test]
+    fn all_instances_are_valid_and_counted() {
+        // n = 3: graphs = {path(012), path(102), path(021), triangle}
+        // paths: 4 orientations each... path on 3 nodes has 2 edges -> 4
+        // acyclic orientations; triangle has 6. Instances multiply by 3
+        // destinations: (3 paths * 4 + 6) * 3 = (12 + 6) * 3 = 54.
+        let insts = all_instances(3);
+        assert_eq!(insts.len(), 54);
+        for inst in &insts {
+            assert!(inst.view().is_acyclic());
+            assert!(inst.graph.is_connected());
+        }
+    }
+
+    #[test]
+    fn instances_where_filters() {
+        // Keep only trees (edge_count == n - 1).
+        let trees = instances_where(4, |g| g.edge_count() == 3);
+        assert!(!trees.is_empty());
+        for t in &trees {
+            assert_eq!(t.graph.edge_count(), 3);
+        }
+    }
+}

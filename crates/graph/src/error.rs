@@ -1,0 +1,71 @@
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by graph construction and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge `{u, u}` from a node to itself was requested.
+    SelfLoop(NodeId),
+    /// The edge `{u, v}` already exists.
+    DuplicateEdge(NodeId, NodeId),
+    /// The node is not present in the graph.
+    UnknownNode(NodeId),
+    /// The edge `{u, v}` is not present in the graph.
+    UnknownEdge(NodeId, NodeId),
+    /// A directed graph was required to be acyclic but contains a cycle.
+    ContainsCycle,
+    /// The graph was required to be connected but is not.
+    Disconnected,
+    /// A textual graph description could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(u) => write!(f, "self-loop at node {u} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge {{{u}, {v}}} already exists"),
+            GraphError::UnknownNode(u) => write!(f, "node {u} is not in the graph"),
+            GraphError::UnknownEdge(u, v) => write!(f, "edge {{{u}, {v}}} is not in the graph"),
+            GraphError::ContainsCycle => write!(f, "directed graph contains a cycle"),
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop(NodeId::new(3));
+        assert!(e.to_string().contains("n3"));
+        let e = GraphError::DuplicateEdge(NodeId::new(1), NodeId::new(2));
+        assert!(e.to_string().contains("n1"));
+        assert!(e.to_string().contains("n2"));
+        let e = GraphError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&GraphError::ContainsCycle);
+    }
+}

@@ -1,0 +1,199 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{DirectedView, GraphError, NodeId, Orientation, PlaneEmbedding, UndirectedGraph};
+
+/// A ready-to-run link-reversal problem instance: the undirected graph `G`,
+/// the initial acyclic orientation `G'_init`, and the destination node `D`.
+///
+/// This bundles exactly the inputs assumed by §2 of the paper. All
+/// algorithm states are constructed from a `ReversalInstance`, and the
+/// instance itself never changes during an execution.
+///
+/// ```
+/// use lr_graph::{NodeId, Orientation, ReversalInstance, UndirectedGraph};
+///
+/// let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2)]).unwrap();
+/// let o = Orientation::from_order(&g, &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+/// let inst = ReversalInstance::new(g, o, NodeId::new(0)).unwrap();
+/// assert_eq!(inst.dest, NodeId::new(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReversalInstance {
+    /// The fixed undirected communication graph `G`.
+    pub graph: UndirectedGraph,
+    /// The initial orientation `G'_init` (must be acyclic).
+    pub init: Orientation,
+    /// The destination node `D`, which never takes steps.
+    pub dest: NodeId,
+}
+
+impl ReversalInstance {
+    /// Validates and creates an instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::UnknownNode`] — `dest` is not a node of `graph`.
+    /// * [`GraphError::UnknownEdge`] — `init` does not orient every edge.
+    /// * [`GraphError::ContainsCycle`] — `init` is not acyclic.
+    /// * [`GraphError::Disconnected`] — `graph` is not connected (required
+    ///   for termination in a destination-oriented state).
+    pub fn new(
+        graph: UndirectedGraph,
+        init: Orientation,
+        dest: NodeId,
+    ) -> Result<Self, GraphError> {
+        if !graph.contains_node(dest) {
+            return Err(GraphError::UnknownNode(dest));
+        }
+        if !init.covers(&graph) {
+            // Report the first uncovered edge for a useful message.
+            let missing = graph
+                .edges()
+                .find(|&(u, v)| init.dir(u, v).is_none())
+                .expect("covers() failed so an edge is missing");
+            return Err(GraphError::UnknownEdge(missing.0, missing.1));
+        }
+        if !graph.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        if !DirectedView::new(&graph, &init).is_acyclic() {
+            return Err(GraphError::ContainsCycle);
+        }
+        Ok(ReversalInstance { graph, init, dest })
+    }
+
+    /// A directed view of the **initial** orientation.
+    pub fn view(&self) -> DirectedView<'_> {
+        DirectedView::new(&self.graph, &self.init)
+    }
+
+    /// The plane embedding of the initial DAG (§4.2), used by Invariants
+    /// 4.1/4.2.
+    ///
+    /// Always succeeds because the constructor validated acyclicity.
+    pub fn embedding(&self) -> PlaneEmbedding {
+        PlaneEmbedding::of_initial(&self.graph, &self.init)
+            .expect("instance constructor validated acyclicity")
+    }
+
+    /// The initial in-neighbors `in-nbrs_u` of a node (fixed for the whole
+    /// execution, per §2).
+    pub fn initial_in_nbrs(&self, u: NodeId) -> Vec<NodeId> {
+        self.view().in_neighbors(u).collect()
+    }
+
+    /// The initial out-neighbors `out-nbrs_u` of a node.
+    pub fn initial_out_nbrs(&self, u: NodeId) -> Vec<NodeId> {
+        self.view().out_neighbors(u).collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Nodes that initially have no directed path to the destination
+    /// (`n_b`, the "bad node" count of the Θ(n_b²) bound).
+    pub fn initial_bad_nodes(&self) -> usize {
+        self.view().bad_node_count(self.dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn valid_instance() -> ReversalInstance {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let o = Orientation::from_order(&g, &[n(0), n(1), n(2)]);
+        ReversalInstance::new(g, o, n(2)).unwrap()
+    }
+
+    #[test]
+    fn valid_instance_constructs() {
+        let inst = valid_instance();
+        assert_eq!(inst.node_count(), 3);
+        assert_eq!(inst.initial_bad_nodes(), 0);
+    }
+
+    #[test]
+    fn unknown_destination_is_rejected() {
+        let g = UndirectedGraph::from_edges(&[(0, 1)]).unwrap();
+        let o = Orientation::from_order(&g, &[n(0), n(1)]);
+        assert_eq!(
+            ReversalInstance::new(g, o, n(9)),
+            Err(GraphError::UnknownNode(n(9)))
+        );
+    }
+
+    #[test]
+    fn partial_orientation_is_rejected() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2)]).unwrap();
+        let mut o = Orientation::new();
+        o.set_from_to(n(0), n(1));
+        assert_eq!(
+            ReversalInstance::new(g, o, n(0)),
+            Err(GraphError::UnknownEdge(n(1), n(2)))
+        );
+    }
+
+    #[test]
+    fn cyclic_initial_orientation_is_rejected() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let mut o = Orientation::new();
+        o.set_from_to(n(0), n(1));
+        o.set_from_to(n(1), n(2));
+        o.set_from_to(n(2), n(0));
+        assert_eq!(
+            ReversalInstance::new(g, o, n(0)),
+            Err(GraphError::ContainsCycle)
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (2, 3)]).unwrap();
+        let mut o = Orientation::new();
+        o.set_from_to(n(0), n(1));
+        o.set_from_to(n(2), n(3));
+        assert_eq!(
+            ReversalInstance::new(g, o, n(0)),
+            Err(GraphError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn initial_neighbor_sets() {
+        let inst = valid_instance();
+        assert_eq!(inst.initial_in_nbrs(n(2)), vec![n(0), n(1)]);
+        assert_eq!(inst.initial_out_nbrs(n(0)), vec![n(1), n(2)]);
+        assert_eq!(inst.initial_in_nbrs(n(0)), vec![]);
+    }
+
+    #[test]
+    fn bad_node_count_counts_unreachable() {
+        // 0 <- 1 <- 2 with dest 2: everything points AWAY from 2's
+        // perspective... orient 1->0, 2->1 and pick dest 0: all reach 0.
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2)]).unwrap();
+        let mut o = Orientation::new();
+        o.set_from_to(n(1), n(0));
+        o.set_from_to(n(2), n(1));
+        let inst = ReversalInstance::new(g.clone(), o.clone(), n(0)).unwrap();
+        assert_eq!(inst.initial_bad_nodes(), 0);
+        // Same orientation, dest 2: nodes 0 and 1 cannot reach it.
+        let inst2 = ReversalInstance::new(g, o, n(2)).unwrap();
+        assert_eq!(inst2.initial_bad_nodes(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let inst = valid_instance();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: ReversalInstance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inst);
+    }
+}

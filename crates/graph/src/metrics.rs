@@ -1,0 +1,145 @@
+//! Structural graph metrics used by the experiment tables: distances,
+//! eccentricities, diameter, and degree statistics.
+//!
+//! The link-reversal literature relates work and convergence time to
+//! structural parameters (path lengths to the destination, diameter);
+//! these helpers let the harness report them alongside measurements.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::{NodeId, UndirectedGraph};
+
+/// Undirected BFS distances from `source` to every reachable node.
+pub fn bfs_distances(graph: &UndirectedGraph, source: NodeId) -> BTreeMap<NodeId, usize> {
+    let mut dist = BTreeMap::new();
+    if !graph.contains_node(source) {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist.insert(source, 0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[&u];
+        for v in graph.neighbors(u) {
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
+                e.insert(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The eccentricity of a node: its greatest distance to any node, or
+/// `None` when the graph is disconnected from it.
+pub fn eccentricity(graph: &UndirectedGraph, u: NodeId) -> Option<usize> {
+    let dist = bfs_distances(graph, u);
+    (dist.len() == graph.node_count()).then(|| dist.values().copied().max().unwrap_or(0))
+}
+
+/// The diameter (greatest eccentricity), or `None` for disconnected or
+/// empty graphs.
+pub fn diameter(graph: &UndirectedGraph) -> Option<usize> {
+    graph
+        .nodes()
+        .map(|u| eccentricity(graph, u))
+        .try_fold(0usize, |acc, e| e.map(|e| acc.max(e)))
+}
+
+/// The radius (least eccentricity), or `None` for disconnected or empty
+/// graphs.
+pub fn radius(graph: &UndirectedGraph) -> Option<usize> {
+    graph
+        .nodes()
+        .map(|u| eccentricity(graph, u))
+        .try_fold(usize::MAX, |acc, e| e.map(|e| acc.min(e)))
+        .filter(|&r| r != usize::MAX)
+}
+
+/// Degree statistics of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree (`2m / n`).
+    pub mean: f64,
+}
+
+/// Computes [`DegreeStats`]; `None` for the empty graph.
+pub fn degree_stats(graph: &UndirectedGraph) -> Option<DegreeStats> {
+    if graph.node_count() == 0 {
+        return None;
+    }
+    let degrees: Vec<usize> = graph.nodes().map(|u| graph.degree(u)).collect();
+    Some(DegreeStats {
+        min: degrees.iter().copied().min().expect("non-empty"),
+        max: degrees.iter().copied().max().expect("non-empty"),
+        mean: 2.0 * graph.edge_count() as f64 / graph.node_count() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path(len: u32) -> UndirectedGraph {
+        let edges: Vec<(u32, u32)> = (0..len - 1).map(|i| (i, i + 1)).collect();
+        UndirectedGraph::from_edges(&edges).unwrap()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, n(0));
+        assert_eq!(d[&n(4)], 4);
+        assert_eq!(d[&n(0)], 0);
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn eccentricity_diameter_radius_of_path() {
+        let g = path(5);
+        assert_eq!(eccentricity(&g, n(0)), Some(4));
+        assert_eq!(eccentricity(&g, n(2)), Some(2));
+        assert_eq!(diameter(&g), Some(4));
+        assert_eq!(radius(&g), Some(2));
+    }
+
+    #[test]
+    fn star_has_radius_one() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(diameter(&g), Some(2));
+        assert_eq!(radius(&g), Some(1));
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(radius(&g), None);
+        assert_eq!(eccentricity(&g, n(0)), None);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let s = degree_stats(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 1.5).abs() < 1e-9);
+        assert_eq!(degree_stats(&UndirectedGraph::new()), None);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = UndirectedGraph::with_nodes(1);
+        assert_eq!(diameter(&g), Some(0));
+        assert_eq!(radius(&g), Some(0));
+    }
+}

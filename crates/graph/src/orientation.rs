@@ -1,0 +1,285 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, NodeId, UndirectedGraph};
+
+/// The direction of an edge from one endpoint's perspective, matching the
+/// paper's state variable `dir[u, v] ∈ {in, out}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeDir {
+    /// The edge points *toward* this node (incoming).
+    In,
+    /// The edge points *away from* this node (outgoing).
+    Out,
+}
+
+impl EdgeDir {
+    /// The opposite direction.
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            EdgeDir::In => EdgeDir::Out,
+            EdgeDir::Out => EdgeDir::In,
+        }
+    }
+}
+
+/// A direction assignment for every edge of an [`UndirectedGraph`]: the
+/// directed version `G' = (V, E')` of §2.
+///
+/// Internally each canonical edge `(u, v)` with `u < v` maps to its *tail*
+/// (the endpoint the edge points away from). The representation makes the
+/// paper's Invariant 3.1 (`dir[u,v] = in` iff `dir[v,u] = out`) true by
+/// construction *for this type*; the algorithm crate additionally keeps the
+/// paper's duplicated per-endpoint representation so that Invariant 3.1 can
+/// be checked rather than assumed.
+///
+/// ```
+/// use lr_graph::{EdgeDir, NodeId, Orientation, UndirectedGraph};
+///
+/// let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2)]).unwrap();
+/// let (a, b, c) = (NodeId::new(0), NodeId::new(1), NodeId::new(2));
+/// let mut o = Orientation::new();
+/// o.set_from_to(a, b);
+/// o.set_from_to(c, b);
+/// assert_eq!(o.dir(a, b), Some(EdgeDir::Out));
+/// assert_eq!(o.dir(b, a), Some(EdgeDir::In));
+/// o.reverse(a, b).unwrap();
+/// assert_eq!(o.dir(a, b), Some(EdgeDir::In));
+/// # let _ = g;
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Orientation {
+    /// canonical edge (min, max) -> tail node (edge points away from it)
+    tails: BTreeMap<(NodeId, NodeId), NodeId>,
+}
+
+// Serialized as the list of directed edges `(tail, head)` — JSON maps
+// require string keys, so the map representation is not serialized as-is.
+impl Serialize for Orientation {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let edges: Vec<(NodeId, NodeId)> = self.directed_edges().collect();
+        edges.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Orientation {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let edges = Vec::<(NodeId, NodeId)>::deserialize(deserializer)?;
+        let mut o = Orientation::new();
+        for (tail, head) in edges {
+            o.set_from_to(tail, head);
+        }
+        Ok(o)
+    }
+}
+
+fn canonical(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl Orientation {
+    /// Creates an empty orientation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Orients every edge of `graph` from the earlier to the later node in
+    /// `order`. Any total order yields an acyclic orientation.
+    ///
+    /// Nodes missing from `order` are treated as larger than all listed
+    /// nodes (ties broken by id), but generators always pass a complete
+    /// order.
+    pub fn from_order(graph: &UndirectedGraph, order: &[NodeId]) -> Self {
+        let rank: BTreeMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos = |n: NodeId| (rank.get(&n).copied().unwrap_or(usize::MAX), n);
+        let mut o = Self::new();
+        for (u, v) in graph.edges() {
+            if pos(u) < pos(v) {
+                o.set_from_to(u, v);
+            } else {
+                o.set_from_to(v, u);
+            }
+        }
+        o
+    }
+
+    /// Directs the edge between `u` and `v` as `u → v`, inserting it if the
+    /// edge was not yet oriented.
+    pub fn set_from_to(&mut self, u: NodeId, v: NodeId) {
+        self.tails.insert(canonical(u, v), u);
+    }
+
+    /// The direction of edge `{u, v}` from `u`'s perspective, or `None` if
+    /// the edge is not oriented by this assignment.
+    pub fn dir(&self, u: NodeId, v: NodeId) -> Option<EdgeDir> {
+        self.tails.get(&canonical(u, v)).map(|&tail| {
+            if tail == u {
+                EdgeDir::Out
+            } else {
+                EdgeDir::In
+            }
+        })
+    }
+
+    /// Returns `true` if the edge `{u, v}` is oriented `u → v`.
+    pub fn points_from_to(&self, u: NodeId, v: NodeId) -> bool {
+        self.dir(u, v) == Some(EdgeDir::Out)
+    }
+
+    /// The tail (source endpoint) of the edge `{u, v}`.
+    pub fn tail(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        self.tails.get(&canonical(u, v)).copied()
+    }
+
+    /// The head (target endpoint) of the edge `{u, v}`.
+    pub fn head(&self, u: NodeId, v: NodeId) -> Option<NodeId> {
+        let (a, b) = canonical(u, v);
+        self.tails
+            .get(&(a, b))
+            .map(|&tail| if tail == a { b } else { a })
+    }
+
+    /// Reverses the direction of edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] if the edge is not oriented.
+    pub fn reverse(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let key = canonical(u, v);
+        match self.tails.get_mut(&key) {
+            Some(tail) => {
+                *tail = if *tail == key.0 { key.1 } else { key.0 };
+                Ok(())
+            }
+            None => Err(GraphError::UnknownEdge(u, v)),
+        }
+    }
+
+    /// Number of oriented edges.
+    pub fn edge_count(&self) -> usize {
+        self.tails.len()
+    }
+
+    /// Iterates over all directed edges as `(tail, head)` pairs in canonical
+    /// edge order.
+    pub fn directed_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.tails.iter().map(|(&(a, b), &tail)| {
+            if tail == a {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+    }
+
+    /// Returns `true` if this orientation covers exactly the edges of
+    /// `graph`.
+    pub fn covers(&self, graph: &UndirectedGraph) -> bool {
+        self.tails.len() == graph.edge_count()
+            && graph.edges().all(|(u, v)| self.tails.contains_key(&(u, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn flipped_is_involutive() {
+        assert_eq!(EdgeDir::In.flipped(), EdgeDir::Out);
+        assert_eq!(EdgeDir::Out.flipped().flipped(), EdgeDir::Out);
+    }
+
+    #[test]
+    fn set_and_query_both_perspectives() {
+        let mut o = Orientation::new();
+        o.set_from_to(n(3), n(1));
+        assert_eq!(o.dir(n(3), n(1)), Some(EdgeDir::Out));
+        assert_eq!(o.dir(n(1), n(3)), Some(EdgeDir::In));
+        assert_eq!(o.tail(n(1), n(3)), Some(n(3)));
+        assert_eq!(o.head(n(1), n(3)), Some(n(1)));
+        assert!(o.points_from_to(n(3), n(1)));
+        assert!(!o.points_from_to(n(1), n(3)));
+    }
+
+    #[test]
+    fn dir_of_unoriented_edge_is_none() {
+        let o = Orientation::new();
+        assert_eq!(o.dir(n(0), n(1)), None);
+        assert_eq!(o.tail(n(0), n(1)), None);
+        assert_eq!(o.head(n(0), n(1)), None);
+    }
+
+    #[test]
+    fn reverse_flips_direction() {
+        let mut o = Orientation::new();
+        o.set_from_to(n(0), n(1));
+        o.reverse(n(0), n(1)).unwrap();
+        assert!(o.points_from_to(n(1), n(0)));
+        // Reversing via the other perspective works too.
+        o.reverse(n(1), n(0)).unwrap();
+        assert!(o.points_from_to(n(0), n(1)));
+    }
+
+    #[test]
+    fn reverse_unknown_edge_errors() {
+        let mut o = Orientation::new();
+        assert_eq!(
+            o.reverse(n(0), n(1)),
+            Err(GraphError::UnknownEdge(n(0), n(1)))
+        );
+    }
+
+    #[test]
+    fn from_order_orients_along_order() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let o = Orientation::from_order(&g, &[n(2), n(0), n(1)]);
+        assert!(o.points_from_to(n(2), n(0)));
+        assert!(o.points_from_to(n(2), n(1)));
+        assert!(o.points_from_to(n(0), n(1)));
+        assert!(o.covers(&g));
+    }
+
+    #[test]
+    fn directed_edges_enumerates_tail_head_pairs() {
+        let mut o = Orientation::new();
+        o.set_from_to(n(1), n(0));
+        o.set_from_to(n(1), n(2));
+        let edges: Vec<(u32, u32)> = o
+            .directed_edges()
+            .map(|(a, b)| (a.raw(), b.raw()))
+            .collect();
+        assert_eq!(edges, vec![(1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn covers_detects_missing_edges() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2)]).unwrap();
+        let mut o = Orientation::new();
+        o.set_from_to(n(0), n(1));
+        assert!(!o.covers(&g));
+        o.set_from_to(n(1), n(2));
+        assert!(o.covers(&g));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut o = Orientation::new();
+        o.set_from_to(n(0), n(1));
+        o.set_from_to(n(2), n(1));
+        let json = serde_json::to_string(&o).unwrap();
+        let back: Orientation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, o);
+    }
+}

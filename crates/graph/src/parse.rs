@@ -1,0 +1,135 @@
+//! A small textual format for oriented graphs, used by tests and fixtures.
+//!
+//! Each non-empty, non-comment line describes one directed edge
+//! `u > v` (edge `{u, v}` directed from `u` to `v`), where `u` and `v` are
+//! non-negative integers. Lines starting with `#` are comments. A line
+//! `dest N` names the destination node.
+//!
+//! ```
+//! use lr_graph::parse::parse_instance;
+//! let inst = parse_instance("
+//!     ## a 3-chain pointing away from the destination
+//!     dest 0
+//!     0 > 1
+//!     1 > 2
+//! ").unwrap();
+//! assert_eq!(inst.node_count(), 3);
+//! ```
+
+use crate::{GraphError, NodeId, Orientation, ReversalInstance, UndirectedGraph};
+
+/// Parses the textual instance format described at module level.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] for malformed lines, and the underlying
+/// validation error (cycle, disconnection, ...) for structurally invalid
+/// instances. A missing `dest` line defaults the destination to node 0.
+pub fn parse_instance(text: &str) -> Result<ReversalInstance, GraphError> {
+    let mut g = UndirectedGraph::new();
+    let mut o = Orientation::new();
+    let mut dest = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        if let Some(rest) = line.strip_prefix("dest") {
+            let id: u32 = rest.trim().parse().map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: format!("invalid destination id {rest:?}"),
+            })?;
+            dest = Some(NodeId::new(id));
+            continue;
+        }
+        let mut parts = line.split('>');
+        let (a, b) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(a), Some(b), None) => (a.trim(), b.trim()),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    message: format!("expected `u > v`, got {line:?}"),
+                })
+            }
+        };
+        let parse_id = |s: &str| -> Result<NodeId, GraphError> {
+            s.parse::<u32>().map(NodeId::new).map_err(|_| GraphError::Parse {
+                line: lineno,
+                message: format!("invalid node id {s:?}"),
+            })
+        };
+        let (u, v) = (parse_id(a)?, parse_id(b)?);
+        g.ensure_node(u);
+        g.ensure_node(v);
+        g.add_edge(u, v)?;
+        o.set_from_to(u, v);
+    }
+    let dest = dest.unwrap_or(NodeId::new(0));
+    ReversalInstance::new(g, o, dest)
+}
+
+/// Serializes an instance back to the textual format (inverse of
+/// [`parse_instance`] up to comments and whitespace).
+pub fn to_text(inst: &ReversalInstance) -> String {
+    let mut out = format!("dest {}\n", inst.dest.raw());
+    for (t, h) in inst.init.directed_edges() {
+        out.push_str(&format!("{} > {}\n", t.raw(), h.raw()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_chain_with_comments_and_blanks() {
+        let inst = parse_instance("# comment\n\ndest 2\n0 > 1\n1 > 2\n").unwrap();
+        assert_eq!(inst.dest, NodeId::new(2));
+        assert_eq!(inst.graph.edge_count(), 2);
+        assert!(inst.init.points_from_to(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn missing_dest_defaults_to_zero() {
+        let inst = parse_instance("0 > 1").unwrap();
+        assert_eq!(inst.dest, NodeId::new(0));
+    }
+
+    #[test]
+    fn malformed_edge_reports_line() {
+        let err = parse_instance("0 > 1\nnot an edge\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_node_id_reports_line() {
+        let err = parse_instance("0 > x").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_dest_reports_line() {
+        let err = parse_instance("dest banana\n0 > 1").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn structural_validation_still_applies() {
+        // A directed cycle parses but fails validation.
+        let err = parse_instance("0 > 1\n1 > 2\n2 > 0").unwrap_err();
+        assert_eq!(err, GraphError::ContainsCycle);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let inst = parse_instance("dest 1\n0 > 1\n2 > 1\n0 > 2").unwrap();
+        let text = to_text(&inst);
+        let back = parse_instance(&text).unwrap();
+        assert_eq!(back, inst);
+    }
+}

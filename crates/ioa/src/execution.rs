@@ -1,0 +1,258 @@
+use std::fmt;
+
+use crate::Automaton;
+
+/// A recorded execution fragment: an alternating sequence
+/// `s0, a1, s1, a2, s2, …` of states and actions.
+///
+/// The representation keeps `states.len() == actions.len() + 1` as a
+/// structural invariant; [`Execution::validate`] additionally re-checks
+/// every transition against an automaton (enabledness + effect equality),
+/// which the test suites use to guarantee recorded traces are genuine.
+pub struct Execution<A: Automaton> {
+    states: Vec<A::State>,
+    actions: Vec<A::Action>,
+}
+
+// Manual impls: derives would bound on `A` itself rather than on the
+// associated state/action types.
+impl<A: Automaton> fmt::Debug for Execution<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Execution")
+            .field("states", &self.states)
+            .field("actions", &self.actions)
+            .finish()
+    }
+}
+
+impl<A: Automaton> Clone for Execution<A> {
+    fn clone(&self) -> Self {
+        Execution {
+            states: self.states.clone(),
+            actions: self.actions.clone(),
+        }
+    }
+}
+
+impl<A: Automaton> PartialEq for Execution<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.states == other.states && self.actions == other.actions
+    }
+}
+
+impl<A: Automaton> Eq for Execution<A> {}
+
+/// Why an execution failed validation against an automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityError {
+    /// The recorded initial state differs from the automaton's.
+    WrongInitialState,
+    /// The action at this index was not enabled in its source state.
+    NotEnabled {
+        /// Index of the offending action.
+        index: usize,
+    },
+    /// Applying the action did not produce the recorded successor state.
+    WrongSuccessor {
+        /// Index of the offending action.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::WrongInitialState => {
+                write!(f, "recorded initial state is not the automaton's initial state")
+            }
+            ValidityError::NotEnabled { index } => {
+                write!(f, "action #{index} was not enabled in its source state")
+            }
+            ValidityError::WrongSuccessor { index } => {
+                write!(f, "action #{index} does not produce the recorded successor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidityError {}
+
+impl<A: Automaton> Execution<A> {
+    /// Starts an execution at `initial`.
+    pub fn new(initial: A::State) -> Self {
+        Execution {
+            states: vec![initial],
+            actions: Vec::new(),
+        }
+    }
+
+    /// Appends a step: `action` taken from the current last state, landing
+    /// in `next`.
+    pub fn push(&mut self, action: A::Action, next: A::State) {
+        self.actions.push(action);
+        self.states.push(next);
+    }
+
+    /// Number of steps (actions) taken.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` if no step has been taken.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The initial state.
+    pub fn initial_state(&self) -> &A::State {
+        &self.states[0]
+    }
+
+    /// The current (last) state.
+    pub fn last_state(&self) -> &A::State {
+        self.states.last().expect("states is never empty")
+    }
+
+    /// All states, `len() + 1` of them.
+    pub fn states(&self) -> &[A::State] {
+        &self.states
+    }
+
+    /// All actions.
+    pub fn actions(&self) -> &[A::Action] {
+        &self.actions
+    }
+
+    /// The `i`-th step as `(pre-state, action, post-state)`.
+    pub fn step(&self, i: usize) -> Option<(&A::State, &A::Action, &A::State)> {
+        (i < self.actions.len()).then(|| (&self.states[i], &self.actions[i], &self.states[i + 1]))
+    }
+
+    /// Iterates over steps as `(pre-state, action, post-state)` triples.
+    pub fn steps(&self) -> impl Iterator<Item = (&A::State, &A::Action, &A::State)> {
+        (0..self.actions.len()).map(|i| (&self.states[i], &self.actions[i], &self.states[i + 1]))
+    }
+
+    /// Re-checks this execution against `automaton`: the initial state
+    /// matches, every action was enabled, and every effect matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidityError`] encountered.
+    pub fn validate(&self, automaton: &A) -> Result<(), ValidityError> {
+        if *self.initial_state() != automaton.initial_state() {
+            return Err(ValidityError::WrongInitialState);
+        }
+        for (i, (pre, action, post)) in self.steps().enumerate() {
+            if !automaton.is_enabled(pre, action) {
+                return Err(ValidityError::NotEnabled { index: i });
+            }
+            if automaton.apply(pre, action) != *post {
+                return Err(ValidityError::WrongSuccessor { index: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates as an execution *fragment*: transitions are checked but
+    /// the initial state need not be the automaton's initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first transition-level [`ValidityError`].
+    pub fn validate_fragment(&self, automaton: &A) -> Result<(), ValidityError> {
+        for (i, (pre, action, post)) in self.steps().enumerate() {
+            if !automaton.is_enabled(pre, action) {
+                return Err(ValidityError::NotEnabled { index: i });
+            }
+            if automaton.apply(pre, action) != *post {
+                return Err(ValidityError::WrongSuccessor { index: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::test_automata::Counter;
+
+    fn stepped(n: u32) -> Execution<Counter> {
+        let c = Counter { max: 10 };
+        let mut e = Execution::new(c.initial_state());
+        for _ in 0..n {
+            let s = *e.last_state();
+            e.push((), c.apply(&s, &()));
+        }
+        e
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let e = stepped(3);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+        assert_eq!(*e.initial_state(), 0);
+        assert_eq!(*e.last_state(), 3);
+        assert_eq!(e.states(), &[0, 1, 2, 3]);
+        assert_eq!(e.actions().len(), 3);
+        let (pre, _, post) = e.step(1).unwrap();
+        assert_eq!((*pre, *post), (1, 2));
+        assert!(e.step(3).is_none());
+    }
+
+    #[test]
+    fn valid_execution_passes() {
+        let e = stepped(5);
+        assert!(e.validate(&Counter { max: 10 }).is_ok());
+    }
+
+    #[test]
+    fn wrong_initial_state_detected() {
+        let mut e = Execution::<Counter>::new(4);
+        e.push((), 5);
+        assert_eq!(
+            e.validate(&Counter { max: 10 }),
+            Err(ValidityError::WrongInitialState)
+        );
+        // ...but the fragment itself is fine.
+        assert!(e.validate_fragment(&Counter { max: 10 }).is_ok());
+    }
+
+    #[test]
+    fn disabled_action_detected() {
+        let mut e = Execution::<Counter>::new(0);
+        e.push((), 1);
+        e.push((), 2);
+        // Counter with max=1: second step is taken from state 1 which is
+        // quiescent.
+        assert_eq!(
+            e.validate(&Counter { max: 1 }),
+            Err(ValidityError::NotEnabled { index: 1 })
+        );
+    }
+
+    #[test]
+    fn wrong_successor_detected() {
+        let mut e = Execution::<Counter>::new(0);
+        e.push((), 2); // should be 1
+        assert_eq!(
+            e.validate(&Counter { max: 10 }),
+            Err(ValidityError::WrongSuccessor { index: 0 })
+        );
+    }
+
+    #[test]
+    fn steps_iterator_matches_step() {
+        let e = stepped(4);
+        let collected: Vec<(u32, u32)> = e.steps().map(|(a, _, b)| (*a, *b)).collect();
+        assert_eq!(collected, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn validity_error_display() {
+        let msg = ValidityError::NotEnabled { index: 7 }.to_string();
+        assert!(msg.contains("#7"));
+    }
+}

@@ -1,0 +1,388 @@
+//! Breadth-first exploration of an automaton's reachable state space with
+//! per-state invariant checking.
+//!
+//! The paper proves its invariants by induction over reachable states. For
+//! a *fixed finite instance* (a given graph, orientation, and destination)
+//! the reachable state space is finite, so the same statement — "invariant
+//! I holds in every reachable state" — becomes a terminating breadth-first
+//! search. The model-checking experiments (E1–E3) run this search over
+//! every instance of bounded size.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::{Automaton, Execution, Invariant, InvariantViolation};
+
+/// Bounds for [`explore`].
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Stop after visiting this many states (guards against state-space
+    /// blowup; exceeding it is reported as [`ExplorationReport::truncated`]).
+    pub max_states: usize,
+    /// Only explore to this BFS depth (`usize::MAX` = unbounded).
+    pub max_depth: usize,
+    /// Record predecessor links so violations carry a full counterexample
+    /// trace (costs memory proportional to the state count).
+    pub record_traces: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: 1_000_000,
+            max_depth: usize::MAX,
+            record_traces: true,
+        }
+    }
+}
+
+/// Result of a (possibly truncated) reachability exploration.
+#[derive(Debug, Clone)]
+pub struct ExplorationReport<A: Automaton> {
+    /// Number of distinct states visited.
+    pub states_visited: usize,
+    /// Number of transitions traversed.
+    pub transitions: usize,
+    /// Maximum BFS depth reached.
+    pub max_depth_reached: usize,
+    /// Number of quiescent (terminal) states found.
+    pub quiescent_states: usize,
+    /// First invariant violation found, if any, with a counterexample
+    /// execution when trace recording was enabled.
+    pub violation: Option<(InvariantViolation, Option<Execution<A>>)>,
+    /// Whether the exploration hit `max_states`/`max_depth` before
+    /// exhausting the reachable space.
+    pub truncated: bool,
+}
+
+impl<A: Automaton> ExplorationReport<A> {
+    /// `true` when the full reachable space was explored and no invariant
+    /// was violated.
+    pub fn verified(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+}
+
+/// Explores all states reachable from the initial state, checking each
+/// invariant in each state.
+///
+/// Returns on the **first** violation, with a counterexample trace (a
+/// valid execution from the initial state to the violating state) if
+/// tracing is enabled.
+pub fn explore<A: Automaton>(
+    automaton: &A,
+    invariants: &[Invariant<A>],
+    opts: &ExploreOptions,
+) -> ExplorationReport<A> {
+    let initial = automaton.initial_state();
+    let mut visited: HashSet<A::State> = HashSet::new();
+    // predecessor: state -> (parent state, action from parent)
+    let mut pred: HashMap<A::State, (A::State, A::Action)> = HashMap::new();
+    let mut queue: VecDeque<(A::State, usize)> = VecDeque::new();
+
+    let mut report = ExplorationReport {
+        states_visited: 0,
+        transitions: 0,
+        max_depth_reached: 0,
+        quiescent_states: 0,
+        violation: None,
+        truncated: false,
+    };
+
+    let rebuild_trace = |pred: &HashMap<A::State, (A::State, A::Action)>,
+                         target: &A::State|
+     -> Execution<A> {
+        // Walk parents back to the initial state, then replay forward.
+        let mut rev: Vec<(A::State, A::Action)> = Vec::new();
+        let mut cur = target.clone();
+        while let Some((parent, action)) = pred.get(&cur) {
+            rev.push((cur.clone(), action.clone()));
+            cur = parent.clone();
+        }
+        let mut exec = Execution::new(cur);
+        for (state, action) in rev.into_iter().rev() {
+            exec.push(action, state);
+        }
+        exec
+    };
+
+    let check_state = |state: &A::State,
+                           depth: usize,
+                           pred: &HashMap<A::State, (A::State, A::Action)>|
+     -> Option<(InvariantViolation, Option<Execution<A>>)> {
+        for inv in invariants {
+            if let Err(message) = inv.check(state) {
+                let violation = InvariantViolation {
+                    invariant: inv.name().to_string(),
+                    message,
+                    depth: Some(depth),
+                };
+                let trace = opts.record_traces.then(|| rebuild_trace(pred, state));
+                return Some((violation, trace));
+            }
+        }
+        None
+    };
+
+    visited.insert(initial.clone());
+    queue.push_back((initial.clone(), 0));
+    report.states_visited = 1;
+    if let Some(v) = check_state(&initial, 0, &pred) {
+        report.violation = Some(v);
+        return report;
+    }
+
+    while let Some((state, depth)) = queue.pop_front() {
+        report.max_depth_reached = report.max_depth_reached.max(depth);
+        let enabled = automaton.enabled_actions(&state);
+        if enabled.is_empty() {
+            report.quiescent_states += 1;
+            continue;
+        }
+        if depth >= opts.max_depth {
+            report.truncated = true;
+            continue;
+        }
+        for action in enabled {
+            let next = automaton.apply(&state, &action);
+            report.transitions += 1;
+            if visited.contains(&next) {
+                continue;
+            }
+            if report.states_visited >= opts.max_states {
+                report.truncated = true;
+                continue;
+            }
+            visited.insert(next.clone());
+            report.states_visited += 1;
+            if opts.record_traces {
+                pred.insert(next.clone(), (state.clone(), action.clone()));
+            }
+            if let Some(v) = check_state(&next, depth + 1, &pred) {
+                report.violation = Some(v);
+                return report;
+            }
+            queue.push_back((next, depth + 1));
+        }
+    }
+    report
+}
+
+/// Result of [`check_termination`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TerminationResult {
+    /// The reachable state graph is acyclic: every execution is finite,
+    /// i.e. the automaton terminates under **every** schedule.
+    Terminates {
+        /// Distinct states visited.
+        states: usize,
+        /// Length of the longest execution (the worst-case step count
+        /// over all schedules).
+        longest_execution: usize,
+    },
+    /// A cycle of states exists: some schedule runs forever.
+    Diverges {
+        /// A state on the cycle.
+        witness_depth: usize,
+    },
+    /// The exploration bound was hit before the answer was known.
+    Unknown,
+}
+
+/// Decides termination of a finite-instance automaton by checking the
+/// reachable state graph for cycles (iterative DFS with colors).
+///
+/// Termination under every schedule — the Gafni–Bertsekas guarantee that
+/// complements the paper's acyclicity theorem — is equivalent to the
+/// *state graph* being acyclic: a divergent execution in a finite state
+/// space must revisit a state. As a bonus, the longest path in the
+/// acyclic state graph is the exact worst-case execution length.
+pub fn check_termination<A: Automaton>(
+    automaton: &A,
+    max_states: usize,
+) -> TerminationResult {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        Grey,
+        Black,
+    }
+
+    fn successors<A: Automaton>(automaton: &A, s: &A::State) -> Vec<A::State> {
+        automaton
+            .enabled_actions(s)
+            .into_iter()
+            .map(|a| automaton.apply(s, &a))
+            .collect()
+    }
+
+    let mut color: HashMap<A::State, Color> = HashMap::new();
+    // Longest path from each finished (black) state.
+    let mut longest: HashMap<A::State, usize> = HashMap::new();
+    let initial = automaton.initial_state();
+    // Stack frames: (state, successors not yet processed, depth).
+    let mut stack = vec![(initial.clone(), successors(automaton, &initial), 0usize)];
+    color.insert(initial, Color::Grey);
+
+    while let Some(top) = stack.len().checked_sub(1) {
+        match stack[top].1.pop() {
+            Some(next) => {
+                let depth = stack[top].2;
+                match color.get(&next) {
+                    Some(Color::Grey) => {
+                        return TerminationResult::Diverges {
+                            witness_depth: depth,
+                        };
+                    }
+                    Some(Color::Black) => {}
+                    None => {
+                        if color.len() >= max_states {
+                            return TerminationResult::Unknown;
+                        }
+                        color.insert(next.clone(), Color::Grey);
+                        let next_succs = successors(automaton, &next);
+                        stack.push((next, next_succs, depth + 1));
+                    }
+                }
+            }
+            None => {
+                // All successors done: longest path = 1 + max over them.
+                let (state, _, _) = stack.pop().expect("non-empty");
+                let l = successors(automaton, &state)
+                    .iter()
+                    .map(|s| longest.get(s).copied().unwrap_or(0) + 1)
+                    .max()
+                    .unwrap_or(0);
+                longest.insert(state.clone(), l);
+                color.insert(state, Color::Black);
+            }
+        }
+    }
+    let longest_execution = longest.values().copied().max().unwrap_or(0);
+    TerminationResult::Terminates {
+        states: color.len(),
+        longest_execution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::test_automata::{Counter, TwoTokens};
+
+    #[test]
+    fn explores_full_counter_space() {
+        let c = Counter { max: 9 };
+        let r = explore(&c, &[], &ExploreOptions::default());
+        assert_eq!(r.states_visited, 10);
+        assert_eq!(r.transitions, 9);
+        assert_eq!(r.quiescent_states, 1);
+        assert_eq!(r.max_depth_reached, 9);
+        assert!(r.verified());
+    }
+
+    #[test]
+    fn explores_product_space() {
+        let t = TwoTokens { ring: 4 };
+        let r = explore(&t, &[], &ExploreOptions::default());
+        assert_eq!(r.states_visited, 16);
+        assert_eq!(r.quiescent_states, 0);
+        assert!(r.verified());
+    }
+
+    #[test]
+    fn finds_violation_with_trace() {
+        let c = Counter { max: 100 };
+        let inv = Invariant::holds("below-4", |s: &u32| *s < 4);
+        let r = explore(&c, &[inv], &ExploreOptions::default());
+        assert!(!r.verified());
+        let (violation, trace) = r.violation.expect("must be violated");
+        assert_eq!(violation.invariant, "below-4");
+        assert_eq!(violation.depth, Some(4));
+        let trace = trace.expect("tracing enabled");
+        assert_eq!(*trace.last_state(), 4);
+        assert!(trace.validate(&c).is_ok(), "counterexample must be a real execution");
+    }
+
+    #[test]
+    fn violation_in_initial_state_detected() {
+        let c = Counter { max: 3 };
+        let inv = Invariant::holds("nonzero", |s: &u32| *s != 0);
+        let r = explore(&c, &[inv], &ExploreOptions::default());
+        let (violation, trace) = r.violation.expect("violated at s0");
+        assert_eq!(violation.depth, Some(0));
+        assert_eq!(trace.expect("trace").len(), 0);
+    }
+
+    #[test]
+    fn max_states_truncates() {
+        let c = Counter { max: 1_000 };
+        let r = explore(
+            &c,
+            &[],
+            &ExploreOptions {
+                max_states: 10,
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(r.truncated);
+        assert!(!r.verified());
+        assert_eq!(r.states_visited, 10);
+    }
+
+    #[test]
+    fn max_depth_truncates() {
+        let c = Counter { max: 1_000 };
+        let r = explore(
+            &c,
+            &[],
+            &ExploreOptions {
+                max_depth: 5,
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(r.truncated);
+        assert_eq!(r.max_depth_reached, 5);
+    }
+
+    #[test]
+    fn counter_terminates_with_exact_longest_execution() {
+        let c = Counter { max: 7 };
+        assert_eq!(
+            check_termination(&c, 1_000_000),
+            TerminationResult::Terminates {
+                states: 8,
+                longest_execution: 7
+            }
+        );
+    }
+
+    #[test]
+    fn ring_tokens_diverge() {
+        let t = TwoTokens { ring: 3 };
+        assert!(matches!(
+            check_termination(&t, 1_000_000),
+            TerminationResult::Diverges { .. }
+        ));
+    }
+
+    #[test]
+    fn termination_check_respects_bound() {
+        let c = Counter { max: 1_000_000 };
+        assert_eq!(check_termination(&c, 10), TerminationResult::Unknown);
+    }
+
+    #[test]
+    fn tracing_can_be_disabled() {
+        let c = Counter { max: 100 };
+        let inv = Invariant::holds("below-4", |s: &u32| *s < 4);
+        let r = explore(
+            &c,
+            &[inv],
+            &ExploreOptions {
+                record_traces: false,
+                ..ExploreOptions::default()
+            },
+        );
+        let (_, trace) = r.violation.expect("violated");
+        assert!(trace.is_none());
+    }
+}

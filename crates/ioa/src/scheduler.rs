@@ -1,0 +1,237 @@
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Automaton, Execution};
+
+/// Chooses which enabled action an execution takes next.
+///
+/// The paper's liveness arguments quantify over *all* fair executions; a
+/// scheduler picks one. The stock schedulers in [`schedulers`] cover the
+/// policies the experiments need (deterministic, random, round-robin);
+/// adversarial strategies implement this trait directly.
+pub trait Scheduler<A: Automaton> {
+    /// Picks an index into `enabled` (non-empty), or `None` to stop the
+    /// execution early.
+    fn choose(&mut self, state: &A::State, enabled: &[A::Action]) -> Option<usize>;
+}
+
+/// Stock schedulers.
+pub mod schedulers {
+    use super::*;
+
+    /// Always picks the first enabled action — deterministic and cheap.
+    #[derive(Debug, Clone, Default)]
+    pub struct FirstEnabled;
+
+    impl<A: Automaton> Scheduler<A> for FirstEnabled {
+        fn choose(&mut self, _: &A::State, _: &[A::Action]) -> Option<usize> {
+            Some(0)
+        }
+    }
+
+    /// Picks a uniformly random enabled action from a seeded PRNG;
+    /// executions are reproducible given the seed.
+    #[derive(Debug, Clone)]
+    pub struct UniformRandom {
+        rng: SmallRng,
+    }
+
+    impl UniformRandom {
+        /// Creates a random scheduler from a seed.
+        pub fn seeded(seed: u64) -> Self {
+            UniformRandom {
+                rng: SmallRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl<A: Automaton> Scheduler<A> for UniformRandom {
+        fn choose(&mut self, _: &A::State, enabled: &[A::Action]) -> Option<usize> {
+            Some(self.rng.gen_range(0..enabled.len()))
+        }
+    }
+
+    /// Rotates through action positions, giving rough fairness without
+    /// randomness.
+    #[derive(Debug, Clone, Default)]
+    pub struct RoundRobin {
+        counter: usize,
+    }
+
+    impl<A: Automaton> Scheduler<A> for RoundRobin {
+        fn choose(&mut self, _: &A::State, enabled: &[A::Action]) -> Option<usize> {
+            let i = self.counter % enabled.len();
+            self.counter = self.counter.wrapping_add(1);
+            Some(i)
+        }
+    }
+
+    /// Always picks the last enabled action; with deterministic
+    /// `enabled_actions` orderings this exercises the "opposite corner" of
+    /// the schedule space from [`FirstEnabled`].
+    #[derive(Debug, Clone, Default)]
+    pub struct LastEnabled;
+
+    impl<A: Automaton> Scheduler<A> for LastEnabled {
+        fn choose(&mut self, _: &A::State, enabled: &[A::Action]) -> Option<usize> {
+            Some(enabled.len() - 1)
+        }
+    }
+
+    /// Drives the execution from a pre-recorded script of indices; stops
+    /// when the script runs out. Used to replay counterexamples and build
+    /// adversarial schedules in tests.
+    #[derive(Debug, Clone)]
+    pub struct Scripted {
+        script: Vec<usize>,
+        pos: usize,
+    }
+
+    impl Scripted {
+        /// Creates a scripted scheduler from indices into the enabled list.
+        pub fn new(script: Vec<usize>) -> Self {
+            Scripted { script, pos: 0 }
+        }
+    }
+
+    impl<A: Automaton> Scheduler<A> for Scripted {
+        fn choose(&mut self, _: &A::State, enabled: &[A::Action]) -> Option<usize> {
+            let i = *self.script.get(self.pos)?;
+            self.pos += 1;
+            (i < enabled.len()).then_some(i)
+        }
+    }
+}
+
+/// Runs `automaton` from its initial state under `scheduler` for at most
+/// `max_steps` steps (or until quiescence / scheduler stop), recording the
+/// execution.
+pub fn run<A, S>(automaton: &A, scheduler: &mut S, max_steps: usize) -> Execution<A>
+where
+    A: Automaton,
+    S: Scheduler<A>,
+{
+    let mut exec = Execution::new(automaton.initial_state());
+    for _ in 0..max_steps {
+        let enabled = automaton.enabled_actions(exec.last_state());
+        if enabled.is_empty() {
+            break;
+        }
+        let Some(idx) = scheduler.choose(exec.last_state(), &enabled) else {
+            break;
+        };
+        let action = enabled
+            .get(idx)
+            .unwrap_or_else(|| panic!("scheduler chose index {idx} of {}", enabled.len()))
+            .clone();
+        let next = automaton.apply(exec.last_state(), &action);
+        exec.push(action, next);
+    }
+    exec
+}
+
+/// Result of [`run_to_quiescence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuiescenceReport<A: Automaton> {
+    /// The recorded execution.
+    pub execution: Execution<A>,
+    /// Whether the final state is quiescent (terminated) as opposed to the
+    /// step bound having been exhausted.
+    pub quiescent: bool,
+}
+
+/// Like [`run`] but reports whether the execution actually terminated
+/// (reached a quiescent state) within the bound — distinguishing
+/// "terminated" from "ran out of budget", which matters when measuring
+/// total work (experiments E7/E8).
+pub fn run_to_quiescence<A, S>(
+    automaton: &A,
+    scheduler: &mut S,
+    max_steps: usize,
+) -> QuiescenceReport<A>
+where
+    A: Automaton,
+    S: Scheduler<A>,
+{
+    let execution = run(automaton, scheduler, max_steps);
+    let quiescent = automaton.is_quiescent(execution.last_state());
+    QuiescenceReport {
+        execution,
+        quiescent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::schedulers::*;
+    use super::*;
+    use crate::automaton::test_automata::{Counter, Token, TwoTokens};
+
+    #[test]
+    fn run_reaches_quiescence() {
+        let c = Counter { max: 4 };
+        let exec = run(&c, &mut FirstEnabled, 100);
+        assert_eq!(exec.len(), 4);
+        assert_eq!(*exec.last_state(), 4);
+        assert!(exec.validate(&c).is_ok());
+    }
+
+    #[test]
+    fn run_respects_step_bound() {
+        let c = Counter { max: 1000 };
+        let exec = run(&c, &mut FirstEnabled, 7);
+        assert_eq!(exec.len(), 7);
+    }
+
+    #[test]
+    fn quiescence_report_distinguishes_termination() {
+        let c = Counter { max: 3 };
+        let r = run_to_quiescence(&c, &mut FirstEnabled, 100);
+        assert!(r.quiescent);
+        let r = run_to_quiescence(&Counter { max: 1000 }, &mut FirstEnabled, 5);
+        assert!(!r.quiescent);
+    }
+
+    #[test]
+    fn random_scheduler_is_reproducible() {
+        let t = TwoTokens { ring: 5 };
+        let a = run(&t, &mut UniformRandom::seeded(42), 50);
+        let b = run(&t, &mut UniformRandom::seeded(42), 50);
+        assert_eq!(a.actions(), b.actions());
+        let c = run(&t, &mut UniformRandom::seeded(43), 50);
+        assert_ne!(a.actions(), c.actions(), "different seed, different run");
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let t = TwoTokens { ring: 5 };
+        let exec = run(&t, &mut RoundRobin::default(), 4);
+        assert_eq!(
+            exec.actions(),
+            &[Token::A, Token::B, Token::A, Token::B],
+        );
+    }
+
+    #[test]
+    fn last_enabled_picks_second_token() {
+        let t = TwoTokens { ring: 5 };
+        let exec = run(&t, &mut LastEnabled, 3);
+        assert_eq!(exec.actions(), &[Token::B, Token::B, Token::B]);
+    }
+
+    #[test]
+    fn scripted_replays_and_stops() {
+        let t = TwoTokens { ring: 5 };
+        let exec = run(&t, &mut Scripted::new(vec![1, 0, 1]), 100);
+        assert_eq!(exec.actions(), &[Token::B, Token::A, Token::B]);
+        // Script exhausted => stop even though actions remain enabled.
+        assert_eq!(exec.len(), 3);
+    }
+
+    #[test]
+    fn scripted_out_of_range_stops() {
+        let t = TwoTokens { ring: 5 };
+        let exec = run(&t, &mut Scripted::new(vec![0, 99]), 100);
+        assert_eq!(exec.len(), 1);
+    }
+}

@@ -1,0 +1,380 @@
+//! Exhaustive model checking over **all** instances of bounded size: every
+//! connected graph, every acyclic orientation, every destination.
+//!
+//! The paper's theorems are universally quantified over this input space
+//! (and then over all reachable states). For `n ≤ 4` the space is small
+//! enough to enumerate completely, turning each theorem into a finite
+//! check; `n = 5` is feasible for spot checks. Experiments E1–E6 run
+//! these harnesses and record the totals.
+
+use lr_core::alg::{NewPrAutomaton, OneStepPrAutomaton, PrSetAutomaton};
+use lr_core::invariants::{newpr_invariants, onestep_pr_invariants, pr_set_invariants};
+use lr_graph::enumerate::all_instances;
+use lr_ioa::explore::{explore, ExploreOptions};
+
+use crate::{r_checker, r_prime_checker};
+
+/// Aggregate result of a model-checking sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelCheckSummary {
+    /// Instances (graph × orientation × destination) checked.
+    pub instances: usize,
+    /// Total distinct states visited across all instances.
+    pub states_visited: usize,
+    /// Total transitions traversed.
+    pub transitions: usize,
+    /// Description of the first violation, if any.
+    pub first_violation: Option<String>,
+}
+
+impl ModelCheckSummary {
+    /// `true` when no violation was found.
+    pub fn verified(&self) -> bool {
+        self.first_violation.is_none()
+    }
+}
+
+fn explore_opts() -> ExploreOptions {
+    ExploreOptions {
+        max_states: 5_000_000,
+        max_depth: usize::MAX,
+        record_traces: false,
+    }
+}
+
+/// E1/E2: checks Invariants 3.1, 4.1, 4.2 and Theorem 4.3 in **every
+/// reachable state of NewPR on every instance** of size `n`.
+pub fn model_check_newpr(n: usize) -> ModelCheckSummary {
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    for inst in all_instances(n) {
+        summary.instances += 1;
+        let aut = NewPrAutomaton { inst: &inst };
+        let invs = newpr_invariants(&inst);
+        let report = explore(&aut, &invs, &explore_opts());
+        summary.states_visited += report.states_visited;
+        summary.transitions += report.transitions;
+        if let Some((v, _)) = report.violation {
+            summary.first_violation.get_or_insert(v.to_string());
+            return summary;
+        }
+        debug_assert!(!report.truncated);
+    }
+    summary
+}
+
+/// E3: checks Invariants 3.1, 3.2, Corollaries 3.3/3.4 and acyclicity in
+/// every reachable state of `OneStepPR` on every instance of size `n`.
+pub fn model_check_onestep_pr(n: usize) -> ModelCheckSummary {
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    for inst in all_instances(n) {
+        summary.instances += 1;
+        let aut = OneStepPrAutomaton { inst: &inst };
+        let invs = onestep_pr_invariants(&inst);
+        let report = explore(&aut, &invs, &explore_opts());
+        summary.states_visited += report.states_visited;
+        summary.transitions += report.transitions;
+        if let Some((v, _)) = report.violation {
+            summary.first_violation.get_or_insert(v.to_string());
+            return summary;
+        }
+    }
+    summary
+}
+
+/// E3 (set actions): same checks for the original `PR` automaton with
+/// simultaneous `reverse(S)` actions.
+pub fn model_check_pr_set(n: usize) -> ModelCheckSummary {
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    for inst in all_instances(n) {
+        summary.instances += 1;
+        let aut = PrSetAutomaton { inst: &inst };
+        let invs = pr_set_invariants(&inst);
+        let report = explore(&aut, &invs, &explore_opts());
+        summary.states_visited += report.states_visited;
+        summary.transitions += report.transitions;
+        if let Some((v, _)) = report.violation {
+            summary.first_violation.get_or_insert(v.to_string());
+            return summary;
+        }
+    }
+    summary
+}
+
+/// E4 (Theorem 5.2): verifies the `R'` forward-simulation obligations over
+/// the full reachable pair space of every instance of size `n`.
+pub fn model_check_r_prime(n: usize) -> ModelCheckSummary {
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    for inst in all_instances(n) {
+        summary.instances += 1;
+        let pr = PrSetAutomaton { inst: &inst };
+        let os = OneStepPrAutomaton { inst: &inst };
+        match r_prime_checker(&inst).check_exhaustive(&pr, &os, 5_000_000) {
+            Ok(report) => {
+                summary.states_visited += report.pairs_visited;
+                summary.transitions += report.transitions_matched;
+                debug_assert!(report.complete);
+            }
+            Err(e) => {
+                summary.first_violation = Some(e.to_string());
+                return summary;
+            }
+        }
+    }
+    summary
+}
+
+/// E5 (Theorem 5.4): verifies the `R` forward-simulation obligations over
+/// the full reachable pair space of every instance of size `n`.
+pub fn model_check_r(n: usize) -> ModelCheckSummary {
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    for inst in all_instances(n) {
+        summary.instances += 1;
+        let os = OneStepPrAutomaton { inst: &inst };
+        let np = NewPrAutomaton { inst: &inst };
+        match r_checker(&inst).check_exhaustive(&os, &np, 5_000_000) {
+            Ok(report) => {
+                summary.states_visited += report.pairs_visited;
+                summary.transitions += report.transitions_matched;
+                debug_assert!(report.complete);
+            }
+            Err(e) => {
+                summary.first_violation = Some(e.to_string());
+                return summary;
+            }
+        }
+    }
+    summary
+}
+
+/// The Gafni–Bertsekas **termination** guarantee, machine-checked: for
+/// every instance of size `n`, the reachable state graphs of NewPR and
+/// OneStepPR are acyclic — every execution under every schedule is
+/// finite. Also records the worst-case execution length over all
+/// instances (the exact finite-instance analogue of the Θ(n_b²) bound).
+pub fn model_check_termination(n: usize) -> (ModelCheckSummary, usize) {
+    use lr_ioa::explore::{check_termination, TerminationResult};
+
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    let mut worst = 0usize;
+    for inst in all_instances(n) {
+        summary.instances += 1;
+        let np = NewPrAutomaton { inst: &inst };
+        match check_termination(&np, 5_000_000) {
+            TerminationResult::Terminates {
+                states,
+                longest_execution,
+            } => {
+                summary.states_visited += states;
+                worst = worst.max(longest_execution);
+            }
+            other => {
+                summary.first_violation = Some(format!("NewPR: {other:?}"));
+                return (summary, worst);
+            }
+        }
+        let os = OneStepPrAutomaton { inst: &inst };
+        match check_termination(&os, 5_000_000) {
+            TerminationResult::Terminates {
+                states,
+                longest_execution,
+            } => {
+                summary.states_visited += states;
+                worst = worst.max(longest_execution);
+            }
+            other => {
+                summary.first_violation = Some(format!("OneStepPR: {other:?}"));
+                return (summary, worst);
+            }
+        }
+    }
+    (summary, worst)
+}
+
+/// Like [`model_check_newpr`] but over a deterministic **sample** of the
+/// instances of size `n` (every `stride`-th instance of the full
+/// enumeration). `n = 5` has ~1.5M instances; sampling keeps spot checks
+/// tractable while still drawing from the exact input space.
+pub fn model_check_newpr_sampled(n: usize, stride: usize) -> ModelCheckSummary {
+    assert!(stride >= 1, "stride must be positive");
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    for (i, inst) in all_instances(n).into_iter().enumerate() {
+        if i % stride != 0 {
+            continue;
+        }
+        summary.instances += 1;
+        let aut = NewPrAutomaton { inst: &inst };
+        let invs = newpr_invariants(&inst);
+        let report = explore(&aut, &invs, &explore_opts());
+        summary.states_visited += report.states_visited;
+        summary.transitions += report.transitions;
+        if let Some((v, _)) = report.violation {
+            summary.first_violation.get_or_insert(v.to_string());
+            return summary;
+        }
+    }
+    summary
+}
+
+/// §6 extension: verifies the **reverse** relation `R⁻` (NewPR →
+/// OneStepPR, dummy steps stuttering) over the full reachable pair space
+/// of every instance of size `n`.
+pub fn model_check_rev_r(n: usize) -> ModelCheckSummary {
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    for inst in all_instances(n) {
+        summary.instances += 1;
+        let np = NewPrAutomaton { inst: &inst };
+        let os = OneStepPrAutomaton { inst: &inst };
+        match crate::rev_r_checker(&inst).check_exhaustive(&np, &os, 5_000_000) {
+            Ok(report) => {
+                summary.states_visited += report.pairs_visited;
+                summary.transitions += report.transitions_matched;
+                debug_assert!(report.complete);
+            }
+            Err(e) => {
+                summary.first_violation = Some(e.to_string());
+                return summary;
+            }
+        }
+    }
+    summary
+}
+
+/// §6 extension: verifies the reverse of `R'` (OneStepPR → PR via
+/// singleton sets) over the full reachable pair space of every instance
+/// of size `n`.
+pub fn model_check_rev_r_prime(n: usize) -> ModelCheckSummary {
+    let mut summary = ModelCheckSummary {
+        instances: 0,
+        states_visited: 0,
+        transitions: 0,
+        first_violation: None,
+    };
+    for inst in all_instances(n) {
+        summary.instances += 1;
+        let os = OneStepPrAutomaton { inst: &inst };
+        let pr = PrSetAutomaton { inst: &inst };
+        match crate::rev_r_prime_checker(&inst).check_exhaustive(&os, &pr, 5_000_000) {
+            Ok(report) => {
+                summary.states_visited += report.pairs_visited;
+                summary.transitions += report.transitions_matched;
+                debug_assert!(report.complete);
+            }
+            Err(e) => {
+                summary.first_violation = Some(e.to_string());
+                return summary;
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // n = 3 sweeps run in milliseconds; n = 4 in seconds (used by the
+    // experiment binaries rather than unit tests).
+
+    #[test]
+    fn newpr_theorems_hold_on_all_3_node_instances() {
+        let s = model_check_newpr(3);
+        assert!(s.verified(), "{:?}", s.first_violation);
+        assert_eq!(s.instances, 54);
+        assert!(s.states_visited > s.instances);
+    }
+
+    #[test]
+    fn onestep_pr_invariants_hold_on_all_3_node_instances() {
+        let s = model_check_onestep_pr(3);
+        assert!(s.verified(), "{:?}", s.first_violation);
+        assert_eq!(s.instances, 54);
+    }
+
+    #[test]
+    fn pr_set_invariants_hold_on_all_3_node_instances() {
+        let s = model_check_pr_set(3);
+        assert!(s.verified(), "{:?}", s.first_violation);
+    }
+
+    #[test]
+    fn r_prime_is_simulation_on_all_3_node_instances() {
+        let s = model_check_r_prime(3);
+        assert!(s.verified(), "{:?}", s.first_violation);
+        assert!(s.transitions > 0);
+    }
+
+    #[test]
+    fn r_is_simulation_on_all_3_node_instances() {
+        let s = model_check_r(3);
+        assert!(s.verified(), "{:?}", s.first_violation);
+    }
+
+    #[test]
+    fn termination_holds_on_all_3_node_instances() {
+        let (s, worst) = model_check_termination(3);
+        assert!(s.verified(), "{:?}", s.first_violation);
+        assert_eq!(s.instances, 54);
+        // On 3-node instances no execution is longer than a handful of
+        // steps; the exact worst case is pinned here as a regression
+        // anchor.
+        assert!(worst >= 2 && worst <= 10, "worst execution length {worst}");
+    }
+
+    #[test]
+    fn reverse_relations_are_simulations_on_all_3_node_instances() {
+        let s = model_check_rev_r(3);
+        assert!(s.verified(), "R⁻: {:?}", s.first_violation);
+        let s = model_check_rev_r_prime(3);
+        assert!(s.verified(), "rev R': {:?}", s.first_violation);
+    }
+
+    #[test]
+    #[ignore = "several seconds; run with --ignored or via the experiment binary"]
+    fn everything_holds_on_all_4_node_instances() {
+        assert!(model_check_newpr(4).verified());
+        assert!(model_check_onestep_pr(4).verified());
+        assert!(model_check_pr_set(4).verified());
+        assert!(model_check_r_prime(4).verified());
+        assert!(model_check_r(4).verified());
+    }
+}

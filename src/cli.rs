@@ -1,0 +1,334 @@
+//! The `lr` command-line interface: generate instances, run algorithms,
+//! trace executions, and verify invariants from the shell.
+//!
+//! The logic lives here (testable, pure: input strings → output string);
+//! `src/bin/lr.rs` is a thin wrapper doing I/O.
+//!
+//! ```text
+//! lr generate chain-away 8            # print an instance in text format
+//! lr run PR < instance.txt            # run to termination, print stats
+//! lr trace NewPR < instance.txt       # step-by-step trace
+//! lr check < instance.txt             # invariants along executions
+//! lr dot < instance.txt               # Graphviz of the initial DAG
+//! ```
+
+use std::fmt::Write as _;
+
+use lr_core::alg::AlgorithmKind;
+use lr_core::engine::{run_engine, SchedulePolicy, DEFAULT_MAX_STEPS};
+use lr_core::invariants::{
+    check_acyclic, check_cor_3_3, check_cor_3_4, check_inv_3_1, check_inv_3_2, check_inv_4_1,
+    check_inv_4_2,
+};
+use lr_core::trace::Trace;
+use lr_graph::{dot, generate, parse, DirectedView, ReversalInstance};
+
+/// A CLI-level error: message for the user, non-zero exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+lr — link reversal toolbox (Radeva & Lynch, PODC 2011 reproduction)
+
+USAGE:
+    lr generate <family> <n> [seed]   print an instance (families: chain-away,
+                                      chain-toward, alternating, star, grid,
+                                      complete, random)
+    lr run <alg> [policy]             run on the instance from stdin
+                                      (algs: FR, PR, NewPR, GB-pair, GB-triple;
+                                       policies: greedy, first, last, random:<seed>)
+    lr trace <alg> [policy]           step-by-step trace of the run
+    lr check                          verify the paper's invariants along
+                                      PR and NewPR executions on the instance
+    lr dot                            Graphviz DOT of the initial orientation
+";
+
+fn parse_alg(s: &str) -> Result<AlgorithmKind, CliError> {
+    AlgorithmKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            err(format!(
+                "unknown algorithm {s:?}; expected one of FR, PR, NewPR, GB-pair, GB-triple"
+            ))
+        })
+}
+
+fn parse_policy(s: Option<&str>) -> Result<SchedulePolicy, CliError> {
+    match s {
+        None | Some("greedy") => Ok(SchedulePolicy::GreedyRounds),
+        Some("first") => Ok(SchedulePolicy::FirstSingle),
+        Some("last") => Ok(SchedulePolicy::LastSingle),
+        Some(other) => match other.strip_prefix("random:") {
+            Some(seed) => seed
+                .parse()
+                .map(|seed| SchedulePolicy::RandomSingle { seed })
+                .map_err(|_| err(format!("invalid seed in {other:?}"))),
+            None => Err(err(format!(
+                "unknown policy {other:?}; expected greedy, first, last, or random:<seed>"
+            ))),
+        },
+    }
+}
+
+fn parse_stdin_instance(input: &str) -> Result<ReversalInstance, CliError> {
+    parse::parse_instance(input).map_err(|e| err(format!("invalid instance: {e}")))
+}
+
+/// Runs one CLI invocation: `args` excludes the program name; `stdin` is
+/// the piped input (used by run/trace/check/dot).
+///
+/// # Errors
+///
+/// Returns a user-facing message for bad arguments or invalid input.
+pub fn run_cli(args: &[&str], stdin: &str) -> Result<String, CliError> {
+    match args {
+        [] | ["help"] | ["--help"] | ["-h"] => Ok(USAGE.to_string()),
+        ["generate", rest @ ..] => cmd_generate(rest),
+        ["run", rest @ ..] => cmd_run(rest, stdin),
+        ["trace", rest @ ..] => cmd_trace(rest, stdin),
+        ["check"] => cmd_check(stdin),
+        ["dot"] => cmd_dot(stdin),
+        [other, ..] => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn cmd_generate(args: &[&str]) -> Result<String, CliError> {
+    let (family, rest) = args
+        .split_first()
+        .ok_or_else(|| err(format!("generate needs a family\n\n{USAGE}")))?;
+    let parse_n = |s: Option<&&str>| -> Result<usize, CliError> {
+        s.ok_or_else(|| err("missing size argument"))?
+            .parse()
+            .map_err(|_| err("size must be an integer"))
+    };
+    let seed = rest.get(1).map_or(Ok(0u64), |s| {
+        s.parse().map_err(|_| err("seed must be an integer"))
+    })?;
+    let inst = match *family {
+        "chain-away" => generate::chain_away(parse_n(rest.first())?),
+        "chain-toward" => generate::chain_toward(parse_n(rest.first())?),
+        "alternating" => generate::alternating_chain(parse_n(rest.first())?),
+        "star" => generate::star_away(parse_n(rest.first())?),
+        "grid" => {
+            let n = parse_n(rest.first())?;
+            generate::grid_away(n, n)
+        }
+        "complete" => generate::complete_away(parse_n(rest.first())?),
+        "random" => {
+            let n = parse_n(rest.first())?;
+            generate::random_connected(n, n, seed)
+        }
+        other => return Err(err(format!("unknown family {other:?}"))),
+    };
+    Ok(parse::to_text(&inst))
+}
+
+fn cmd_run(args: &[&str], stdin: &str) -> Result<String, CliError> {
+    let (alg, rest) = args
+        .split_first()
+        .ok_or_else(|| err(format!("run needs an algorithm\n\n{USAGE}")))?;
+    let kind = parse_alg(alg)?;
+    let policy = parse_policy(rest.first().copied())?;
+    let inst = parse_stdin_instance(stdin)?;
+    let mut engine = kind.engine(&inst);
+    let stats = run_engine(engine.as_mut(), policy, DEFAULT_MAX_STEPS);
+    if !stats.terminated {
+        return Err(err("execution did not terminate within the step budget"));
+    }
+    let o = engine.orientation();
+    let view = DirectedView::new(&inst.graph, &o);
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm:        {}", stats.algorithm);
+    let _ = writeln!(out, "nodes:            {}", inst.node_count());
+    let _ = writeln!(out, "initial bad:      {}", inst.initial_bad_nodes());
+    let _ = writeln!(out, "steps:            {}", stats.steps);
+    let _ = writeln!(out, "total reversals:  {}", stats.total_reversals);
+    let _ = writeln!(out, "rounds:           {}", stats.rounds);
+    let _ = writeln!(out, "dummy steps:      {}", stats.dummy_steps);
+    let _ = writeln!(out, "acyclic:          {}", view.is_acyclic());
+    let _ = writeln!(
+        out,
+        "dest oriented:    {}",
+        view.is_destination_oriented(inst.dest)
+    );
+    Ok(out)
+}
+
+fn cmd_trace(args: &[&str], stdin: &str) -> Result<String, CliError> {
+    let (alg, rest) = args
+        .split_first()
+        .ok_or_else(|| err(format!("trace needs an algorithm\n\n{USAGE}")))?;
+    let kind = parse_alg(alg)?;
+    let policy = parse_policy(rest.first().copied())?;
+    let inst = parse_stdin_instance(stdin)?;
+    let mut engine = kind.engine(&inst);
+    let trace = Trace::record(engine.as_mut(), policy, DEFAULT_MAX_STEPS);
+    trace
+        .validate()
+        .map_err(|e| err(format!("internal trace inconsistency: {e}")))?;
+    Ok(trace.render_text())
+}
+
+fn cmd_check(stdin: &str) -> Result<String, CliError> {
+    use lr_core::alg::{newpr_step, onestep_pr_step, NewPrState, PrState};
+
+    let inst = parse_stdin_instance(stdin)?;
+    let emb = inst.embedding();
+    let mut out = String::new();
+    let mut states = 0usize;
+
+    // OneStepPR execution, checking §3 invariants at every state.
+    let mut pr = PrState::initial(&inst);
+    loop {
+        check_inv_3_1(&pr.dirs).map_err(err)?;
+        check_inv_3_2(&inst, &pr).map_err(err)?;
+        check_cor_3_3(&inst, &pr).map_err(err)?;
+        check_cor_3_4(&inst, &pr).map_err(err)?;
+        check_acyclic(&inst, &pr.dirs).map_err(err)?;
+        states += 1;
+        let sinks = pr.dirs.sinks(&inst.graph);
+        let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
+            break;
+        };
+        onestep_pr_step(&inst, &mut pr, u);
+    }
+    let _ = writeln!(
+        out,
+        "OneStepPR: Inv 3.1, 3.2, Cor 3.3/3.4, acyclicity OK in {states} states"
+    );
+
+    // NewPR execution, checking §4 invariants at every state.
+    let mut np = NewPrState::initial(&inst);
+    let mut states = 0usize;
+    loop {
+        check_inv_3_1(&np.dirs).map_err(err)?;
+        check_inv_4_1(&inst, &emb, &np).map_err(err)?;
+        check_inv_4_2(&inst, &emb, &np).map_err(err)?;
+        check_acyclic(&inst, &np.dirs).map_err(err)?;
+        states += 1;
+        let sinks = np.dirs.sinks(&inst.graph);
+        let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
+            break;
+        };
+        newpr_step(&inst, &mut np, u);
+    }
+    let _ = writeln!(
+        out,
+        "NewPR:     Inv 3.1, 4.1, 4.2, Thm 4.3 acyclicity OK in {states} states"
+    );
+    let _ = writeln!(out, "all checks passed");
+    Ok(out)
+}
+
+fn cmd_dot(stdin: &str) -> Result<String, CliError> {
+    let inst = parse_stdin_instance(stdin)?;
+    Ok(dot::to_dot(
+        &inst.view(),
+        &dot::DotOptions {
+            destination: Some(inst.dest),
+            highlight_sinks: true,
+            name: Some("instance".into()),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_is_shown() {
+        let out = run_cli(&[], "").unwrap();
+        assert!(out.contains("USAGE"));
+        assert_eq!(run_cli(&["help"], "").unwrap(), out);
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let e = run_cli(&["frobnicate"], "").unwrap_err();
+        assert!(e.0.contains("unknown command"));
+        assert!(e.0.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_families() {
+        for family in ["chain-away", "chain-toward", "alternating", "star", "complete"] {
+            let out = run_cli(&["generate", family, "5"], "").unwrap();
+            assert!(out.starts_with("dest "), "{family}: {out}");
+        }
+        let grid = run_cli(&["generate", "grid", "3"], "").unwrap();
+        assert!(grid.lines().count() > 5);
+        let a = run_cli(&["generate", "random", "8", "7"], "").unwrap();
+        let b = run_cli(&["generate", "random", "8", "7"], "").unwrap();
+        assert_eq!(a, b, "same seed, same instance");
+    }
+
+    #[test]
+    fn generate_rejects_bad_input() {
+        assert!(run_cli(&["generate"], "").is_err());
+        assert!(run_cli(&["generate", "nope", "5"], "").is_err());
+        assert!(run_cli(&["generate", "chain-away"], "").is_err());
+        assert!(run_cli(&["generate", "chain-away", "x"], "").is_err());
+    }
+
+    #[test]
+    fn run_pipes_generate_output() {
+        let inst = run_cli(&["generate", "chain-away", "6"], "").unwrap();
+        let out = run_cli(&["run", "PR"], &inst).unwrap();
+        assert!(out.contains("total reversals:  5"));
+        assert!(out.contains("dest oriented:    true"));
+        let out = run_cli(&["run", "FR", "random:9"], &inst).unwrap();
+        assert!(out.contains("total reversals:  25"));
+    }
+
+    #[test]
+    fn run_rejects_unknown_algorithm_and_policy() {
+        let inst = run_cli(&["generate", "chain-away", "4"], "").unwrap();
+        assert!(run_cli(&["run", "XYZ"], &inst).is_err());
+        assert!(run_cli(&["run", "PR", "bogus"], &inst).is_err());
+        assert!(run_cli(&["run", "PR", "random:abc"], &inst).is_err());
+    }
+
+    #[test]
+    fn trace_renders_steps() {
+        let inst = run_cli(&["generate", "chain-away", "4"], "").unwrap();
+        let out = run_cli(&["trace", "NewPR", "first"], &inst).unwrap();
+        assert!(out.contains("step   1"));
+        assert!(out.contains("reverses"));
+    }
+
+    #[test]
+    fn check_verifies_instances() {
+        let inst = run_cli(&["generate", "random", "10", "3"], "").unwrap();
+        let out = run_cli(&["check"], &inst).unwrap();
+        assert!(out.contains("all checks passed"));
+    }
+
+    #[test]
+    fn check_rejects_garbage() {
+        let e = run_cli(&["check"], "this is not an instance").unwrap_err();
+        assert!(e.0.contains("invalid instance"));
+    }
+
+    #[test]
+    fn dot_renders() {
+        let inst = run_cli(&["generate", "star", "3"], "").unwrap();
+        let out = run_cli(&["dot"], &inst).unwrap();
+        assert!(out.contains("digraph instance"));
+        assert!(out.contains("doublecircle"));
+    }
+}

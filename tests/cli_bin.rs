@@ -1,0 +1,79 @@
+//! End-to-end tests of the `lr` binary itself (spawned as a real
+//! process, exercising argument handling, stdin plumbing, and exit
+//! codes).
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn lr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lr"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = lr()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let (stdout, _, ok) = run_with_stdin(&["help"], "");
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn generate_then_run_pipeline() {
+    let (instance, _, ok) = run_with_stdin(&["generate", "chain-away", "8"], "");
+    assert!(ok);
+    assert!(instance.starts_with("dest 0"));
+    let (stats, _, ok) = run_with_stdin(&["run", "PR"], &instance);
+    assert!(ok);
+    assert!(stats.contains("total reversals:  7"));
+    assert!(stats.contains("dest oriented:    true"));
+}
+
+#[test]
+fn trace_and_check_and_dot() {
+    let (instance, _, _) = run_with_stdin(&["generate", "alternating", "6"], "");
+    let (trace, _, ok) = run_with_stdin(&["trace", "NewPR", "first"], &instance);
+    assert!(ok);
+    assert!(trace.contains("step   1"));
+    let (check, _, ok) = run_with_stdin(&["check"], &instance);
+    assert!(ok);
+    assert!(check.contains("all checks passed"));
+    let (dot, _, ok) = run_with_stdin(&["dot"], &instance);
+    assert!(ok);
+    assert!(dot.contains("digraph"));
+}
+
+#[test]
+fn bad_input_fails_with_message_and_nonzero_exit() {
+    let (_, stderr, ok) = run_with_stdin(&["run", "PR"], "garbage input");
+    assert!(!ok);
+    assert!(stderr.contains("invalid instance"));
+
+    let (_, stderr, ok) = run_with_stdin(&["frobnicate"], "");
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (_, stderr, ok) = run_with_stdin(&["run", "NOPE"], "dest 0\n0 > 1\n");
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+}
