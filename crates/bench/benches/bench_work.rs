@@ -11,16 +11,12 @@ fn bench_chain_away(c: &mut Criterion) {
     for n in [32usize, 128] {
         let inst = generate::chain_away(n);
         for kind in [AlgorithmKind::FullReversal, AlgorithmKind::PartialReversal] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| {
-                        let mut e = kind.engine(inst);
-                        run_engine(e.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut e = kind.engine(inst);
+                    run_engine(e.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS)
+                })
+            });
         }
     }
     group.finish();
@@ -58,5 +54,10 @@ fn bench_random(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_chain_away, bench_alternating_chain, bench_random);
+criterion_group!(
+    benches,
+    bench_chain_away,
+    bench_alternating_chain,
+    bench_random
+);
 criterion_main!(benches);

@@ -58,7 +58,10 @@ fn main() {
     println!("\ntermination (the Gafni–Bertsekas guarantee): state graphs are acyclic,");
     println!("so every schedule terminates; the longest execution is the exact");
     println!("worst case over all schedules:");
-    lr_bench::print_header(&[4, 12, 12, 14], &["n", "instances", "states", "longest exec"]);
+    lr_bench::print_header(
+        &[4, 12, 12, 14],
+        &["n", "instances", "states", "longest exec"],
+    );
     for n in 2..=max_n.min(4) {
         let (s, worst) = model_check_termination(n);
         assert!(s.verified(), "{:?}", s.first_violation);
@@ -91,8 +94,7 @@ fn main() {
         let pr = PrSetAutomaton { inst: &inst };
         let exec = run(&pr, &mut schedulers::UniformRandom::seeded(seed), 100_000);
         assert!(pr.is_quiescent(exec.last_state()));
-        let report = refine_and_check(&inst, &exec)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report = refine_and_check(&inst, &exec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         total_states += report.states_checked;
         total_insts += 1;
     }

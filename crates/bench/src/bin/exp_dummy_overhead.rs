@@ -39,7 +39,14 @@ fn main() {
     let widths = [26usize, 6, 10, 12, 10, 10];
     lr_bench::print_header(
         &widths,
-        &["family", "n", "PR steps", "NewPR steps", "dummy", "overhead"],
+        &[
+            "family",
+            "n",
+            "PR steps",
+            "NewPR steps",
+            "dummy",
+            "overhead",
+        ],
     );
     let mut rows = Vec::new();
     let families: Vec<(String, ReversalInstance)> = vec![

@@ -29,7 +29,16 @@ fn main() {
     let widths = [24usize, 6, 6, 10, 10, 10, 9, 12];
     lr_bench::print_header(
         &widths,
-        &["family", "n", "n_b", "FR", "PR", "NewPR", "FR/PR", "PR dominates"],
+        &[
+            "family",
+            "n",
+            "n_b",
+            "FR",
+            "PR",
+            "NewPR",
+            "FR/PR",
+            "PR dominates",
+        ],
     );
     let mut rows = Vec::new();
     let families: Vec<(String, ReversalInstance)> = vec![
@@ -38,8 +47,14 @@ fn main() {
         ("grid_away".into(), generate::grid_away(8, 8)),
         ("complete_away".into(), generate::complete_away(32)),
         ("star_away".into(), generate::star_away(63)),
-        ("random sparse".into(), generate::random_connected(64, 16, 3)),
-        ("random dense".into(), generate::random_connected(64, 192, 3)),
+        (
+            "random sparse".into(),
+            generate::random_connected(64, 16, 3),
+        ),
+        (
+            "random dense".into(),
+            generate::random_connected(64, 192, 3),
+        ),
     ];
     let mut structured_gap = 0.0f64;
     let mut max_pr_regression = 0.0f64;
@@ -86,7 +101,9 @@ fn main() {
     let widths2 = [24usize, 10, 8, 8, 8, 8, 8, 8];
     lr_bench::print_header(
         &widths2,
-        &["instance", "profiles", "FR", "PR", "min", "max", "FR NE?", "PR NE?"],
+        &[
+            "instance", "profiles", "FR", "PR", "min", "max", "FR NE?", "PR NE?",
+        ],
     );
     for (name, inst) in [
         ("chain_away(9)", generate::chain_away(9)),

@@ -37,11 +37,18 @@ fn main() {
 
     for n in 2..=max_n {
         for (name, summary) in [
-            ("Inv 3.1+3.2+Cor 3.3/3.4 (OneStepPR)", model_check_onestep_pr(n)),
+            (
+                "Inv 3.1+3.2+Cor 3.3/3.4 (OneStepPR)",
+                model_check_onestep_pr(n),
+            ),
             ("Inv 3.1+3.2+Cor 3.3/3.4 (PR sets)", model_check_pr_set(n)),
             ("Inv 3.1+4.1+4.2+Thm 4.3 (NewPR)", model_check_newpr(n)),
         ] {
-            let verdict = if summary.verified() { "VERIFIED" } else { "VIOLATED" };
+            let verdict = if summary.verified() {
+                "VERIFIED"
+            } else {
+                "VIOLATED"
+            };
             lr_bench::print_row(
                 &widths,
                 &[
@@ -82,7 +89,11 @@ fn main() {
         }
         // NewPR execution.
         let aut = NewPrAutomaton { inst: &inst };
-        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed ^ 1), 500_000);
+        let exec = run(
+            &aut,
+            &mut schedulers::UniformRandom::seeded(seed ^ 1),
+            500_000,
+        );
         for s in exec.states() {
             check_inv_3_1(&s.dirs).unwrap();
             check_inv_4_1(&inst, &emb, s).unwrap();

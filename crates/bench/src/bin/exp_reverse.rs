@@ -41,7 +41,10 @@ fn main() {
     for n in 2..=max_n {
         for (name, s) in [
             ("R⁻ : NewPR -> OneStepPR (dummy=ε)", model_check_rev_r(n)),
-            ("R'⁻: OneStepPR -> PR (singletons)", model_check_rev_r_prime(n)),
+            (
+                "R'⁻: OneStepPR -> PR (singletons)",
+                model_check_rev_r_prime(n),
+            ),
         ] {
             let verdict = if s.verified() { "VERIFIED" } else { "VIOLATED" };
             lr_bench::print_row(
@@ -71,12 +74,9 @@ fn main() {
     for seed in 0..100u64 {
         let n = 4 + (seed % 9) as usize;
         let inst = generate::random_connected(n, n, 60_000 + seed);
-        let report = equivalence_round_trip(
-            &inst,
-            &mut schedulers::UniformRandom::seeded(seed),
-            100_000,
-        )
-        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report =
+            equivalence_round_trip(&inst, &mut schedulers::UniformRandom::seeded(seed), 100_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         total_np += report.newpr_steps;
         total_pr += report.pr_steps;
     }

@@ -25,10 +25,7 @@ struct Row {
 }
 
 /// Picks up to `k` links whose removal keeps the graph connected.
-fn removable_links(
-    g: &UndirectedGraph,
-    k: usize,
-) -> Vec<(NodeId, NodeId)> {
+fn removable_links(g: &UndirectedGraph, k: usize) -> Vec<(NodeId, NodeId)> {
     let mut removed: Vec<(NodeId, NodeId)> = Vec::new();
     for (u, v) in g.edges() {
         if removed.len() == k {
@@ -56,7 +53,17 @@ fn main() {
     let widths = [6usize, 9, 9, 10, 8, 9, 9, 10, 10];
     lr_bench::print_header(
         &widths,
-        &["n", "failures", "injected", "delivered", "dropped", "stranded", "revisits", "mean_hops", "messages"],
+        &[
+            "n",
+            "failures",
+            "injected",
+            "delivered",
+            "dropped",
+            "stranded",
+            "revisits",
+            "mean_hops",
+            "messages",
+        ],
     );
     let mut rows = Vec::new();
     for &n in &[16usize, 32, 64, 128] {

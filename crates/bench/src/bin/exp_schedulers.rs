@@ -37,7 +37,15 @@ fn main() {
     let widths = [22usize, 8, 9, 9, 9, 9, 13];
     lr_bench::print_header(
         &widths,
-        &["family", "alg", "greedy", "random", "first", "last", "sched-indep?"],
+        &[
+            "family",
+            "alg",
+            "greedy",
+            "random",
+            "first",
+            "last",
+            "sched-indep?",
+        ],
     );
     let mut rows = Vec::new();
     let families: Vec<(String, ReversalInstance)> = vec![
@@ -45,7 +53,10 @@ fn main() {
         ("alternating (tree)".into(), generate::alternating_chain(65)),
         ("binary_tree (tree)".into(), generate::binary_tree_away(4)),
         ("grid 8x8 (cycles)".into(), generate::grid_away(8, 8)),
-        ("random dense".into(), generate::random_connected(64, 128, 9)),
+        (
+            "random dense".into(),
+            generate::random_connected(64, 128, 9),
+        ),
     ];
     for (family, inst) in families {
         for kind in [AlgorithmKind::FullReversal, AlgorithmKind::PartialReversal] {
@@ -63,7 +74,11 @@ fn main() {
                     random.to_string(),
                     first.to_string(),
                     last.to_string(),
-                    if indep { "yes".into() } else { "NO".to_string() },
+                    if indep {
+                        "yes".into()
+                    } else {
+                        "NO".to_string()
+                    },
                 ],
             );
             rows.push(Row {

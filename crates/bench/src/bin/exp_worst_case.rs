@@ -64,8 +64,14 @@ fn sweep(family: &str, gen: fn(usize) -> ReversalInstance) -> FamilyResult {
 fn main() {
     println!("E7: worst-case total reversals, Θ(n_b²) (paper §1, citing Busch et al.)\n");
     let results = vec![
-        sweep("chain away from destination (FR worst case)", generate::chain_away),
-        sweep("alternating chain (PR worst case)", generate::alternating_chain),
+        sweep(
+            "chain away from destination (FR worst case)",
+            generate::chain_away,
+        ),
+        sweep(
+            "alternating chain (PR worst case)",
+            generate::alternating_chain,
+        ),
         sweep("outward star (both linear)", |n| generate::star_away(n - 1)),
     ];
 
@@ -74,7 +80,10 @@ fn main() {
 
     // Sanity assertions so the binary fails loudly if the shape breaks.
     let away = &results[0];
-    assert!(away.exponents[0].1 > 1.8, "FR must be quadratic on away-chain");
+    assert!(
+        away.exponents[0].1 > 1.8,
+        "FR must be quadratic on away-chain"
+    );
     assert!(away.exponents[1].1 < 1.3, "PR must be linear on away-chain");
     let alt = &results[1];
     assert!(alt.exponents[0].1 > 1.8 && alt.exponents[1].1 > 1.8);

@@ -116,7 +116,10 @@ impl ReversalEngine for PairHeightsEngine<'_> {
 
     fn step(&mut self, u: NodeId) -> ReversalStep {
         assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
-        assert!(self.is_sink(u), "reverse({u}) precondition: {u} must be a sink");
+        assert!(
+            self.is_sink(u),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
         let max_alpha = self
             .inst
             .graph
@@ -208,7 +211,10 @@ impl ReversalEngine for TripleHeightsEngine<'_> {
 
     fn step(&mut self, u: NodeId) -> ReversalStep {
         assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
-        assert!(self.is_sink(u), "reverse({u}) precondition: {u} must be a sink");
+        assert!(
+            self.is_sink(u),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
         let min_alpha = self
             .inst
             .graph

@@ -207,8 +207,7 @@ mod tests {
         // Alternating chain 1 → 0(D), 1 → 2, 3 → 2, 3 → 4: node 3 is an
         // initial source, so it first dummy-steps (even parity, in-nbrs =
         // ∅) and then reverses its initial out-nbrs {2, 4} on odd parity.
-        let inst =
-            lr_graph::parse::parse_instance("dest 0\n1 > 0\n1 > 2\n3 > 2\n3 > 4").unwrap();
+        let inst = lr_graph::parse::parse_instance("dest 0\n1 > 0\n1 > 2\n3 > 2\n3 > 4").unwrap();
         let mut s = NewPrState::initial(&inst);
         newpr_step(&inst, &mut s, n(2)); // even: reverses in-nbrs(2) = {1, 3}
         newpr_step(&inst, &mut s, n(4)); // even: reverses in-nbrs(4) = {3}
@@ -238,7 +237,10 @@ mod tests {
         // 1 is now a sink (its only edge 0 → 1 is incoming) with even
         // parity, but in-nbrs(1) = ∅ → dummy step.
         let s2 = newpr_step(&inst, &mut s, n(1));
-        assert!(s2.dummy, "initial source stepping on even parity is a dummy");
+        assert!(
+            s2.dummy,
+            "initial source stepping on even parity is a dummy"
+        );
         assert_eq!(s2.reversed.len(), 0);
         assert_eq!(s.count(n(1)), 1);
 
@@ -253,8 +255,15 @@ mod tests {
         for seed in 0..5 {
             let inst = generate::random_connected(12, 10, seed);
             let aut = NewPrAutomaton { inst: &inst };
-            let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed), 1_000_000);
-            assert!(aut.is_quiescent(exec.last_state()), "NewPR must terminate (seed {seed})");
+            let exec = run(
+                &aut,
+                &mut schedulers::UniformRandom::seeded(seed),
+                1_000_000,
+            );
+            assert!(
+                aut.is_quiescent(exec.last_state()),
+                "NewPR must terminate (seed {seed})"
+            );
             let o = exec.last_state().dirs.orientation();
             assert!(DirectedView::new(&inst.graph, &o).is_destination_oriented(inst.dest));
         }

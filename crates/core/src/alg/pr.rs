@@ -54,11 +54,7 @@ impl PrState {
 ///
 /// Panics if `u` is the destination or not a sink (the action's
 /// precondition).
-pub fn onestep_pr_step(
-    inst: &ReversalInstance,
-    state: &mut PrState,
-    u: NodeId,
-) -> ReversalStep {
+pub fn onestep_pr_step(inst: &ReversalInstance, state: &mut PrState, u: NodeId) -> ReversalStep {
     assert_ne!(u, inst.dest, "destination {u} never takes steps");
     assert!(
         state.dirs.is_sink(&inst.graph, u),
@@ -251,9 +247,10 @@ impl Automaton for PrSetAutomaton<'_> {
 
     fn is_enabled(&self, state: &PrState, action: &ReverseSet) -> bool {
         !action.0.is_empty()
-            && action.0.iter().all(|&u| {
-                u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u)
-            })
+            && action
+                .0
+                .iter()
+                .all(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
     }
 
     fn apply(&self, state: &PrState, action: &ReverseSet) -> PrState {
@@ -313,8 +310,8 @@ mod tests {
         let mut e = PrEngine::new(&inst);
         // 0 is dest (sink, never steps); 2 is a sink.
         e.step(n(2)); // reverses {1,2}; list[1] = {2}
-        // Now 1 is NOT a sink (edge to 0 outgoing). Make it one: 0 is dest
-        // and cannot step. So drive: nothing else enabled... check state.
+                      // Now 1 is NOT a sink (edge to 0 outgoing). Make it one: 0 is dest
+                      // and cannot step. So drive: nothing else enabled... check state.
         assert_eq!(e.enabled_nodes(), vec![]);
         // 1 -> 0 still; 2 -> 1 now: 1 has in from 2, out to 0. Terminated.
         let view_o = e.orientation();

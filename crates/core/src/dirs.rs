@@ -122,10 +122,7 @@ impl MirroredDirs {
 
     /// All sinks in ascending node order.
     pub fn sinks(&self, graph: &UndirectedGraph) -> Vec<NodeId> {
-        graph
-            .nodes()
-            .filter(|&u| self.is_sink(graph, u))
-            .collect()
+        graph.nodes().filter(|&u| self.is_sink(graph, u)).collect()
     }
 
     /// Extracts the single-copy [`Orientation`] (using each edge's

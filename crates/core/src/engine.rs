@@ -86,12 +86,7 @@ pub fn run_engine(
         total_reversals: 0,
         dummy_steps: 0,
         rounds: 0,
-        work_per_node: engine
-            .instance()
-            .graph
-            .nodes()
-            .map(|u| (u, 0))
-            .collect(),
+        work_per_node: engine.instance().graph.nodes().map(|u| (u, 0)).collect(),
         terminated: false,
     };
     let mut rng = match policy {
@@ -224,8 +219,7 @@ mod tests {
         for kind in AlgorithmKind::ALL {
             for policy in policies {
                 let mut engine = kind.engine(&inst);
-                let stats =
-                    run_to_destination_oriented(engine.as_mut(), policy, DEFAULT_MAX_STEPS);
+                let stats = run_to_destination_oriented(engine.as_mut(), policy, DEFAULT_MAX_STEPS);
                 assert!(stats.terminated);
                 assert!(stats.steps > 0);
                 assert_eq!(
@@ -261,14 +255,10 @@ mod tests {
     fn newpr_counts_dummy_steps() {
         // Star centered on an initial sink with the destination at a leaf
         // forces dummy steps for the other leaves (initial sources).
-        let inst =
-            lr_graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
+        let inst = lr_graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
         let mut e = NewPrEngine::new(&inst);
-        let stats = run_to_destination_oriented(
-            &mut e,
-            SchedulePolicy::FirstSingle,
-            DEFAULT_MAX_STEPS,
-        );
+        let stats =
+            run_to_destination_oriented(&mut e, SchedulePolicy::FirstSingle, DEFAULT_MAX_STEPS);
         assert!(stats.dummy_steps > 0, "expected dummy steps, got none");
         assert!(stats.steps > stats.dummy_steps);
     }

@@ -225,12 +225,12 @@ pub struct ProfileAnalysis {
 ///
 /// Panics if there are more than 16 players.
 pub fn analyze_profiles(inst: &ReversalInstance) -> ProfileAnalysis {
-    let players: Vec<NodeId> = inst
-        .graph
-        .nodes()
-        .filter(|&u| u != inst.dest)
-        .collect();
-    assert!(players.len() <= 16, "2^{} profiles is too many", players.len());
+    let players: Vec<NodeId> = inst.graph.nodes().filter(|&u| u != inst.dest).collect();
+    assert!(
+        players.len() <= 16,
+        "2^{} profiles is too many",
+        players.len()
+    );
     let mut min_cost = usize::MAX;
     let mut max_cost = 0usize;
     let mut profiles = 0usize;
@@ -374,8 +374,7 @@ mod tests {
             let fr_profile = profile_costs(&inst, &uniform_profile(&inst, Strategy::Full));
             let fr_direct = work_vector(AlgorithmKind::FullReversal, &inst);
             assert_eq!(fr_profile, fr_direct, "all-Full must equal FR");
-            let pr_profile =
-                profile_costs(&inst, &uniform_profile(&inst, Strategy::Partial));
+            let pr_profile = profile_costs(&inst, &uniform_profile(&inst, Strategy::Partial));
             let pr_direct = work_vector(AlgorithmKind::PartialReversal, &inst);
             assert_eq!(pr_profile, pr_direct, "all-Partial must equal PR");
         }

@@ -41,11 +41,7 @@ pub fn check_inv_3_1(dirs: &MirroredDirs) -> Result<(), String> {
     })
 }
 
-fn incoming_members(
-    dirs: &MirroredDirs,
-    u: NodeId,
-    candidates: &[NodeId],
-) -> BTreeSet<NodeId> {
+fn incoming_members(dirs: &MirroredDirs, u: NodeId, candidates: &[NodeId]) -> BTreeSet<NodeId> {
     candidates
         .iter()
         .copied()
@@ -56,12 +52,7 @@ fn incoming_members(
 /// One part of Invariant 3.2 for a single node: `all_in_side` plays the
 /// role of the "all incoming" set, `list_side` the set the list must
 /// match.
-fn inv_3_2_part(
-    state: &PrState,
-    u: NodeId,
-    all_in_side: &[NodeId],
-    list_side: &[NodeId],
-) -> bool {
+fn inv_3_2_part(state: &PrState, u: NodeId, all_in_side: &[NodeId], list_side: &[NodeId]) -> bool {
     let all_incoming = all_in_side
         .iter()
         .all(|&w| state.dirs.dir(u, w) == EdgeDir::In);
@@ -143,12 +134,7 @@ pub fn check_cor_3_4(inst: &ReversalInstance, state: &PrState) -> Result<(), Str
 
 /// Is the edge `{u, v}` directed from the left endpoint to the right
 /// endpoint of the plane embedding?
-fn left_to_right(
-    emb: &PlaneEmbedding,
-    dirs: &MirroredDirs,
-    u: NodeId,
-    v: NodeId,
-) -> bool {
+fn left_to_right(emb: &PlaneEmbedding, dirs: &MirroredDirs, u: NodeId, v: NodeId) -> bool {
     let (l, r) = if emb.is_left_of(u, v) { (u, v) } else { (v, u) };
     dirs.dir(l, r) == EdgeDir::Out
 }
@@ -299,9 +285,7 @@ fn pr_state_checks(inst: &ReversalInstance, s: &PrState) -> Result<(), String> {
 
 /// All PR invariants (3.1, 3.2, 3.3, 3.4, acyclicity via Thm 5.5) for the
 /// single-step automaton.
-pub fn onestep_pr_invariants(
-    inst: &ReversalInstance,
-) -> Vec<Invariant<OneStepPrAutomaton<'_>>> {
+pub fn onestep_pr_invariants(inst: &ReversalInstance) -> Vec<Invariant<OneStepPrAutomaton<'_>>> {
     let i1 = inst.clone();
     let i2 = inst.clone();
     let i3 = inst.clone();
@@ -485,8 +469,7 @@ mod tests {
 
     #[test]
     fn acyclicity_violation_reports_cycle() {
-        let inst =
-            lr_graph::parse::parse_instance("dest 0\n0 > 1\n1 > 2\n0 > 2").unwrap();
+        let inst = lr_graph::parse::parse_instance("dest 0\n0 > 1\n1 > 2\n0 > 2").unwrap();
         let mut s = NewPrState::initial(&inst);
         // Manufacture 0 → 1 → 2 → 0 by hand.
         s.dirs.reverse_outward(n(2), n(0));

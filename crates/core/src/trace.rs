@@ -60,11 +60,7 @@ impl Trace {
             SchedulePolicy::RandomSingle { seed } => Some(SmallRng::seed_from_u64(seed)),
             _ => None,
         };
-        fn record_one(
-            frames: &mut Vec<TraceFrame>,
-            engine: &mut dyn ReversalEngine,
-            u: NodeId,
-        ) {
+        fn record_one(frames: &mut Vec<TraceFrame>, engine: &mut dyn ReversalEngine, u: NodeId) {
             let step = engine.step(u);
             let after = engine.orientation();
             let sinks_after = engine.enabled_nodes();
@@ -148,11 +144,9 @@ impl Trace {
             self.dummy_steps()
         );
         for (i, f) in self.frames.iter().enumerate() {
-            let targets: Vec<String> =
-                f.step.reversed.iter().map(|v| v.to_string()).collect();
+            let targets: Vec<String> = f.step.reversed.iter().map(|v| v.to_string()).collect();
             let kind = if f.step.dummy { " (dummy)" } else { "" };
-            let sinks: Vec<String> =
-                f.sinks_after.iter().map(|v| v.to_string()).collect();
+            let sinks: Vec<String> = f.sinks_after.iter().map(|v| v.to_string()).collect();
             let _ = writeln!(
                 out,
                 "step {:>3}: {} reverses {{{}}}{kind}  sinks after: [{}]",
@@ -254,8 +248,7 @@ mod tests {
 
     #[test]
     fn dummy_steps_are_flagged_in_text() {
-        let inst =
-            lr_graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
+        let inst = lr_graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
         let mut e = NewPrEngine::new(&inst);
         let trace = Trace::record(&mut e, SchedulePolicy::FirstSingle, DEFAULT_MAX_STEPS);
         assert!(trace.dummy_steps() > 0);

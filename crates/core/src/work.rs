@@ -128,10 +128,7 @@ pub fn fit_growth_exponent(points: &[(f64, f64)]) -> f64 {
     let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
     let denom = n * sxx - sx * sx;
-    assert!(
-        denom.abs() > f64::EPSILON,
-        "x values must not all be equal"
-    );
+    assert!(denom.abs() > f64::EPSILON, "x values must not all be equal");
     (n * sxy - sx * sy) / denom
 }
 
@@ -192,7 +189,10 @@ mod tests {
             })
             .collect();
         let k = fit_growth_exponent(&pts);
-        assert!(k > 1.7 && k < 2.3, "FR on away-chain should be ~n², got exponent {k}");
+        assert!(
+            k > 1.7 && k < 2.3,
+            "FR on away-chain should be ~n², got exponent {k}"
+        );
     }
 
     #[test]
@@ -249,12 +249,10 @@ mod tests {
             SchedulePolicy::LastSingle,
         ] {
             let away = generate::chain_away(n);
-            let row =
-                measure_work_with_policy(AlgorithmKind::FullReversal, &away, policy);
+            let row = measure_work_with_policy(AlgorithmKind::FullReversal, &away, policy);
             assert_eq!(row.total_reversals, closed_forms::fr_chain_away(n));
             let alt = generate::alternating_chain(n);
-            let row =
-                measure_work_with_policy(AlgorithmKind::PartialReversal, &alt, policy);
+            let row = measure_work_with_policy(AlgorithmKind::PartialReversal, &alt, policy);
             assert_eq!(row.total_reversals, closed_forms::alternating_chain(n));
         }
     }

@@ -5,13 +5,13 @@
 
 use lr_core::alg::{
     AlgorithmKind, BllEngine, BllLabeling, FullReversalAutomaton, FullReversalEngine,
-    NewPrAutomaton, NewPrEngine, OneStepPrAutomaton, PairHeightsEngine, PrEngine,
-    ReversalEngine, TripleHeightsEngine,
+    NewPrAutomaton, NewPrEngine, OneStepPrAutomaton, PairHeightsEngine, PrEngine, ReversalEngine,
+    TripleHeightsEngine,
 };
 use lr_core::engine::{run_engine, SchedulePolicy, DEFAULT_MAX_STEPS};
 use lr_core::trace::Trace;
 use lr_graph::{generate, NodeId};
-use lr_ioa::{run, schedulers, Automaton};
+use lr_ioa::{run, schedulers};
 
 /// Replay the automaton's action sequence through the engine: identical
 /// final orientations (and for NewPR, identical full state).
@@ -21,7 +21,11 @@ fn automaton_actions_replay_through_engines() {
         let inst = generate::random_connected(12, 10, 9000 + seed);
         // FR
         let aut = FullReversalAutomaton { inst: &inst };
-        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed), 1_000_000);
+        let exec = run(
+            &aut,
+            &mut schedulers::UniformRandom::seeded(seed),
+            1_000_000,
+        );
         let mut eng = FullReversalEngine::new(&inst);
         for &u in exec.actions() {
             eng.step(u);
@@ -29,7 +33,11 @@ fn automaton_actions_replay_through_engines() {
         assert_eq!(eng.orientation(), exec.last_state().dirs.orientation());
         // OneStepPR
         let aut = OneStepPrAutomaton { inst: &inst };
-        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed), 1_000_000);
+        let exec = run(
+            &aut,
+            &mut schedulers::UniformRandom::seeded(seed),
+            1_000_000,
+        );
         let mut eng = PrEngine::new(&inst);
         for &u in exec.actions() {
             eng.step(u);
@@ -37,7 +45,11 @@ fn automaton_actions_replay_through_engines() {
         assert_eq!(eng.state(), exec.last_state());
         // NewPR
         let aut = NewPrAutomaton { inst: &inst };
-        let exec = run(&aut, &mut schedulers::UniformRandom::seeded(seed), 1_000_000);
+        let exec = run(
+            &aut,
+            &mut schedulers::UniformRandom::seeded(seed),
+            1_000_000,
+        );
         let mut eng = NewPrEngine::new(&inst);
         for &u in exec.actions() {
             eng.step(u);

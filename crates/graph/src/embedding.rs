@@ -40,10 +40,7 @@ impl PlaneEmbedding {
     ///
     /// Returns [`GraphError::ContainsCycle`] if the initial orientation is
     /// not acyclic (the paper's model requires `G'_init` to be a DAG).
-    pub fn of_initial(
-        graph: &UndirectedGraph,
-        init: &Orientation,
-    ) -> Result<Self, GraphError> {
+    pub fn of_initial(graph: &UndirectedGraph, init: &Orientation) -> Result<Self, GraphError> {
         let view = DirectedView::new(graph, init);
         let order = view.topological_sort().ok_or(GraphError::ContainsCycle)?;
         let x = order.into_iter().enumerate().map(|(i, u)| (u, i)).collect();
@@ -72,7 +69,11 @@ impl PlaneEmbedding {
     ///
     /// Panics if the edge is not oriented.
     pub fn left_to_right(&self, orientation: &Orientation, u: NodeId, v: NodeId) -> bool {
-        let (l, r) = if self.is_left_of(u, v) { (u, v) } else { (v, u) };
+        let (l, r) = if self.is_left_of(u, v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         orientation.points_from_to(l, r)
     }
 

@@ -153,15 +153,8 @@ mod tests {
         // chromatic polynomial: triangle -> 6, K4 -> 24.
         let tri = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (0, 2)]).unwrap();
         assert_eq!(acyclic_orientations(&tri).len(), 6);
-        let k4 = UndirectedGraph::from_edges(&[
-            (0, 1),
-            (0, 2),
-            (0, 3),
-            (1, 2),
-            (1, 3),
-            (2, 3),
-        ])
-        .unwrap();
+        let k4 =
+            UndirectedGraph::from_edges(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert_eq!(acyclic_orientations(&k4).len(), 24);
     }
 

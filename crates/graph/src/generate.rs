@@ -196,7 +196,10 @@ pub fn complete_away(n: usize) -> ReversalInstance {
 ///
 /// Panics if `width == 0` or `depth == 0`, or if `p` is not in `[0, 1]`.
 pub fn layered(width: usize, depth: usize, p: f64, seed: u64) -> ReversalInstance {
-    assert!(width > 0 && depth > 0, "layered graph needs width, depth > 0");
+    assert!(
+        width > 0 && depth > 0,
+        "layered graph needs width, depth > 0"
+    );
     assert!((0.0..=1.0).contains(&p), "p must be a probability");
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = 1 + width * depth;
@@ -286,11 +289,7 @@ pub fn random_connected_oriented_toward(
 ) -> ReversalInstance {
     let base = random_connected(n, extra_edges, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
-    let mut order: Vec<NodeId> = base
-        .graph
-        .nodes()
-        .filter(|&u| u != base.dest)
-        .collect();
+    let mut order: Vec<NodeId> = base.graph.nodes().filter(|&u| u != base.dest).collect();
     order.shuffle(&mut rng);
     order.push(base.dest);
     let o = Orientation::from_order(&base.graph, &order);

@@ -119,13 +119,15 @@ impl Orientation {
     /// The direction of edge `{u, v}` from `u`'s perspective, or `None` if
     /// the edge is not oriented by this assignment.
     pub fn dir(&self, u: NodeId, v: NodeId) -> Option<EdgeDir> {
-        self.tails.get(&canonical(u, v)).map(|&tail| {
-            if tail == u {
-                EdgeDir::Out
-            } else {
-                EdgeDir::In
-            }
-        })
+        self.tails.get(&canonical(u, v)).map(
+            |&tail| {
+                if tail == u {
+                    EdgeDir::Out
+                } else {
+                    EdgeDir::In
+                }
+            },
+        )
     }
 
     /// Returns `true` if the edge `{u, v}` is oriented `u → v`.
@@ -170,13 +172,9 @@ impl Orientation {
     /// Iterates over all directed edges as `(tail, head)` pairs in canonical
     /// edge order.
     pub fn directed_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.tails.iter().map(|(&(a, b), &tail)| {
-            if tail == a {
-                (a, b)
-            } else {
-                (b, a)
-            }
-        })
+        self.tails
+            .iter()
+            .map(|(&(a, b), &tail)| if tail == a { (a, b) } else { (b, a) })
     }
 
     /// Returns `true` if this orientation covers exactly the edges of

@@ -54,10 +54,12 @@ pub fn parse_instance(text: &str) -> Result<ReversalInstance, GraphError> {
             }
         };
         let parse_id = |s: &str| -> Result<NodeId, GraphError> {
-            s.parse::<u32>().map(NodeId::new).map_err(|_| GraphError::Parse {
-                line: lineno,
-                message: format!("invalid node id {s:?}"),
-            })
+            s.parse::<u32>()
+                .map(NodeId::new)
+                .map_err(|_| GraphError::Parse {
+                    line: lineno,
+                    message: format!("invalid node id {s:?}"),
+                })
         };
         let (u, v) = (parse_id(a)?, parse_id(b)?);
         g.ensure_node(u);

@@ -140,9 +140,12 @@ impl UndirectedGraph {
     /// Iterates over all edges as canonical pairs `(u, v)` with `u < v`,
     /// in lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.adj
-            .iter()
-            .flat_map(|(&u, nbrs)| nbrs.iter().copied().filter(move |&v| u < v).map(move |v| (u, v)))
+        self.adj.iter().flat_map(|(&u, nbrs)| {
+            nbrs.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// The neighbor set `nbrs_u` of a node (empty if the node is unknown).

@@ -63,7 +63,10 @@ impl fmt::Display for ValidityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidityError::WrongInitialState => {
-                write!(f, "recorded initial state is not the automaton's initial state")
+                write!(
+                    f,
+                    "recorded initial state is not the automaton's initial state"
+                )
             }
             ValidityError::NotEnabled { index } => {
                 write!(f, "action #{index} was not enabled in its source state")

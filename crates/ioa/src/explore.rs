@@ -88,26 +88,25 @@ pub fn explore<A: Automaton>(
         truncated: false,
     };
 
-    let rebuild_trace = |pred: &HashMap<A::State, (A::State, A::Action)>,
-                         target: &A::State|
-     -> Execution<A> {
-        // Walk parents back to the initial state, then replay forward.
-        let mut rev: Vec<(A::State, A::Action)> = Vec::new();
-        let mut cur = target.clone();
-        while let Some((parent, action)) = pred.get(&cur) {
-            rev.push((cur.clone(), action.clone()));
-            cur = parent.clone();
-        }
-        let mut exec = Execution::new(cur);
-        for (state, action) in rev.into_iter().rev() {
-            exec.push(action, state);
-        }
-        exec
-    };
+    let rebuild_trace =
+        |pred: &HashMap<A::State, (A::State, A::Action)>, target: &A::State| -> Execution<A> {
+            // Walk parents back to the initial state, then replay forward.
+            let mut rev: Vec<(A::State, A::Action)> = Vec::new();
+            let mut cur = target.clone();
+            while let Some((parent, action)) = pred.get(&cur) {
+                rev.push((cur.clone(), action.clone()));
+                cur = parent.clone();
+            }
+            let mut exec = Execution::new(cur);
+            for (state, action) in rev.into_iter().rev() {
+                exec.push(action, state);
+            }
+            exec
+        };
 
     let check_state = |state: &A::State,
-                           depth: usize,
-                           pred: &HashMap<A::State, (A::State, A::Action)>|
+                       depth: usize,
+                       pred: &HashMap<A::State, (A::State, A::Action)>|
      -> Option<(InvariantViolation, Option<Execution<A>>)> {
         for inv in invariants {
             if let Err(message) = inv.check(state) {
@@ -196,10 +195,7 @@ pub enum TerminationResult {
 /// *state graph* being acyclic: a divergent execution in a finite state
 /// space must revisit a state. As a bonus, the longest path in the
 /// acyclic state graph is the exact worst-case execution length.
-pub fn check_termination<A: Automaton>(
-    automaton: &A,
-    max_states: usize,
-) -> TerminationResult {
+pub fn check_termination<A: Automaton>(automaton: &A, max_states: usize) -> TerminationResult {
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         Grey,
@@ -299,7 +295,10 @@ mod tests {
         assert_eq!(violation.depth, Some(4));
         let trace = trace.expect("tracing enabled");
         assert_eq!(*trace.last_state(), 4);
-        assert!(trace.validate(&c).is_ok(), "counterexample must be a real execution");
+        assert!(
+            trace.validate(&c).is_ok(),
+            "counterexample must be a real execution"
+        );
     }
 
     #[test]

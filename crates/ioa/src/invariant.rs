@@ -56,7 +56,9 @@ impl<A: Automaton> Invariant<A> {
 
 impl<A: Automaton> fmt::Debug for Invariant<A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Invariant").field("name", &self.name).finish()
+        f.debug_struct("Invariant")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

@@ -206,10 +206,7 @@ mod tests {
     fn round_robin_alternates() {
         let t = TwoTokens { ring: 5 };
         let exec = run(&t, &mut RoundRobin::default(), 4);
-        assert_eq!(
-            exec.actions(),
-            &[Token::A, Token::B, Token::A, Token::B],
-        );
+        assert_eq!(exec.actions(), &[Token::A, Token::B, Token::A, Token::B],);
     }
 
     #[test]

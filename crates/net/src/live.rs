@@ -103,9 +103,9 @@ pub fn run_threaded(inst: &ReversalInstance) -> LiveReport {
                         known.insert(v, h);
                         let is_sink = !is_dest
                             && !nbr_ids.is_empty()
-                            && nbr_ids.iter().all(|w| {
-                                known.get(w).is_some_and(|hw| *hw > height)
-                            });
+                            && nbr_ids
+                                .iter()
+                                .all(|w| known.get(w).is_some_and(|hw| *hw > height));
                         if is_sink {
                             let min_alpha = nbr_ids
                                 .iter()

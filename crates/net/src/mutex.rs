@@ -103,10 +103,7 @@ impl Protocol for RaymondMutex {
 
 /// Builds the BFS spanning tree of `graph` rooted at `root` and the
 /// initial node states (token at the root, holder pointers toward it).
-pub fn initial_mutex_nodes(
-    graph: &UndirectedGraph,
-    root: NodeId,
-) -> BTreeMap<NodeId, MutexNode> {
+pub fn initial_mutex_nodes(graph: &UndirectedGraph, root: NodeId) -> BTreeMap<NodeId, MutexNode> {
     // BFS to get parents.
     let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
     let mut order = vec![root];
@@ -274,7 +271,16 @@ mod tests {
     #[test]
     fn repeated_contention_is_fair_enough_to_serve_all() {
         let g = chain_graph(8);
-        let mut h = MutexHarness::new(&g, n(3), LinkConfig { delay: 2, jitter: 5, loss: 0.0 }, 3);
+        let mut h = MutexHarness::new(
+            &g,
+            n(3),
+            LinkConfig {
+                delay: 2,
+                jitter: 5,
+                loss: 0.0,
+            },
+            3,
+        );
         for round in 0..3 {
             for u in g.nodes() {
                 let _ = round;

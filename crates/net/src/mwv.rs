@@ -165,8 +165,7 @@ impl Mwv {
         }
         // Within our leader's component: do we still have a downstream?
         let mine = node.height;
-        let same: Vec<(NodeId, MwvHeight)> =
-            Self::known_same_leader(node, ctx.neighbors).collect();
+        let same: Vec<(NodeId, MwvHeight)> = Self::known_same_leader(node, ctx.neighbors).collect();
         if same.iter().any(|(_, h)| *h < mine) {
             return false;
         }
@@ -213,8 +212,7 @@ impl Mwv {
             };
             return true;
         }
-        let mut levels: Vec<(u64, NodeId, u8)> =
-            same.iter().map(|(_, h)| h.ref_level()).collect();
+        let mut levels: Vec<(u64, NodeId, u8)> = same.iter().map(|(_, h)| h.ref_level()).collect();
         levels.sort();
         levels.dedup();
         if levels.len() > 1 {
@@ -309,10 +307,7 @@ impl Protocol for Mwv {
 
 /// Initial MWV states: everyone starts in `leader`'s component with
 /// BFS-hop `δ` heights (a pre-built destination-oriented DAG).
-pub fn initial_mwv_nodes(
-    graph: &UndirectedGraph,
-    leader: NodeId,
-) -> BTreeMap<NodeId, MwvNode> {
+pub fn initial_mwv_nodes(graph: &UndirectedGraph, leader: NodeId) -> BTreeMap<NodeId, MwvNode> {
     // BFS distances from the leader.
     let mut dist: BTreeMap<NodeId, i64> = BTreeMap::new();
     let mut queue = std::collections::VecDeque::new();
@@ -363,7 +358,10 @@ impl MwvHarness {
         let nodes = initial_mwv_nodes(graph, leader);
         let mut sim = EventSim::new(Mwv, graph.clone(), nodes, link, seed);
         sim.start();
-        assert!(sim.run_to_quiescence(10_000_000), "initial gossip must settle");
+        assert!(
+            sim.run_to_quiescence(10_000_000),
+            "initial gossip must settle"
+        );
         MwvHarness { sim }
     }
 
@@ -419,7 +417,10 @@ impl MwvHarness {
                 };
                 cur = v;
                 hops += 1;
-                assert!(hops <= component.len(), "cycle while descending from {start}");
+                assert!(
+                    hops <= component.len(),
+                    "cycle while descending from {start}"
+                );
             }
         }
         leader
@@ -477,11 +478,7 @@ mod tests {
             let inst = generate::random_connected(10, 12, 200 + seed);
             let mut h = MwvHarness::new(&inst.graph, inst.dest, LinkConfig::default(), seed);
             h.crash(inst.dest);
-            let survivors: Vec<NodeId> = inst
-                .graph
-                .nodes()
-                .filter(|&u| u != inst.dest)
-                .collect();
+            let survivors: Vec<NodeId> = inst.graph.nodes().filter(|&u| u != inst.dest).collect();
             // The winner is whichever detector's election spread (the
             // smallest id among self-elected leaders); the component
             // must agree on it and be oriented toward it.

@@ -327,8 +327,7 @@ mod tests {
             );
             let heights = height_snapshot(&sim);
             let o = orientation_from_heights(&inst.graph, &heights);
-            assert!(DirectedView::new(&inst.graph, &o)
-                .is_destination_oriented(inst.dest));
+            assert!(DirectedView::new(&inst.graph, &o).is_destination_oriented(inst.dest));
         }
     }
 

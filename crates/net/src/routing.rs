@@ -69,12 +69,7 @@ pub struct TorarRouting {
 }
 
 impl TorarRouting {
-    fn forward(
-        &self,
-        ctx: &mut Ctx<'_, RouteMsg>,
-        node: &mut RouteNode,
-        mut packet: Packet,
-    ) {
+    fn forward(&self, ctx: &mut Ctx<'_, RouteMsg>, node: &mut RouteNode, mut packet: Packet) {
         if node.rev.is_dest {
             node.delivered.push(packet);
             return;
@@ -264,11 +259,7 @@ impl RoutingHarness {
             delivered_pkts.iter().map(|p| p.hops as f64).sum::<f64>() / delivered as f64
         };
         let dropped: u64 = self.sim.nodes().map(|(_, n)| n.dropped).sum();
-        let stranded: u64 = self
-            .sim
-            .nodes()
-            .map(|(_, n)| n.buffered.len() as u64)
-            .sum();
+        let stranded: u64 = self.sim.nodes().map(|(_, n)| n.buffered.len() as u64).sum();
         let revisits: u64 = self.sim.nodes().map(|(_, n)| n.revisits).sum();
         RoutingReport {
             injected: self.injected,

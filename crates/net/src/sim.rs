@@ -11,7 +11,7 @@
 //! enqueues whatever the handler sent.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt::Debug;
 
 use lr_graph::{NodeId, UndirectedGraph};
@@ -219,9 +219,7 @@ impl<P: Protocol> EventSim<P> {
         let doomed: Vec<u64> = self
             .in_flight
             .iter()
-            .filter(|(_, m)| {
-                (m.from == u && m.to == v) || (m.from == v && m.to == u)
-            })
+            .filter(|(_, m)| (m.from == u && m.to == v) || (m.from == v && m.to == u))
             .map(|(&s, _)| s)
             .collect();
         for s in doomed {
@@ -499,7 +497,15 @@ mod tests {
 
     #[test]
     fn lossy_links_drop_messages() {
-        let mut sim = flood_sim(2, LinkConfig { delay: 1, jitter: 0, loss: 1.0 }, 1);
+        let mut sim = flood_sim(
+            2,
+            LinkConfig {
+                delay: 1,
+                jitter: 0,
+                loss: 1.0,
+            },
+            1,
+        );
         sim.start();
         assert!(sim.run_to_quiescence(100));
         assert_eq!(sim.node(n(1)).received, 0);
@@ -648,14 +654,7 @@ mod tests {
                     ctx.send(NodeId::new(2), ()); // 0–2 is not an edge
                 }
             }
-            fn on_message(
-                &mut self,
-                _c: &mut Ctx<'_, ()>,
-                _n: &mut (),
-                _f: NodeId,
-                _m: (),
-            ) {
-            }
+            fn on_message(&mut self, _c: &mut Ctx<'_, ()>, _n: &mut (), _f: NodeId, _m: ()) {}
         }
         let g = path_graph(3);
         let nodes = g.nodes().map(|u| (u, ())).collect();

@@ -138,13 +138,8 @@ impl Tora {
         node: &'a ToraNode,
         live: &'a [NodeId],
     ) -> impl Iterator<Item = (NodeId, ToraHeight)> + 'a {
-        live.iter().filter_map(|v| {
-            node.nbr_heights
-                .get(v)
-                .copied()
-                .flatten()
-                .map(|h| (*v, h))
-        })
+        live.iter()
+            .filter_map(|v| node.nbr_heights.get(v).copied().flatten().map(|h| (*v, h)))
     }
 
     /// Does the node currently have a downstream (strictly lower routed
@@ -159,12 +154,7 @@ impl Tora {
     /// The five-case maintenance reaction of a routed node that lost its
     /// last downstream link. Returns `true` if the height changed (an
     /// `UPD` must be broadcast) — case 4 broadcasts `CLR` itself.
-    fn maintain(
-        &self,
-        ctx: &mut Ctx<'_, ToraMsg>,
-        node: &mut ToraNode,
-        cause: Cause,
-    ) -> bool {
+    fn maintain(&self, ctx: &mut Ctx<'_, ToraMsg>, node: &mut ToraNode, cause: Cause) -> bool {
         let routed: Vec<(NodeId, ToraHeight)> =
             Self::routed_neighbors(node, ctx.neighbors).collect();
         if node.height.is_none() || node.is_dest || routed.is_empty() {
@@ -310,9 +300,7 @@ impl Protocol for Tora {
                 }
             }
             ToraMsg::Clr { tau, oid } => {
-                let mine_matches = node
-                    .height
-                    .is_some_and(|h| h.tau == tau && h.oid == oid);
+                let mine_matches = node.height.is_some_and(|h| h.tau == tau && h.oid == oid);
                 // Drop neighbor entries built on the invalid level.
                 for (_, entry) in node.nbr_heights.iter_mut() {
                     if entry.is_some_and(|h| h.tau == tau && h.oid == oid) {
@@ -338,10 +326,7 @@ impl Protocol for Tora {
 
 /// Builds initial TORA node states: the destination holds the ZERO
 /// height, everyone else is NULL.
-pub fn initial_tora_nodes(
-    graph: &UndirectedGraph,
-    dest: NodeId,
-) -> BTreeMap<NodeId, ToraNode> {
+pub fn initial_tora_nodes(graph: &UndirectedGraph, dest: NodeId) -> BTreeMap<NodeId, ToraNode> {
     graph
         .nodes()
         .map(|u| {
@@ -404,7 +389,10 @@ impl ToraHarness {
         let hv = self.sim.node(v).height;
         self.sim.inject(v, u, ToraMsg::Upd(hv));
         self.sim.inject(u, v, ToraMsg::Upd(hu));
-        assert!(self.sim.run_to_quiescence(10_000_000), "heal did not quiesce");
+        assert!(
+            self.sim.run_to_quiescence(10_000_000),
+            "heal did not quiesce"
+        );
     }
 
     /// The current height of `u`.
@@ -539,7 +527,10 @@ mod tests {
         h.create_route(n(3));
         assert!(h.routed_nodes_reach_destination());
         h.fail_link(n(0), n(1));
-        assert!(h.partition_detected(n(1)), "node 1 must detect the partition");
+        assert!(
+            h.partition_detected(n(1)),
+            "node 1 must detect the partition"
+        );
         for i in 1..4 {
             assert_eq!(
                 h.height(n(i)),

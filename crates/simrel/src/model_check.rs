@@ -357,7 +357,7 @@ mod tests {
         // On 3-node instances no execution is longer than a handful of
         // steps; the exact worst case is pinned here as a regression
         // anchor.
-        assert!(worst >= 2 && worst <= 10, "worst execution length {worst}");
+        assert!((2..=10).contains(&worst), "worst execution length {worst}");
     }
 
     #[test]

@@ -138,8 +138,8 @@ mod tests {
             let pr = PrSetAutomaton { inst: &inst };
             let exec = run(&pr, &mut schedulers::UniformRandom::seeded(seed), 10_000);
             assert!(pr.is_quiescent(exec.last_state()), "seed {seed}");
-            let report = refine_and_check(&inst, &exec)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let report =
+                refine_and_check(&inst, &exec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             // OneStepPR splits each set action into its members.
             assert!(report.onestep_steps >= report.pr_steps);
             // NewPR adds dummy steps on top.

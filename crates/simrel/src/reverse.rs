@@ -232,8 +232,7 @@ mod tests {
             assert!(report.onestep_steps <= report.newpr_steps);
             assert_eq!(report.onestep_steps, report.pr_steps);
             // The round trip ends destination-oriented.
-            let view =
-                lr_graph::DirectedView::new(&inst.graph, &report.final_orientation);
+            let view = lr_graph::DirectedView::new(&inst.graph, &report.final_orientation);
             assert!(view.is_destination_oriented(inst.dest));
         }
     }

@@ -23,8 +23,14 @@ fn main() {
     println!("global optimum over all profiles: {}", analysis.min_cost);
     println!("worst profile:                    {}", analysis.max_cost);
     println!();
-    println!("all-Full a Nash equilibrium?      {}", analysis.fr_is_equilibrium);
-    println!("all-Partial a Nash equilibrium?   {}", analysis.pr_is_equilibrium);
+    println!(
+        "all-Full a Nash equilibrium?      {}",
+        analysis.fr_is_equilibrium
+    );
+    println!(
+        "all-Partial a Nash equilibrium?   {}",
+        analysis.pr_is_equilibrium
+    );
     println!();
 
     // FR is an equilibrium: no single node gains by switching.

@@ -27,8 +27,14 @@ fn main() {
 
     println!("new leader elected: {}", report.leader);
     println!("election epoch:     {}", report.epoch);
-    println!("reversals to re-orient the surviving DAG: {}", report.reversals);
-    println!("total messages (heights + proposals):     {}", report.messages);
+    println!(
+        "reversals to re-orient the surviving DAG: {}",
+        report.reversals
+    );
+    println!(
+        "total messages (heights + proposals):     {}",
+        report.messages
+    );
     println!("\n(the harness verified that every survivor agrees on the leader");
     println!(" and that the surviving graph is destination-oriented toward it)");
 }

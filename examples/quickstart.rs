@@ -18,7 +18,10 @@ fn main() {
         inst.initial_bad_nodes()
     );
 
-    println!("{:>10} {:>8} {:>10} {:>7} {:>7}", "algorithm", "steps", "reversals", "rounds", "dummy");
+    println!(
+        "{:>10} {:>8} {:>10} {:>7} {:>7}",
+        "algorithm", "steps", "reversals", "rounds", "dummy"
+    );
     for kind in AlgorithmKind::ALL {
         let mut engine = kind.engine(&inst);
         let stats = run_to_destination_oriented(

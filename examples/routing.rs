@@ -52,8 +52,7 @@ fn main() {
             g.ensure_node(w);
         }
         for (a, b) in inst.graph.edges() {
-            let gone = failed.iter().any(|&(x, y)| (a, b) == (x, y))
-                || (a, b) == (u, v);
+            let gone = failed.iter().any(|&(x, y)| (a, b) == (x, y)) || (a, b) == (u, v);
             if !gone {
                 g.add_edge(a, b).expect("fresh edge");
             }

@@ -39,11 +39,7 @@ fn main() {
 
     // Dump the NewPR run as DOT frames for visualization.
     let mut engine = NewPrEngine::new(&inst);
-    let trace = Trace::record(
-        &mut engine,
-        SchedulePolicy::FirstSingle,
-        DEFAULT_MAX_STEPS,
-    );
+    let trace = Trace::record(&mut engine, SchedulePolicy::FirstSingle, DEFAULT_MAX_STEPS);
     let frames = trace.render_dot_frames();
     println!(
         "NewPR produced {} DOT frames; first frame:\n{}",

@@ -45,8 +45,16 @@ fn family(name: &str, gen: fn(usize) -> ReversalInstance, sizes: &[usize]) {
 
 fn main() {
     let sizes = [16, 32, 64, 128, 256];
-    family("chain away from destination (FR's worst case)", generate::chain_away, &sizes);
-    family("alternating chain (PR's worst case)", generate::alternating_chain, &sizes);
+    family(
+        "chain away from destination (FR's worst case)",
+        generate::chain_away,
+        &sizes,
+    );
+    family(
+        "alternating chain (PR's worst case)",
+        generate::alternating_chain,
+        &sizes,
+    );
     family(
         "random connected graphs (seed 1)",
         |n| generate::random_connected(n, n, 1),

@@ -12,11 +12,10 @@ fn main() -> ExitCode {
         Some("run") | Some("trace") | Some("check") | Some("dot")
     );
     let mut stdin = String::new();
-    if needs_stdin
-        && std::io::stdin().read_to_string(&mut stdin).is_err() {
-            eprintln!("error: could not read stdin");
-            return ExitCode::FAILURE;
-        }
+    if needs_stdin && std::io::stdin().read_to_string(&mut stdin).is_err() {
+        eprintln!("error: could not read stdin");
+        return ExitCode::FAILURE;
+    }
     match link_reversal::cli::run_cli(&arg_refs, &stdin) {
         Ok(out) => {
             print!("{out}");

@@ -266,7 +266,13 @@ mod tests {
 
     #[test]
     fn generate_families() {
-        for family in ["chain-away", "chain-toward", "alternating", "star", "complete"] {
+        for family in [
+            "chain-away",
+            "chain-toward",
+            "alternating",
+            "star",
+            "complete",
+        ] {
             let out = run_cli(&["generate", family, "5"], "").unwrap();
             assert!(out.starts_with("dest "), "{family}: {out}");
         }

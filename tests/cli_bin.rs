@@ -39,6 +39,41 @@ fn help_prints_usage_and_succeeds() {
 }
 
 #[test]
+fn help_flags_match_help_command() {
+    let (reference, _, _) = run_with_stdin(&["help"], "");
+    for flag in ["--help", "-h"] {
+        let (stdout, stderr, ok) = run_with_stdin(&[flag], "");
+        assert!(ok, "`lr {flag}` must exit 0");
+        assert!(stderr.is_empty(), "`lr {flag}` must not write to stderr");
+        assert_eq!(stdout, reference, "`lr {flag}` and `lr help` must agree");
+    }
+}
+
+/// The README's smoke-test pipeline: generate a worst-case chain, run
+/// the paper's NewPR on it, and land destination-oriented and acyclic.
+#[test]
+fn newpr_smoke_run_on_chain_16() {
+    let (instance, _, ok) = run_with_stdin(&["generate", "chain-away", "16"], "");
+    assert!(ok);
+    let (stats, stderr, ok) = run_with_stdin(&["run", "NewPR"], &instance);
+    assert!(ok, "NewPR run failed: {stderr}");
+    assert!(stats.contains("algorithm:        NewPR"));
+    assert!(stats.contains("nodes:            16"));
+    assert!(stats.contains("acyclic:          true"));
+    assert!(stats.contains("dest oriented:    true"));
+    // NewPR on the away-chain must do real work: every non-destination
+    // node reverses at least once.
+    let reversals: usize = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("total reversals:"))
+        .expect("reversal count printed")
+        .trim()
+        .parse()
+        .expect("reversal count parses");
+    assert!(reversals >= 15, "expected ≥ 15 reversals, got {reversals}");
+}
+
+#[test]
 fn generate_then_run_pipeline() {
     let (instance, _, ok) = run_with_stdin(&["generate", "chain-away", "8"], "");
     assert!(ok);

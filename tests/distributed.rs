@@ -46,7 +46,8 @@ fn distributed_work_is_invariant_to_message_timing_on_trees() {
     );
     let work = |sim: &link_reversal::net::sim::EventSim<
         link_reversal::net::reversal::DistributedPr,
-    >| -> u64 { sim.nodes().map(|(_, n)| n.reversals).sum() };
+    >|
+     -> u64 { sim.nodes().map(|(_, n)| n.reversals).sum() };
     assert_eq!(work(&calm), work(&wild));
 }
 

@@ -31,11 +31,7 @@ fn every_algorithm_orients_every_family_under_every_policy() {
         for kind in AlgorithmKind::ALL {
             for policy in policies {
                 let mut engine = kind.engine(&inst);
-                let stats = run_to_destination_oriented(
-                    engine.as_mut(),
-                    policy,
-                    DEFAULT_MAX_STEPS,
-                );
+                let stats = run_to_destination_oriented(engine.as_mut(), policy, DEFAULT_MAX_STEPS);
                 assert!(
                     stats.terminated,
                     "{} did not terminate on {name} under {policy:?}",

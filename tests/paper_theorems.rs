@@ -68,8 +68,7 @@ fn theorem_5_5_refinement_chain() {
         let inst = generate::random_connected(9, 8, 4000 + seed);
         let pr = PrSetAutomaton { inst: &inst };
         let exec = run(&pr, &mut schedulers::UniformRandom::seeded(seed), 10_000);
-        let report = refine_and_check(&inst, &exec)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let report = refine_and_check(&inst, &exec).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         assert!(report.states_checked > 0);
     }
 }
@@ -97,10 +96,22 @@ fn section_1_work_complexity_shapes() {
     let fr_alt = fit(AlgorithmKind::FullReversal, generate::alternating_chain);
     let pr_alt = fit(AlgorithmKind::PartialReversal, generate::alternating_chain);
 
-    assert!(fr_away > 1.8, "FR on away-chain should be quadratic, got {fr_away}");
-    assert!(pr_away < 1.2, "PR on away-chain should be linear, got {pr_away}");
-    assert!(fr_alt > 1.8, "FR on alternating chain should be quadratic, got {fr_alt}");
-    assert!(pr_alt > 1.8, "PR on alternating chain should be quadratic, got {pr_alt}");
+    assert!(
+        fr_away > 1.8,
+        "FR on away-chain should be quadratic, got {fr_away}"
+    );
+    assert!(
+        pr_away < 1.2,
+        "PR on away-chain should be linear, got {pr_away}"
+    );
+    assert!(
+        fr_alt > 1.8,
+        "FR on alternating chain should be quadratic, got {fr_alt}"
+    );
+    assert!(
+        pr_alt > 1.8,
+        "PR on alternating chain should be quadratic, got {pr_alt}"
+    );
 }
 
 /// §4.1: NewPR "incurs a greater cost in certain situations" — dummy
@@ -109,8 +120,7 @@ fn section_1_work_complexity_shapes() {
 /// executions.
 #[test]
 fn section_4_1_dummy_step_accounting() {
-    let inst =
-        link_reversal::graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
+    let inst = link_reversal::graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
     let os = OneStepPrAutomaton { inst: &inst };
     let np = NewPrAutomaton { inst: &inst };
     let exec = run(&os, &mut schedulers::FirstEnabled, 10_000);

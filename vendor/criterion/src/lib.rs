@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`, covering the macro and method
+//! surface this workspace's benches use.
+//!
+//! There is no statistical analysis, HTML report, or baseline storage:
+//! each benchmark warms up briefly, then runs enough iterations to fill
+//! a fixed measurement window and prints the mean iteration time. The
+//! numbers are honest wall-clock means — good enough to compare hot
+//! paths PR-over-PR in this container — and the bench sources remain
+//! fully compatible with the real crate.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level benchmark driver (stub: only grouping and printing).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(&id.to_string(), f);
+    }
+}
+
+/// A named set of benchmarks sharing an output prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_one(&format!("{}/{}", self.name, id), f);
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id like `"name/param"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Measures closures handed to it by a benchmark function.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring for a fixed
+    /// window; records total time and iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        const WARMUP: Duration = Duration::from_millis(20);
+        const MEASURE: Duration = Duration::from_millis(120);
+
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        // Aim for ~50 timed batches based on the warmed-up rate.
+        let per_iter = warm_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+        let batch = (MEASURE.as_nanos() as u64 / 50 / per_iter.max(1)).max(1);
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher { measured: None };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((total, iters)) if iters > 0 => {
+            let mean = total.as_nanos() as f64 / iters as f64;
+            println!(
+                "{label:<60} {:>14} /iter ({iters} iters)",
+                format_nanos(mean)
+            );
+        }
+        _ => println!("{label:<60} (no measurement)"),
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

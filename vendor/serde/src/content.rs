@@ -1,0 +1,66 @@
+//! The self-describing value tree that serialization passes through.
+
+/// A structured value: the stub's entire data model.
+///
+/// Maps keep insertion order in a `Vec` (JSON objects are ordered on
+/// output; lookup during deserialization is by key, not position).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` / `None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (always `< 0`; non-negatives use [`Content::U64`]).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string (also used for enum unit variants).
+    Str(String),
+    /// A sequence (`Vec`, slice, tuple, set).
+    Seq(Vec<Content>),
+    /// A map or struct: ordered `(key, value)` pairs.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The key string this value becomes when used as a map key.
+    ///
+    /// JSON objects require string keys; like real `serde_json`, integer
+    /// and string keys are allowed and anything else is an error.
+    pub fn as_map_key(&self) -> Option<String> {
+        match self {
+            Content::Str(s) => Some(s.clone()),
+            Content::U64(n) => Some(n.to_string()),
+            Content::I64(n) => Some(n.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Parses a map-key string back into a value (inverse of
+    /// [`Content::as_map_key`]): integers when they look like one,
+    /// otherwise a string.
+    pub fn from_map_key(key: &str) -> Content {
+        if let Ok(n) = key.parse::<u64>() {
+            Content::U64(n)
+        } else if let Ok(n) = key.parse::<i64>() {
+            Content::I64(n)
+        } else {
+            Content::Str(key.to_owned())
+        }
+    }
+
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Deserialization: the [`Deserialize`] / [`Deserializer`] traits and
+//! the primitive / collection impls.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use crate::content::Content;
+
+/// Errors a [`Deserializer`] can produce.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that yields one [`Content`] tree per value.
+///
+/// The `'de` lifetime mirrors real serde's signature so that manual
+/// impls (`impl<'de> Deserialize<'de> for …`) are source-compatible;
+/// the stub always produces owned data.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produces the value tree for the value being deserialized.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from a data format (same signature as serde).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializes a `T` from an already-extracted [`Content`] tree.
+///
+/// This is the workhorse used by collection impls and derive macros to
+/// recurse into elements and fields.
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    struct ContentDeserializer<E> {
+        content: Content,
+        _marker: PhantomData<E>,
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+        type Error = E;
+
+        fn take_content(self) -> Result<Content, E> {
+            Ok(self.content)
+        }
+    }
+
+    T::deserialize(ContentDeserializer {
+        content,
+        _marker: PhantomData,
+    })
+}
+
+/// Removes the field `key` from a struct's entry list and deserializes
+/// it; used by derived [`Deserialize`] impls.
+pub fn take_field<'de, T: Deserialize<'de>, E: Error>(
+    entries: &mut Vec<(String, Content)>,
+    key: &str,
+) -> Result<T, E> {
+    match entries.iter().position(|(k, _)| k == key) {
+        Some(i) => from_content(entries.swap_remove(i).1),
+        None => Err(E::custom(format!("missing field `{key}`"))),
+    }
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.take_content()?;
+                let out = match &content {
+                    Content::U64(n) => <$t>::try_from(*n).ok(),
+                    Content::I64(n) => <$t>::try_from(*n).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| {
+                    unexpected(concat!("an integer fitting ", stringify!($t)), &content)
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(unexpected("a boolean", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::F64(x) => Ok(x as $t),
+                    Content::U64(n) => Ok(n as $t),
+                    Content::I64(n) => Ok(n as $t),
+                    other => Err(unexpected("a number", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(unexpected("a string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(unexpected("a single-character string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(()),
+            other => Err(unexpected("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some),
+        }
+    }
+}
+
+fn seq_elements<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<Vec<T>, E> {
+    match content {
+        Content::Seq(items) => items.into_iter().map(from_content).collect(),
+        other => Err(unexpected("a sequence", &other)),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_elements(deserializer.take_content()?)
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(seq_elements::<T, D::Error>(deserializer.take_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(seq_elements::<T, D::Error>(deserializer.take_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+fn map_entries<'de, K, V, E>(content: Content) -> Result<Vec<(K, V)>, E>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    E: Error,
+{
+    match content {
+        Content::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| {
+                // A JSON key is textually a string; integer-keyed maps
+                // (serde_json's convention for e.g. `BTreeMap<u32, _>`)
+                // need the numeric re-reading, but a genuinely
+                // string-keyed map must win even when its keys look
+                // numeric, so try the string shape first.
+                let key = from_content(Content::Str(k.clone()))
+                    .or_else(|_: E| from_content(Content::from_map_key(&k)))?;
+                Ok((key, from_content(v)?))
+            })
+            .collect(),
+        other => Err(unexpected("a map", &other)),
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_entries::<K, V, D::Error>(deserializer.take_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Eq + Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(map_entries::<K, V, D::Error>(deserializer.take_content()?)?
+            .into_iter()
+            .collect())
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal : $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(from_content::<$name, D::Error>(
+                            iter.next().expect("length checked"),
+                        )?,)+))
+                    }
+                    other => Err(unexpected(
+                        concat!("a sequence of length ", stringify!($len)),
+                        &other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (1: T0)
+    (2: T0, T1)
+    (3: T0, T1, T2)
+    (4: T0, T1, T2, T3)
+    (5: T0, T1, T2, T3, T4)
+    (6: T0, T1, T2, T3, T4, T5)
+}

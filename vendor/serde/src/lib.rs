@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`, covering the API surface this
+//! workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! a minimal serde: the [`Serialize`] / [`Deserialize`] traits with the
+//! standard generic signatures, derive macros for non-generic structs,
+//! newtype structs, and fieldless enums, and impls for the primitives
+//! and std collections the crates serialize. Instead of serde's visitor
+//! architecture, values pass through a small self-describing
+//! [`content::Content`] tree — sufficient because the only data format
+//! in the workspace is the vendored `serde_json`.
+//!
+//! Call sites are written against real-serde signatures
+//! (`fn serialize<S: Serializer>(&self, s: S)`), so swapping the real
+//! crates back in is a `Cargo.toml`-only change.
+
+pub mod content;
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+// Derive macros live in a separate namespace from the traits, exactly
+// like real serde's `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,290 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace actually derives on:
+//!
+//! * non-generic structs with named fields → JSON-style map keyed by
+//!   field name;
+//! * one-field tuple structs (newtypes) → transparent delegation to the
+//!   inner value (so `NodeId(42)` serializes as `42`, like real serde);
+//! * enums whose variants all carry no data → the variant name as a
+//!   string (serde's externally-tagged unit-variant encoding).
+//!
+//! Anything else (generics, multi-field tuple structs, data-carrying
+//! variants, `#[serde(...)]` attributes) is rejected with a compile
+//! error naming this file, rather than silently mis-encoding.
+//!
+//! Parsing is done directly on the `proc_macro` token stream — the
+//! container build has no `syn`/`quote` — and the generated impls are
+//! assembled as strings and re-parsed, which `proc_macro` supports
+//! natively.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The subset of item shapes the derives understand.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives `serde::Serialize` (stub dialect) for supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_owned(), \
+                     ::serde::ser::to_content::<_, S::Error>(&self.{f})?));\n"
+                ));
+            }
+            format!(
+                "let mut fields = ::std::vec::Vec::new();\n{pushes}\
+                 serializer.serialize_content(::serde::content::Content::Map(fields))"
+            )
+        }
+        Item::NewtypeStruct { .. } => "::serde::Serialize::serialize(&self.0, serializer)".into(),
+        Item::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "let variant = match self {{\n{arms}}};\n\
+                 serializer.serialize_content(::serde::content::Content::Str(variant.to_owned()))"
+            )
+        }
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+         -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (stub dialect) for supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item_name(&item);
+    let body = match &item {
+        Item::NamedStruct { fields, .. } => {
+            let takes: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::take_field(&mut entries, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "let mut entries = match deserializer.take_content()? {{\n\
+                     ::serde::content::Content::Map(entries) => entries,\n\
+                     other => return ::core::result::Result::Err(\n\
+                         <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                             \"expected map for struct {name}, found {{}}\", other.kind()))),\n\
+                 }};\n\
+                 ::core::result::Result::Ok({name} {{\n{takes}}})"
+            )
+        }
+        Item::NewtypeStruct { .. } => format!(
+            "let content = deserializer.take_content()?;\n\
+             ::core::result::Result::Ok({name}(::serde::de::from_content(content)?))"
+        ),
+        Item::UnitEnum { variants, .. } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let content = deserializer.take_content()?;\n\
+                 let s = match &content {{\n\
+                     ::serde::content::Content::Str(s) => s.as_str(),\n\
+                     other => return ::core::result::Result::Err(\n\
+                         <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                             \"expected string variant of {name}, found {{}}\", other.kind()))),\n\
+                 }};\n\
+                 match s {{\n{arms}\
+                     other => ::core::result::Result::Err(\n\
+                         <D::Error as ::serde::de::Error>::custom(::std::format!(\n\
+                             \"unknown {name} variant {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\n\
+         -> ::core::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::NewtypeStruct { name }
+        | Item::UnitEnum { name, .. } => name,
+    }
+}
+
+/// Skips attributes (`#[...]`, doc comments) and visibility at the
+/// current position, rejecting `#[serde(...)]`: the stub implements no
+/// serde attribute, and silently ignoring one would mis-encode.
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let is_serde = matches!(
+                        g.stream().into_iter().next(),
+                        Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+                    );
+                    if is_serde {
+                        panic!(
+                            "serde stub derive: #[serde(...)] attributes are not supported \
+                             (see vendor/serde_derive/src/lib.rs)"
+                        );
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // optional `(crate)` / `(super)` restriction
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses the derive input item into one of the supported shapes,
+/// panicking (= compile error at the derive site) on anything else.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde stub derive: generic type `{name}` is not supported \
+             (see vendor/serde_derive/src/lib.rs)"
+        );
+    }
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde stub derive: expected item body for `{name}`, got {other:?}"),
+    };
+
+    match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Item::NamedStruct {
+            fields: parse_named_fields(&name, body.stream()),
+            name,
+        },
+        ("struct", Delimiter::Parenthesis) => {
+            let fields = count_tuple_fields(body.stream());
+            if fields != 1 {
+                panic!(
+                    "serde stub derive: tuple struct `{name}` has {fields} fields; \
+                     only 1-field newtypes are supported"
+                );
+            }
+            Item::NewtypeStruct { name }
+        }
+        ("enum", Delimiter::Brace) => Item::UnitEnum {
+            variants: parse_unit_variants(&name, body.stream()),
+            name,
+        },
+        _ => panic!("serde stub derive: unsupported item shape for `{name}`"),
+    }
+}
+
+/// Extracts field names from `{ vis name: Type, ... }`.
+fn parse_named_fields(owner: &str, stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde stub derive: expected field name in `{owner}`, got {tree:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` in `{owner}`, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level comma. Angle brackets
+        // need manual depth tracking ('<'/'>' are plain puncts).
+        let mut depth = 0i32;
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts top-level comma-separated fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    count + usize::from(saw_token)
+}
+
+/// Extracts variant names from `{ A, B, ... }`, rejecting payloads.
+fn parse_unit_variants(owner: &str, stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = &tree else {
+            panic!("serde stub derive: expected variant name in `{owner}`, got {tree:?}");
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "serde stub derive: enum `{owner}` variant `{variant}` carries data \
+                 or uses unsupported syntax ({other:?}); only unit variants are supported"
+            ),
+        }
+    }
+    variants
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for `serde_json`: [`to_string`], [`to_string_pretty`]
+//! and [`from_str`] over the vendored `serde` stub's content model.
+//!
+//! The emitted JSON is standard (escaped strings, `null`, numbers,
+//! arrays, objects); the parser accepts standard JSON including nested
+//! structures, escape sequences, and scientific-notation numbers.
+//! Integer keys on maps follow real serde_json's convention of being
+//! written as JSON strings.
+
+use std::fmt;
+
+use serde::content::Content;
+use serde::{Deserialize, Serialize};
+
+mod read;
+mod write;
+
+/// A serialization or parse error, with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+struct JsonSerializer {
+    pretty: bool,
+}
+
+impl serde::Serializer for JsonSerializer {
+    type Ok = String;
+    type Error = Error;
+
+    fn serialize_content(self, content: Content) -> Result<String, Error> {
+        let mut out = String::new();
+        if self.pretty {
+            write::write_pretty(&mut out, &content, 0);
+        } else {
+            write::write_compact(&mut out, &content);
+        }
+        Ok(out)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Fails only on unrepresentable values (e.g. a map with a non-scalar
+/// key).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    value.serialize(JsonSerializer { pretty: false })
+}
+
+/// Serializes `value` as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Same failure cases as [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    value.serialize(JsonSerializer { pretty: true })
+}
+
+struct JsonDeserializer {
+    content: Content,
+}
+
+impl<'de> serde::Deserializer<'de> for JsonDeserializer {
+    type Error = Error;
+
+    fn take_content(self) -> Result<Content, Error> {
+        Ok(self.content)
+    }
+}
+
+/// Parses a value from a JSON string.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, trailing input, or a shape mismatch with
+/// `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let content = read::parse(input)?;
+    T::deserialize(JsonDeserializer { content })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("hi\n\"there\"").unwrap(), r#""hi\n\"there\"""#);
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<String>(r#""hiA""#).unwrap(), "hiA");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![(1u32, 2u32), (3, 4)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[[1,2],[3,4]]");
+        assert_eq!(from_str::<Vec<(u32, u32)>>(&json).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert(10u32, vec![1u8, 2]);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"10":[1,2]}"#);
+        assert_eq!(from_str::<BTreeMap<u32, Vec<u8>>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn string_keys_that_look_numeric_stay_strings() {
+        let mut m = BTreeMap::new();
+        m.insert("42".to_string(), 1u8);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, r#"{"42":1}"#);
+        assert_eq!(from_str::<BTreeMap<String, u8>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn unrepresentable_map_keys_error_at_any_depth() {
+        let top = BTreeMap::from([((1u32, 2u32), 3u8)]);
+        assert!(to_string(&top).is_err());
+        // Nested inside a Vec the same shape must still be an Err, not a
+        // panic.
+        assert!(to_string(&vec![top]).is_err());
+    }
+
+    #[test]
+    fn long_strings_with_multibyte_chars_parse() {
+        let original: String = "héllo wörld ∂x ".repeat(2_000);
+        let json = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), original);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = vec![1u8, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn floats_and_exponents_parse() {
+        assert_eq!(from_str::<f64>("2.5e2").unwrap(), 250.0);
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("42 trailing").is_err());
+        assert!(from_str::<u32>("{unquoted: 1}").is_err());
+        assert!(from_str::<Vec<u8>>("[1, 2").is_err());
+    }
+}
