@@ -14,11 +14,12 @@
 //! suite verifies each against the direct implementation step-by-step.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use lr_graph::{NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 
 use crate::alg::ReversalEngine;
-use crate::{MirroredDirs, ReversalStep};
+use crate::{EnabledTracker, MirroredDirs, ReversalStep};
 
 /// A label-update policy for [`BllEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,15 +77,19 @@ pub struct BllEngine<'a> {
     inst: &'a ReversalInstance,
     labeling: BllLabeling,
     state: BllState,
+    tracker: EnabledTracker,
 }
 
 impl<'a> BllEngine<'a> {
     /// Creates the engine with the given labeling policy.
     pub fn new(inst: &'a ReversalInstance, labeling: BllLabeling) -> Self {
+        let state = BllState::initial(inst);
+        let tracker = EnabledTracker::from_dirs(&state.dirs, inst.dest);
         BllEngine {
             inst,
             labeling,
-            state: BllState::initial(inst),
+            state,
+            tracker,
         }
     }
 
@@ -104,6 +109,10 @@ impl ReversalEngine for BllEngine<'_> {
         self.inst
     }
 
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.state.dirs.csr()
+    }
+
     fn algorithm_name(&self) -> &'static str {
         match self.labeling {
             BllLabeling::PartialReversal => "BLL[PR]",
@@ -112,7 +121,11 @@ impl ReversalEngine for BllEngine<'_> {
     }
 
     fn is_sink(&self, u: NodeId) -> bool {
-        self.state.dirs.is_sink(&self.inst.graph, u)
+        self.state.dirs.is_sink(u)
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
     }
 
     fn step(&mut self, u: NodeId) -> ReversalStep {
@@ -145,6 +158,7 @@ impl ReversalEngine for BllEngine<'_> {
                 self.state.labels.insert((u, v), true);
             }
         }
+        self.tracker.record_step(self.state.dirs.csr(), u, &targets);
         ReversalStep {
             node: u,
             reversed: targets,
@@ -158,6 +172,7 @@ impl ReversalEngine for BllEngine<'_> {
 
     fn reset(&mut self) {
         self.state = BllState::initial(self.inst);
+        self.tracker = EnabledTracker::from_dirs(&self.state.dirs, self.inst.dest);
     }
 }
 

@@ -5,11 +5,13 @@
 //! argument is one paragraph: the last node to step has all edges
 //! outgoing, so it cannot lie on a cycle.
 
-use lr_graph::{NodeId, Orientation, ReversalInstance};
+use std::sync::Arc;
+
+use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 use lr_ioa::Automaton;
 
 use crate::alg::ReversalEngine;
-use crate::{MirroredDirs, ReversalStep};
+use crate::{EnabledTracker, MirroredDirs, ReversalStep};
 
 /// FR state: just the mirrored edge directions.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -39,12 +41,15 @@ pub(crate) fn full_reversal_step(
 ) -> ReversalStep {
     assert_ne!(u, inst.dest, "destination {u} never takes steps");
     assert!(
-        state.dirs.is_sink(&inst.graph, u),
+        state.dirs.is_sink(u),
         "reverse({u}) precondition: {u} must be a sink"
     );
-    let targets: Vec<NodeId> = inst.graph.neighbors(u).collect();
-    for &v in &targets {
-        state.dirs.reverse_outward(u, v);
+    let csr = Arc::clone(state.dirs.csr());
+    let ui = csr.index_of(u).expect("sink is a node");
+    let mut targets = Vec::with_capacity(csr.degree(ui));
+    for slot in csr.slots(ui) {
+        targets.push(csr.node(csr.target(slot)));
+        state.dirs.reverse_outward_at(slot);
     }
     ReversalStep {
         node: u,
@@ -58,14 +63,18 @@ pub(crate) fn full_reversal_step(
 pub struct FullReversalEngine<'a> {
     inst: &'a ReversalInstance,
     state: FullReversalState,
+    tracker: EnabledTracker,
 }
 
 impl<'a> FullReversalEngine<'a> {
     /// Creates the engine in the initial state.
     pub fn new(inst: &'a ReversalInstance) -> Self {
+        let state = FullReversalState::initial(inst);
+        let tracker = EnabledTracker::from_dirs(&state.dirs, inst.dest);
         FullReversalEngine {
             inst,
-            state: FullReversalState::initial(inst),
+            state,
+            tracker,
         }
     }
 
@@ -80,16 +89,27 @@ impl ReversalEngine for FullReversalEngine<'_> {
         self.inst
     }
 
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.state.dirs.csr()
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "FR"
     }
 
     fn is_sink(&self, u: NodeId) -> bool {
-        self.state.dirs.is_sink(&self.inst.graph, u)
+        self.state.dirs.is_sink(u)
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
     }
 
     fn step(&mut self, u: NodeId) -> ReversalStep {
-        full_reversal_step(self.inst, &mut self.state, u)
+        let step = full_reversal_step(self.inst, &mut self.state, u);
+        self.tracker
+            .record_step(self.state.dirs.csr(), u, &step.reversed);
+        step
     }
 
     fn orientation(&self) -> Orientation {
@@ -98,6 +118,7 @@ impl ReversalEngine for FullReversalEngine<'_> {
 
     fn reset(&mut self) {
         self.state = FullReversalState::initial(self.inst);
+        self.tracker = EnabledTracker::from_dirs(&self.state.dirs, self.inst.dest);
     }
 }
 
@@ -120,12 +141,12 @@ impl Automaton for FullReversalAutomaton<'_> {
         self.inst
             .graph
             .nodes()
-            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(u))
             .collect()
     }
 
     fn is_enabled(&self, state: &FullReversalState, &u: &NodeId) -> bool {
-        u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u)
+        u != self.inst.dest && state.dirs.is_sink(u)
     }
 
     fn apply(&self, state: &FullReversalState, &u: &NodeId) -> FullReversalState {

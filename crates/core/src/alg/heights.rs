@@ -21,12 +21,12 @@
 //! as the local-state algorithm in the distributed simulator, where nodes
 //! only know their neighbors' heights.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use lr_graph::{NodeId, Orientation, PlaneEmbedding, ReversalInstance};
+use lr_graph::{CsrGraph, NodeId, Orientation, PlaneEmbedding, ReversalInstance};
 
 use crate::alg::ReversalEngine;
-use crate::ReversalStep;
+use crate::{EnabledTracker, ReversalStep};
 
 /// A Gafni–Bertsekas pair height `(α, id)`, ordered lexicographically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -48,20 +48,58 @@ pub struct TripleHeight {
     pub id: NodeId,
 }
 
-fn initial_positions(inst: &ReversalInstance) -> BTreeMap<NodeId, usize> {
+/// Plane-embedding x-coordinates by dense CSR index.
+fn initial_positions(inst: &ReversalInstance, csr: &CsrGraph) -> Vec<usize> {
     let emb = PlaneEmbedding::of_initial(&inst.graph, &inst.init)
         .expect("instance orientation is acyclic");
-    inst.graph
-        .nodes()
-        .map(|u| (u, emb.x(u).expect("embedding covers all nodes")))
+    csr.nodes()
+        .map(|u| emb.x(u).expect("embedding covers all nodes"))
         .collect()
+}
+
+/// Builds the enabled tracker for a height vector: the slot's edge points
+/// out of its source iff the source's height is the larger one.
+fn height_tracker<H: Ord>(csr: &CsrGraph, dest: NodeId, heights: &[H]) -> EnabledTracker {
+    EnabledTracker::new(csr, dest, |slot| {
+        heights[csr.source(slot)] > heights[csr.target(slot)]
+    })
+}
+
+/// Sink test shared by both height engines: every neighbor sits above.
+fn height_is_sink_at<H: Ord>(csr: &CsrGraph, heights: &[H], idx: usize) -> bool {
+    csr.degree(idx) > 0
+        && csr
+            .neighbor_indices(idx)
+            .iter()
+            .all(|&v| heights[v as usize] > heights[idx])
+}
+
+/// The orientation induced by total-order heights: each edge runs from
+/// the higher endpoint to the lower.
+fn height_orientation<H: Ord>(csr: &CsrGraph, heights: &[H]) -> Orientation {
+    let mut o = Orientation::new();
+    for slot in 0..csr.half_edge_count() {
+        let (src, dst) = (csr.source(slot), csr.target(slot));
+        if src < dst {
+            let (u, v) = (csr.node(src), csr.node(dst));
+            if heights[src] > heights[dst] {
+                o.set_from_to(u, v);
+            } else {
+                o.set_from_to(v, u);
+            }
+        }
+    }
+    o
 }
 
 /// Full Reversal via pair heights.
 #[derive(Debug, Clone)]
 pub struct PairHeightsEngine<'a> {
     inst: &'a ReversalInstance,
-    heights: BTreeMap<NodeId, PairHeight>,
+    csr: Arc<CsrGraph>,
+    /// Heights by dense CSR index.
+    heights: Vec<PairHeight>,
+    tracker: EnabledTracker,
 }
 
 impl<'a> PairHeightsEngine<'a> {
@@ -70,29 +108,36 @@ impl<'a> PairHeightsEngine<'a> {
     /// coordinate, so initial edges (left → right) run from higher to
     /// lower height.
     pub fn new(inst: &'a ReversalInstance) -> Self {
+        let csr = Arc::new(CsrGraph::from_graph(&inst.graph));
         let n = inst.node_count() as i64;
-        let heights = initial_positions(inst)
+        let heights: Vec<PairHeight> = initial_positions(inst, &csr)
             .into_iter()
-            .map(|(u, x)| {
-                (
-                    u,
-                    PairHeight {
-                        alpha: n - 1 - x as i64,
-                        id: u,
-                    },
-                )
+            .zip(csr.nodes())
+            .map(|(x, u)| PairHeight {
+                alpha: n - 1 - x as i64,
+                id: u,
             })
             .collect();
-        PairHeightsEngine { inst, heights }
+        let tracker = height_tracker(&csr, inst.dest, &heights);
+        PairHeightsEngine {
+            inst,
+            csr,
+            heights,
+            tracker,
+        }
     }
 
     /// The current height of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of the instance.
     pub fn height(&self, u: NodeId) -> PairHeight {
-        self.heights[&u]
+        self.heights[self.csr.index_of(u).expect("known node")]
     }
 
-    fn points_from_to(&self, u: NodeId, v: NodeId) -> bool {
-        self.heights[&u] > self.heights[&v]
+    fn is_sink_at(&self, idx: usize) -> bool {
+        height_is_sink_at(&self.csr, &self.heights, idx)
     }
 }
 
@@ -101,34 +146,44 @@ impl ReversalEngine for PairHeightsEngine<'_> {
         self.inst
     }
 
+    fn csr(&self) -> &Arc<CsrGraph> {
+        &self.csr
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "GB-pair"
     }
 
     fn is_sink(&self, u: NodeId) -> bool {
-        self.inst.graph.degree(u) > 0
-            && self
-                .inst
-                .graph
-                .neighbors(u)
-                .all(|v| self.points_from_to(v, u))
+        self.csr.index_of(u).is_some_and(|i| self.is_sink_at(i))
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
     }
 
     fn step(&mut self, u: NodeId) -> ReversalStep {
         assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
+        let ui = self.csr.index_of(u).expect("stepping node exists");
         assert!(
-            self.is_sink(u),
+            self.is_sink_at(ui),
             "reverse({u}) precondition: {u} must be a sink"
         );
         let max_alpha = self
-            .inst
-            .graph
-            .neighbors(u)
-            .map(|v| self.heights[&v].alpha)
+            .csr
+            .neighbor_indices(ui)
+            .iter()
+            .map(|&v| self.heights[v as usize].alpha)
             .max()
             .expect("sink has at least one neighbor");
-        let reversed: Vec<NodeId> = self.inst.graph.neighbors(u).collect();
-        self.heights.get_mut(&u).expect("node exists").alpha = max_alpha + 1;
+        let reversed: Vec<NodeId> = self
+            .csr
+            .neighbor_indices(ui)
+            .iter()
+            .map(|&v| self.csr.node(v as usize))
+            .collect();
+        self.heights[ui].alpha = max_alpha + 1;
+        self.tracker.record_step(&self.csr, u, &reversed);
         ReversalStep {
             node: u,
             reversed,
@@ -137,15 +192,7 @@ impl ReversalEngine for PairHeightsEngine<'_> {
     }
 
     fn orientation(&self) -> Orientation {
-        let mut o = Orientation::new();
-        for (u, v) in self.inst.graph.edges() {
-            if self.points_from_to(u, v) {
-                o.set_from_to(u, v);
-            } else {
-                o.set_from_to(v, u);
-            }
-        }
-        o
+        height_orientation(&self.csr, &self.heights)
     }
 
     fn reset(&mut self) {
@@ -157,7 +204,10 @@ impl ReversalEngine for PairHeightsEngine<'_> {
 #[derive(Debug, Clone)]
 pub struct TripleHeightsEngine<'a> {
     inst: &'a ReversalInstance,
-    heights: BTreeMap<NodeId, TripleHeight>,
+    csr: Arc<CsrGraph>,
+    /// Heights by dense CSR index.
+    heights: Vec<TripleHeight>,
+    tracker: EnabledTracker,
 }
 
 impl<'a> TripleHeightsEngine<'a> {
@@ -165,29 +215,36 @@ impl<'a> TripleHeightsEngine<'a> {
     /// the plane embedding, so initial edges run from higher to lower
     /// height.
     pub fn new(inst: &'a ReversalInstance) -> Self {
-        let heights = initial_positions(inst)
+        let csr = Arc::new(CsrGraph::from_graph(&inst.graph));
+        let heights: Vec<TripleHeight> = initial_positions(inst, &csr)
             .into_iter()
-            .map(|(u, x)| {
-                (
-                    u,
-                    TripleHeight {
-                        alpha: 0,
-                        beta: -(x as i64),
-                        id: u,
-                    },
-                )
+            .zip(csr.nodes())
+            .map(|(x, u)| TripleHeight {
+                alpha: 0,
+                beta: -(x as i64),
+                id: u,
             })
             .collect();
-        TripleHeightsEngine { inst, heights }
+        let tracker = height_tracker(&csr, inst.dest, &heights);
+        TripleHeightsEngine {
+            inst,
+            csr,
+            heights,
+            tracker,
+        }
     }
 
     /// The current height of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of the instance.
     pub fn height(&self, u: NodeId) -> TripleHeight {
-        self.heights[&u]
+        self.heights[self.csr.index_of(u).expect("known node")]
     }
 
-    fn points_from_to(&self, u: NodeId, v: NodeId) -> bool {
-        self.heights[&u] > self.heights[&v]
+    fn is_sink_at(&self, idx: usize) -> bool {
+        height_is_sink_at(&self.csr, &self.heights, idx)
     }
 }
 
@@ -196,53 +253,54 @@ impl ReversalEngine for TripleHeightsEngine<'_> {
         self.inst
     }
 
+    fn csr(&self) -> &Arc<CsrGraph> {
+        &self.csr
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "GB-triple"
     }
 
     fn is_sink(&self, u: NodeId) -> bool {
-        self.inst.graph.degree(u) > 0
-            && self
-                .inst
-                .graph
-                .neighbors(u)
-                .all(|v| self.points_from_to(v, u))
+        self.csr.index_of(u).is_some_and(|i| self.is_sink_at(i))
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
     }
 
     fn step(&mut self, u: NodeId) -> ReversalStep {
         assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
+        let ui = self.csr.index_of(u).expect("stepping node exists");
         assert!(
-            self.is_sink(u),
+            self.is_sink_at(ui),
             "reverse({u}) precondition: {u} must be a sink"
         );
-        let min_alpha = self
-            .inst
-            .graph
-            .neighbors(u)
-            .map(|v| self.heights[&v].alpha)
+        let nbrs = self.csr.neighbor_indices(ui);
+        let min_alpha = nbrs
+            .iter()
+            .map(|&v| self.heights[v as usize].alpha)
             .min()
             .expect("sink has at least one neighbor");
         let new_alpha = min_alpha + 1;
         // Neighbors tying on the new α: u must drop below them on β.
-        let min_beta_tying = self
-            .inst
-            .graph
-            .neighbors(u)
-            .filter(|&v| self.heights[&v].alpha == new_alpha)
-            .map(|v| self.heights[&v].beta)
+        let min_beta_tying = nbrs
+            .iter()
+            .filter(|&&v| self.heights[v as usize].alpha == new_alpha)
+            .map(|&v| self.heights[v as usize].beta)
             .min();
         // The edges that flip are exactly those to minimum-α neighbors.
-        let reversed: Vec<NodeId> = self
-            .inst
-            .graph
-            .neighbors(u)
-            .filter(|&v| self.heights[&v].alpha == min_alpha)
+        let reversed: Vec<NodeId> = nbrs
+            .iter()
+            .filter(|&&v| self.heights[v as usize].alpha == min_alpha)
+            .map(|&v| self.csr.node(v as usize))
             .collect();
-        let h = self.heights.get_mut(&u).expect("node exists");
+        let h = &mut self.heights[ui];
         h.alpha = new_alpha;
         if let Some(b) = min_beta_tying {
             h.beta = b - 1;
         }
+        self.tracker.record_step(&self.csr, u, &reversed);
         ReversalStep {
             node: u,
             reversed,
@@ -251,15 +309,7 @@ impl ReversalEngine for TripleHeightsEngine<'_> {
     }
 
     fn orientation(&self) -> Orientation {
-        let mut o = Orientation::new();
-        for (u, v) in self.inst.graph.edges() {
-            if self.points_from_to(u, v) {
-                o.set_from_to(u, v);
-            } else {
-                o.set_from_to(v, u);
-            }
-        }
-        o
+        height_orientation(&self.csr, &self.heights)
     }
 
     fn reset(&mut self) {

@@ -28,7 +28,9 @@ pub use pr::{
     ReverseSet,
 };
 
-use lr_graph::{NodeId, Orientation, ReversalInstance};
+use std::sync::Arc;
+
+use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 
 use crate::ReversalStep;
 
@@ -37,24 +39,40 @@ use crate::ReversalStep;
 /// A node may step when it is a sink and is not the destination; `step`
 /// performs one node's reversal in place. The greedy/random run loops in
 /// [`crate::engine`] drive engines to termination.
+///
+/// Every engine maintains its enabled set **incrementally** (via
+/// [`crate::EnabledTracker`]): [`ReversalEngine::enabled`] is an O(1)
+/// borrow of the current sorted sink set and
+/// [`ReversalEngine::is_terminated`] an O(1) emptiness check, instead of
+/// the O(n·Δ) whole-graph rescan the pre-PR-2 engines performed before
+/// every step.
 pub trait ReversalEngine {
     /// The instance this engine runs on.
     fn instance(&self) -> &ReversalInstance;
+
+    /// The CSR snapshot of the instance's graph shared by this engine's
+    /// state (dense `NodeId → usize` indexing for run-loop work vectors).
+    fn csr(&self) -> &Arc<CsrGraph>;
 
     /// A short algorithm name for reports ("FR", "PR", "NewPR", ...).
     fn algorithm_name(&self) -> &'static str;
 
     /// Whether `u` currently is a sink (all incident edges incoming).
+    ///
+    /// Computed directly from the engine's direction state — **not** from
+    /// the incremental enabled set — so differential tests can cross-check
+    /// the two.
     fn is_sink(&self, u: NodeId) -> bool;
 
-    /// The nodes currently allowed to take a step: all sinks except the
-    /// destination, ascending.
+    /// The nodes currently allowed to take a step — all sinks except the
+    /// destination, ascending — as an incrementally maintained view.
+    /// O(1); no allocation.
+    fn enabled(&self) -> &[NodeId];
+
+    /// The enabled nodes as an owned vector (compatibility wrapper over
+    /// [`ReversalEngine::enabled`]).
     fn enabled_nodes(&self) -> Vec<NodeId> {
-        let inst = self.instance();
-        inst.graph
-            .nodes()
-            .filter(|&u| u != inst.dest && self.is_sink(u))
-            .collect()
+        self.enabled().to_vec()
     }
 
     /// Performs node `u`'s reversal step.
@@ -69,9 +87,9 @@ pub trait ReversalEngine {
     fn orientation(&self) -> Orientation;
 
     /// Whether the execution has terminated (no enabled node). For
-    /// connected instances this is exactly destination-orientedness.
+    /// connected instances this is exactly destination-orientedness. O(1).
     fn is_terminated(&self) -> bool {
-        self.enabled_nodes().is_empty()
+        self.enabled().is_empty()
     }
 
     /// Restores the initial state.

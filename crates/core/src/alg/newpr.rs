@@ -14,12 +14,13 @@
 //! uniform across all nodes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use lr_graph::{NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 use lr_ioa::Automaton;
 
 use crate::alg::ReversalEngine;
-use crate::{MirroredDirs, ReversalStep};
+use crate::{EnabledTracker, MirroredDirs, ReversalStep};
 
 /// The parity of a node's step count — the derived variable `parity[u]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,7 +79,7 @@ impl NewPrState {
 pub fn newpr_step(inst: &ReversalInstance, state: &mut NewPrState, u: NodeId) -> ReversalStep {
     assert_ne!(u, inst.dest, "destination {u} never takes steps");
     assert!(
-        state.dirs.is_sink(&inst.graph, u),
+        state.dirs.is_sink(u),
         "reverse({u}) precondition: {u} must be a sink"
     );
     let targets: Vec<NodeId> = match state.parity(u) {
@@ -102,14 +103,18 @@ pub fn newpr_step(inst: &ReversalInstance, state: &mut NewPrState, u: NodeId) ->
 pub struct NewPrEngine<'a> {
     inst: &'a ReversalInstance,
     state: NewPrState,
+    tracker: EnabledTracker,
 }
 
 impl<'a> NewPrEngine<'a> {
     /// Creates the engine in the initial state.
     pub fn new(inst: &'a ReversalInstance) -> Self {
+        let state = NewPrState::initial(inst);
+        let tracker = EnabledTracker::from_dirs(&state.dirs, inst.dest);
         NewPrEngine {
             inst,
-            state: NewPrState::initial(inst),
+            state,
+            tracker,
         }
     }
 
@@ -124,16 +129,27 @@ impl ReversalEngine for NewPrEngine<'_> {
         self.inst
     }
 
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.state.dirs.csr()
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "NewPR"
     }
 
     fn is_sink(&self, u: NodeId) -> bool {
-        self.state.dirs.is_sink(&self.inst.graph, u)
+        self.state.dirs.is_sink(u)
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
     }
 
     fn step(&mut self, u: NodeId) -> ReversalStep {
-        newpr_step(self.inst, &mut self.state, u)
+        let step = newpr_step(self.inst, &mut self.state, u);
+        self.tracker
+            .record_step(self.state.dirs.csr(), u, &step.reversed);
+        step
     }
 
     fn orientation(&self) -> Orientation {
@@ -142,6 +158,7 @@ impl ReversalEngine for NewPrEngine<'_> {
 
     fn reset(&mut self) {
         self.state = NewPrState::initial(self.inst);
+        self.tracker = EnabledTracker::from_dirs(&self.state.dirs, self.inst.dest);
     }
 }
 
@@ -164,12 +181,12 @@ impl Automaton for NewPrAutomaton<'_> {
         self.inst
             .graph
             .nodes()
-            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(u))
             .collect()
     }
 
     fn is_enabled(&self, state: &NewPrState, &u: &NodeId) -> bool {
-        u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u)
+        u != self.inst.dest && state.dirs.is_sink(u)
     }
 
     fn apply(&self, state: &NewPrState, &u: &NodeId) -> NewPrState {

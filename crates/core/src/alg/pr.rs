@@ -10,12 +10,13 @@
 //! was reversed.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use lr_graph::{NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 use lr_ioa::Automaton;
 
 use crate::alg::ReversalEngine;
-use crate::{MirroredDirs, ReversalStep};
+use crate::{EnabledTracker, MirroredDirs, ReversalStep};
 
 /// Shared state of `PR` and `OneStepPR`: edge directions plus `list[u]`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -57,18 +58,27 @@ impl PrState {
 pub fn onestep_pr_step(inst: &ReversalInstance, state: &mut PrState, u: NodeId) -> ReversalStep {
     assert_ne!(u, inst.dest, "destination {u} never takes steps");
     assert!(
-        state.dirs.is_sink(&inst.graph, u),
+        state.dirs.is_sink(u),
         "reverse({u}) precondition: {u} must be a sink"
     );
-    let nbrs: BTreeSet<NodeId> = inst.graph.neighbor_set(u);
-    let list_u = state.lists[&u].clone();
-    let targets: Vec<NodeId> = if list_u != nbrs {
-        nbrs.difference(&list_u).copied().collect()
-    } else {
-        nbrs.iter().copied().collect()
-    };
-    for &v in &targets {
-        state.dirs.reverse_outward(u, v);
+    let csr = Arc::clone(state.dirs.csr());
+    let ui = csr.index_of(u).expect("sink is a node");
+    let list_u = &state.lists[&u];
+    // `reverse(u)` targets the neighbors not in list[u] — unless the list
+    // holds *all* neighbors, in which case everything reverses. Neighbor
+    // slots are ascending by id, matching the old BTreeSet iteration.
+    let list_is_full = list_u.len() == csr.degree(ui);
+    let mut targets = Vec::with_capacity(csr.degree(ui));
+    let mut slots = Vec::with_capacity(csr.degree(ui));
+    for slot in csr.slots(ui) {
+        let v = csr.node(csr.target(slot));
+        if list_is_full || !list_u.contains(&v) {
+            targets.push(v);
+            slots.push(slot);
+        }
+    }
+    for (&v, &slot) in targets.iter().zip(&slots) {
+        state.dirs.reverse_outward_at(slot);
         state
             .lists
             .get_mut(&v)
@@ -104,7 +114,7 @@ pub fn pr_reverse_set(
     for &u in set {
         assert_ne!(u, inst.dest, "destination {u} never takes steps");
         assert!(
-            state.dirs.is_sink(&inst.graph, u),
+            state.dirs.is_sink(u),
             "reverse(S) precondition: {u} must be a sink"
         );
     }
@@ -118,14 +128,18 @@ pub fn pr_reverse_set(
 pub struct PrEngine<'a> {
     inst: &'a ReversalInstance,
     state: PrState,
+    tracker: EnabledTracker,
 }
 
 impl<'a> PrEngine<'a> {
     /// Creates the engine in the initial state.
     pub fn new(inst: &'a ReversalInstance) -> Self {
+        let state = PrState::initial(inst);
+        let tracker = EnabledTracker::from_dirs(&state.dirs, inst.dest);
         PrEngine {
             inst,
-            state: PrState::initial(inst),
+            state,
+            tracker,
         }
     }
 
@@ -140,16 +154,27 @@ impl ReversalEngine for PrEngine<'_> {
         self.inst
     }
 
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.state.dirs.csr()
+    }
+
     fn algorithm_name(&self) -> &'static str {
         "PR"
     }
 
     fn is_sink(&self, u: NodeId) -> bool {
-        self.state.dirs.is_sink(&self.inst.graph, u)
+        self.state.dirs.is_sink(u)
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
     }
 
     fn step(&mut self, u: NodeId) -> ReversalStep {
-        onestep_pr_step(self.inst, &mut self.state, u)
+        let step = onestep_pr_step(self.inst, &mut self.state, u);
+        self.tracker
+            .record_step(self.state.dirs.csr(), u, &step.reversed);
+        step
     }
 
     fn orientation(&self) -> Orientation {
@@ -158,6 +183,7 @@ impl ReversalEngine for PrEngine<'_> {
 
     fn reset(&mut self) {
         self.state = PrState::initial(self.inst);
+        self.tracker = EnabledTracker::from_dirs(&self.state.dirs, self.inst.dest);
     }
 }
 
@@ -181,12 +207,12 @@ impl Automaton for OneStepPrAutomaton<'_> {
         self.inst
             .graph
             .nodes()
-            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(u))
             .collect()
     }
 
     fn is_enabled(&self, state: &PrState, &u: &NodeId) -> bool {
-        u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u)
+        u != self.inst.dest && state.dirs.is_sink(u)
     }
 
     fn apply(&self, state: &PrState, &u: &NodeId) -> PrState {
@@ -226,7 +252,7 @@ impl Automaton for PrSetAutomaton<'_> {
             .inst
             .graph
             .nodes()
-            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+            .filter(|&u| u != self.inst.dest && state.dirs.is_sink(u))
             .collect();
         assert!(
             sinks.len() <= 16,
@@ -250,7 +276,7 @@ impl Automaton for PrSetAutomaton<'_> {
             && action
                 .0
                 .iter()
-                .all(|&u| u != self.inst.dest && state.dirs.is_sink(&self.inst.graph, u))
+                .all(|&u| u != self.inst.dest && state.dirs.is_sink(u))
     }
 
     fn apply(&self, state: &PrState, action: &ReverseSet) -> PrState {
@@ -291,7 +317,7 @@ mod tests {
         e.step(n(3)); // 3 reverses {2,3}; list[2] = {3}
         e.step(n(2)); // 2 is now a sink; list[2]={3} ≠ nbrs{1,3}: reverse only 1
         let step_edges = e.state();
-        assert!(!step_edges.dirs.is_sink(&inst.graph, n(3)));
+        assert!(!step_edges.dirs.is_sink(n(3)));
         // Edge {2,3} still points 3 -> 2 (2 spared it).
         assert_eq!(
             e.orientation().tail(n(2), n(3)),

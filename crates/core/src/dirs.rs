@@ -7,16 +7,31 @@
 //! representation instead of a single direction per edge, so that
 //! Invariant 3.1 is a falsifiable property of the implementation rather
 //! than true by construction.
+//!
+//! Since PR 2 the duplicated state lives in a flat `Vec<EdgeDir>` indexed
+//! by [`CsrGraph`] half-edge slot instead of a
+//! `BTreeMap<(NodeId, NodeId), EdgeDir>`: the slot of `(u, v)` and the
+//! slot of `(v, u)` are **distinct array entries** (related by the twin
+//! table), so the representation is exactly as falsifiable as the map was
+//! — [`MirroredDirs::set_one_sided`] can still desynchronize the two
+//! copies and [`MirroredDirs::check_consistency`] still has a real
+//! property to check — while every lookup on the execution hot path is an
+//! array index instead of an ordered-map walk.
 
-use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use lr_graph::{EdgeDir, NodeId, Orientation, ReversalInstance, UndirectedGraph};
+use lr_graph::{CsrGraph, EdgeDir, NodeId, Orientation, ReversalInstance};
 
 /// Both-endpoint edge direction state: `dir[u, v]` for every ordered pair
-/// of adjacent `u, v`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// of adjacent `u, v`, stored in a half-edge-slot-indexed flat vector
+/// over a shared [`CsrGraph`].
+#[derive(Debug, Clone)]
 pub struct MirroredDirs {
-    dirs: BTreeMap<(NodeId, NodeId), EdgeDir>,
+    csr: Arc<CsrGraph>,
+    /// `dirs[slot of (u, v)] = dir[u, v]`; the twin slot holds the other
+    /// endpoint's independent copy.
+    dirs: Vec<EdgeDir>,
 }
 
 /// A violation of Invariant 3.1: the two per-endpoint copies of an edge
@@ -36,18 +51,37 @@ pub struct DirInconsistency {
 impl MirroredDirs {
     /// Initializes from an instance: `dir[u, v] = out` iff the initial
     /// orientation directs `u → v`, and symmetrically for `dir[v, u]`
-    /// (matching the `States` section of Algorithms 1–3).
+    /// (matching the `States` section of Algorithms 1–3). Builds the
+    /// instance's CSR snapshot; clones share it.
     pub fn from_instance(inst: &ReversalInstance) -> Self {
-        let mut dirs = BTreeMap::new();
-        for (u, v) in inst.graph.edges() {
-            let d = inst
-                .init
-                .dir(u, v)
-                .expect("instance orientation covers every edge");
-            dirs.insert((u, v), d);
-            dirs.insert((v, u), d.flipped());
+        let csr = Arc::new(CsrGraph::from_graph(&inst.graph));
+        let mut dirs = Vec::with_capacity(csr.half_edge_count());
+        for slot in 0..csr.half_edge_count() {
+            let u = csr.node(csr.source(slot));
+            let v = csr.node(csr.target(slot));
+            dirs.push(
+                inst.init
+                    .dir(u, v)
+                    .expect("instance orientation covers every edge"),
+            );
         }
-        MirroredDirs { dirs }
+        MirroredDirs { csr, dirs }
+    }
+
+    /// The shared CSR snapshot the directions are indexed by.
+    pub fn csr(&self) -> &Arc<CsrGraph> {
+        &self.csr
+    }
+
+    fn slot(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let ui = self.csr.index_of(u)?;
+        let vi = self.csr.index_of(v)?;
+        self.csr.slot_of(ui, vi)
+    }
+
+    fn slot_or_panic(&self, u: NodeId, v: NodeId) -> usize {
+        self.slot(u, v)
+            .unwrap_or_else(|| panic!("no edge between {u} and {v}"))
     }
 
     /// `dir[u, v]` — the direction of edge `{u, v}` from `u`'s perspective.
@@ -56,10 +90,12 @@ impl MirroredDirs {
     ///
     /// Panics if `{u, v}` is not an edge, which indicates a harness bug.
     pub fn dir(&self, u: NodeId, v: NodeId) -> EdgeDir {
-        self.dirs
-            .get(&(u, v))
-            .copied()
-            .unwrap_or_else(|| panic!("no edge between {u} and {v}"))
+        self.dirs[self.slot_or_panic(u, v)]
+    }
+
+    /// `dir` by half-edge slot — the allocation-free hot-path accessor.
+    pub fn dir_at(&self, slot: usize) -> EdgeDir {
+        self.dirs[slot]
     }
 
     /// Executes the paper's reversal assignment for one edge as performed
@@ -69,12 +105,16 @@ impl MirroredDirs {
     ///
     /// Panics if `{u, v}` is not an edge.
     pub fn reverse_outward(&mut self, u: NodeId, v: NodeId) {
-        assert!(
-            self.dirs.contains_key(&(u, v)),
-            "no edge between {u} and {v}"
-        );
-        self.dirs.insert((u, v), EdgeDir::Out);
-        self.dirs.insert((v, u), EdgeDir::In);
+        let slot = self.slot_or_panic(u, v);
+        self.reverse_outward_at(slot);
+    }
+
+    /// [`MirroredDirs::reverse_outward`] by half-edge slot: assigns both
+    /// copies through the twin table in O(1).
+    pub fn reverse_outward_at(&mut self, slot: usize) {
+        self.dirs[slot] = EdgeDir::Out;
+        let twin = self.csr.twin(slot);
+        self.dirs[twin] = EdgeDir::In;
     }
 
     /// Sets a **single** side `dir[u, v]` without touching `dir[v, u]`.
@@ -83,11 +123,8 @@ impl MirroredDirs {
     /// algorithms never call it.
     #[doc(hidden)]
     pub fn set_one_sided(&mut self, u: NodeId, v: NodeId, d: EdgeDir) {
-        assert!(
-            self.dirs.contains_key(&(u, v)),
-            "no edge between {u} and {v}"
-        );
-        self.dirs.insert((u, v), d);
+        let slot = self.slot_or_panic(u, v);
+        self.dirs[slot] = d;
     }
 
     /// Checks Invariant 3.1: for each edge `{u, v}`,
@@ -95,16 +132,17 @@ impl MirroredDirs {
     ///
     /// # Errors
     ///
-    /// Returns the first inconsistent edge.
+    /// Returns the first inconsistent edge (lexicographic order).
     pub fn check_consistency(&self) -> Result<(), DirInconsistency> {
-        for (&(u, v), &d) in &self.dirs {
-            if u < v {
-                let back = self.dirs[&(v, u)];
-                if back != d.flipped() {
+        for slot in 0..self.dirs.len() {
+            let (src, dst) = (self.csr.source(slot), self.csr.target(slot));
+            if src < dst {
+                let back = self.dirs[self.csr.twin(slot)];
+                if back != self.dirs[slot].flipped() {
                     return Err(DirInconsistency {
-                        u,
-                        v,
-                        dir_uv: d,
+                        u: self.csr.node(src),
+                        v: self.csr.node(dst),
+                        dir_uv: self.dirs[slot],
                         dir_vu: back,
                     });
                 }
@@ -113,16 +151,28 @@ impl MirroredDirs {
         Ok(())
     }
 
+    /// Whether the node at dense index `idx` is a sink *from its own
+    /// perspective*: it has at least one incident edge and every one of
+    /// its half-edge slots reads `in`. O(Δ), allocation-free.
+    pub fn is_sink_at(&self, idx: usize) -> bool {
+        let slots = self.csr.slots(idx);
+        !slots.is_empty() && slots.into_iter().all(|s| self.dirs[s] == EdgeDir::In)
+    }
+
     /// Whether `u` is a sink *from `u`'s own perspective*: it has at least
     /// one incident edge and `dir[u, v] = in` for all neighbors `v` — the
-    /// precondition of every `reverse` action in the paper.
-    pub fn is_sink(&self, graph: &UndirectedGraph, u: NodeId) -> bool {
-        graph.degree(u) > 0 && graph.neighbors(u).all(|v| self.dir(u, v) == EdgeDir::In)
+    /// precondition of every `reverse` action in the paper. `false` for
+    /// unknown nodes.
+    pub fn is_sink(&self, u: NodeId) -> bool {
+        self.csr.index_of(u).is_some_and(|idx| self.is_sink_at(idx))
     }
 
     /// All sinks in ascending node order.
-    pub fn sinks(&self, graph: &UndirectedGraph) -> Vec<NodeId> {
-        graph.nodes().filter(|&u| self.is_sink(graph, u)).collect()
+    pub fn sinks(&self) -> Vec<NodeId> {
+        (0..self.csr.node_count())
+            .filter(|&i| self.is_sink_at(i))
+            .map(|i| self.csr.node(i))
+            .collect()
     }
 
     /// Extracts the single-copy [`Orientation`] (using each edge's
@@ -130,9 +180,11 @@ impl MirroredDirs {
     /// directed graph `G'` of the state.
     pub fn orientation(&self) -> Orientation {
         let mut o = Orientation::new();
-        for (&(u, v), &d) in &self.dirs {
-            if u < v {
-                match d {
+        for slot in 0..self.dirs.len() {
+            let (src, dst) = (self.csr.source(slot), self.csr.target(slot));
+            if src < dst {
+                let (u, v) = (self.csr.node(src), self.csr.node(dst));
+                match self.dirs[slot] {
                     EdgeDir::Out => o.set_from_to(u, v),
                     EdgeDir::In => o.set_from_to(v, u),
                 }
@@ -149,6 +201,24 @@ impl MirroredDirs {
     /// `true` when there are no edges.
     pub fn is_empty(&self) -> bool {
         self.dirs.is_empty()
+    }
+}
+
+// Equality and hashing ignore the shared CSR handle's identity: two
+// direction states are equal when they describe the same graph with the
+// same per-endpoint assignments. States of one execution always share
+// their `Arc`, so the structural comparison is only hit across instances.
+impl PartialEq for MirroredDirs {
+    fn eq(&self, other: &Self) -> bool {
+        self.dirs == other.dirs && (Arc::ptr_eq(&self.csr, &other.csr) || self.csr == other.csr)
+    }
+}
+
+impl Eq for MirroredDirs {}
+
+impl Hash for MirroredDirs {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.dirs.hash(state);
     }
 }
 
@@ -223,13 +293,25 @@ mod tests {
     }
 
     #[test]
+    fn both_copies_are_distinct_storage() {
+        // The falsifiability guarantee: writing one ordered pair must not
+        // implicitly write the other.
+        let inst = generate::chain_away(3);
+        let mut d = MirroredDirs::from_instance(&inst);
+        d.set_one_sided(n(2), n(1), EdgeDir::Out);
+        assert_eq!(d.dir(n(2), n(1)), EdgeDir::Out);
+        assert_eq!(d.dir(n(1), n(2)), EdgeDir::Out, "twin copy untouched");
+        assert!(d.check_consistency().is_err());
+    }
+
+    #[test]
     fn sink_detection_from_own_perspective() {
         let inst = generate::chain_away(4);
         let d = MirroredDirs::from_instance(&inst);
-        assert!(d.is_sink(&inst.graph, n(3)));
-        assert!(!d.is_sink(&inst.graph, n(0)));
-        assert!(!d.is_sink(&inst.graph, n(1)));
-        assert_eq!(d.sinks(&inst.graph), vec![n(3)]);
+        assert!(d.is_sink(n(3)));
+        assert!(!d.is_sink(n(0)));
+        assert!(!d.is_sink(n(1)));
+        assert_eq!(d.sinks(), vec![n(3)]);
     }
 
     #[test]
@@ -237,6 +319,24 @@ mod tests {
         let inst = generate::random_connected(12, 10, 3);
         let d = MirroredDirs::from_instance(&inst);
         assert_eq!(d.orientation(), inst.init);
+    }
+
+    #[test]
+    fn equality_and_hash_follow_direction_values() {
+        use std::collections::hash_map::DefaultHasher;
+        let inst = generate::chain_away(4);
+        let a = MirroredDirs::from_instance(&inst);
+        let b = MirroredDirs::from_instance(&inst); // separate CSR build
+        assert_eq!(a, b);
+        let hash = |d: &MirroredDirs| {
+            let mut h = DefaultHasher::new();
+            d.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        let mut c = b.clone();
+        c.reverse_outward(n(3), n(2));
+        assert_ne!(a, c);
     }
 
     #[test]

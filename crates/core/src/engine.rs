@@ -8,12 +8,13 @@
 
 use std::collections::BTreeMap;
 
-use lr_graph::{DirectedView, NodeId};
+use lr_graph::{CsrGraph, DirectedView, NodeId};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::alg::ReversalEngine;
+use crate::ReversalStep;
 
 /// Scheduling policy for [`run_engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,8 +71,154 @@ impl RunStats {
 /// Default safety budget: generous for Θ(n²) workloads on benchmark sizes.
 pub const DEFAULT_MAX_STEPS: usize = 50_000_000;
 
+/// Per-step bookkeeping shared by every scheduling arm of the run loops:
+/// step/reversal/dummy counters plus a dense work vector indexed by CSR
+/// node index (no per-step map lookups).
+struct StepBook {
+    steps: usize,
+    total_reversals: usize,
+    dummy_steps: usize,
+    work: Vec<usize>,
+}
+
+impl StepBook {
+    fn new(node_count: usize) -> Self {
+        StepBook {
+            steps: 0,
+            total_reversals: 0,
+            dummy_steps: 0,
+            work: vec![0; node_count],
+        }
+    }
+
+    fn record(&mut self, csr: &CsrGraph, step: &ReversalStep) {
+        self.steps += 1;
+        self.total_reversals += step.reversal_count();
+        if step.dummy {
+            self.dummy_steps += 1;
+        }
+        self.work[csr.index_of(step.node).expect("node exists")] += 1;
+    }
+}
+
+/// How the run loop learns which nodes are enabled.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EnabledSource {
+    /// Borrow the engine's incrementally maintained view (O(Δ) per step).
+    Incremental,
+    /// Rescan every node through `is_sink` before each step — the
+    /// pre-refactor behavior, retained as a falsification reference.
+    Scan,
+}
+
+fn scan_enabled(buf: &mut Vec<NodeId>, engine: &dyn ReversalEngine) {
+    buf.clear();
+    let inst = engine.instance();
+    buf.extend(
+        inst.graph
+            .nodes()
+            .filter(|&u| u != inst.dest && engine.is_sink(u)),
+    );
+}
+
+fn drive(
+    engine: &mut dyn ReversalEngine,
+    policy: SchedulePolicy,
+    max_steps: usize,
+    source: EnabledSource,
+) -> RunStats {
+    let algorithm = engine.algorithm_name();
+    let csr = std::sync::Arc::clone(engine.csr());
+    let mut book = StepBook::new(csr.node_count());
+    let mut rounds = 0usize;
+    let mut terminated = false;
+    let mut rng = match policy {
+        SchedulePolicy::RandomSingle { seed } => Some(SmallRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    // Reusable buffer: the greedy-round snapshot, and under `Scan` the
+    // rescanned enabled set. The incremental single-step policies never
+    // touch it — they read the engine's view directly.
+    let mut snapshot: Vec<NodeId> = Vec::new();
+    loop {
+        let done = match source {
+            EnabledSource::Incremental => engine.is_terminated(),
+            EnabledSource::Scan => {
+                scan_enabled(&mut snapshot, engine);
+                snapshot.is_empty()
+            }
+        };
+        if done {
+            terminated = true;
+            break;
+        }
+        if book.steps >= max_steps {
+            break;
+        }
+        match policy {
+            SchedulePolicy::GreedyRounds => {
+                // A maximal simultaneous step: every sink in the snapshot
+                // steps once. Sinks are pairwise non-adjacent, so
+                // sequential application equals the set action.
+                if source == EnabledSource::Incremental {
+                    snapshot.clear();
+                    snapshot.extend_from_slice(engine.enabled());
+                }
+                rounds += 1;
+                for &u in &snapshot {
+                    let step = engine.step(u);
+                    book.record(&csr, &step);
+                    if book.steps >= max_steps {
+                        break;
+                    }
+                }
+            }
+            SchedulePolicy::RandomSingle { .. } => {
+                let rng = rng.as_mut().expect("rng initialized for RandomSingle");
+                let u = *match source {
+                    EnabledSource::Incremental => engine.enabled().choose(rng),
+                    EnabledSource::Scan => snapshot.choose(rng),
+                }
+                .expect("enabled non-empty");
+                let step = engine.step(u);
+                rounds += 1;
+                book.record(&csr, &step);
+            }
+            SchedulePolicy::FirstSingle | SchedulePolicy::LastSingle => {
+                let view = match source {
+                    EnabledSource::Incremental => engine.enabled(),
+                    EnabledSource::Scan => &snapshot,
+                };
+                let u = if policy == SchedulePolicy::FirstSingle {
+                    *view.first().expect("non-empty")
+                } else {
+                    *view.last().expect("non-empty")
+                };
+                let step = engine.step(u);
+                rounds += 1;
+                book.record(&csr, &step);
+            }
+        }
+    }
+    RunStats {
+        algorithm,
+        steps: book.steps,
+        total_reversals: book.total_reversals,
+        dummy_steps: book.dummy_steps,
+        rounds,
+        work_per_node: csr
+            .nodes()
+            .enumerate()
+            .map(|(i, u)| (u, book.work[i]))
+            .collect(),
+        terminated,
+    }
+}
+
 /// Drives `engine` until termination (no enabled node) or until
-/// `max_steps` node-steps have been taken.
+/// `max_steps` node-steps have been taken, consuming the engine's
+/// incrementally maintained enabled view (O(Δ + s) per step,
+/// allocation-free outside greedy-round snapshots).
 ///
 /// The engine is **not** reset first; callers compose runs on partially
 /// advanced engines when needed (the routing simulator does).
@@ -80,77 +227,24 @@ pub fn run_engine(
     policy: SchedulePolicy,
     max_steps: usize,
 ) -> RunStats {
-    let mut stats = RunStats {
-        algorithm: engine.algorithm_name(),
-        steps: 0,
-        total_reversals: 0,
-        dummy_steps: 0,
-        rounds: 0,
-        work_per_node: engine.instance().graph.nodes().map(|u| (u, 0)).collect(),
-        terminated: false,
-    };
-    let mut rng = match policy {
-        SchedulePolicy::RandomSingle { seed } => Some(SmallRng::seed_from_u64(seed)),
-        _ => None,
-    };
-    loop {
-        let enabled = engine.enabled_nodes();
-        if enabled.is_empty() {
-            stats.terminated = true;
-            break;
-        }
-        if stats.steps >= max_steps {
-            break;
-        }
-        match policy {
-            SchedulePolicy::GreedyRounds => {
-                // A maximal simultaneous step: every sink in the snapshot
-                // steps once. Sinks are pairwise non-adjacent, so
-                // sequential application equals the set action.
-                stats.rounds += 1;
-                for u in enabled {
-                    let step = engine.step(u);
-                    stats.steps += 1;
-                    stats.total_reversals += step.reversal_count();
-                    if step.dummy {
-                        stats.dummy_steps += 1;
-                    }
-                    *stats.work_per_node.get_mut(&u).expect("node exists") += 1;
-                    if stats.steps >= max_steps {
-                        break;
-                    }
-                }
-            }
-            SchedulePolicy::RandomSingle { .. } => {
-                let rng = rng.as_mut().expect("rng initialized for RandomSingle");
-                let u = *enabled.choose(rng).expect("enabled non-empty");
-                let step = engine.step(u);
-                stats.rounds += 1;
-                stats.steps += 1;
-                stats.total_reversals += step.reversal_count();
-                if step.dummy {
-                    stats.dummy_steps += 1;
-                }
-                *stats.work_per_node.get_mut(&u).expect("node exists") += 1;
-            }
-            SchedulePolicy::FirstSingle | SchedulePolicy::LastSingle => {
-                let u = if policy == SchedulePolicy::FirstSingle {
-                    *enabled.first().expect("non-empty")
-                } else {
-                    *enabled.last().expect("non-empty")
-                };
-                let step = engine.step(u);
-                stats.rounds += 1;
-                stats.steps += 1;
-                stats.total_reversals += step.reversal_count();
-                if step.dummy {
-                    stats.dummy_steps += 1;
-                }
-                *stats.work_per_node.get_mut(&u).expect("node exists") += 1;
-            }
-        }
-    }
-    stats
+    drive(engine, policy, max_steps, EnabledSource::Incremental)
+}
+
+/// The retained **naive-scan reference loop**: identical scheduling and
+/// bookkeeping to [`run_engine`], but the enabled set is recomputed
+/// before every step by scanning all nodes through
+/// [`ReversalEngine::is_sink`] — the pre-refactor O(n·Δ)-per-step
+/// behavior.
+///
+/// Exists so the incremental machinery stays falsifiable: the
+/// differential suite (`tests/csr_differential.rs`) and the
+/// representation bench compare the two loops step-for-step.
+pub fn run_engine_scan(
+    engine: &mut dyn ReversalEngine,
+    policy: SchedulePolicy,
+    max_steps: usize,
+) -> RunStats {
+    drive(engine, policy, max_steps, EnabledSource::Scan)
 }
 
 /// Runs and asserts the link-reversal postcondition: the final orientation
@@ -191,7 +285,7 @@ pub fn run_to_destination_oriented(
 pub fn advance_randomly(engine: &mut dyn ReversalEngine, steps: usize, seed: u64) -> usize {
     let mut rng = SmallRng::seed_from_u64(seed);
     for taken in 0..steps {
-        let enabled = engine.enabled_nodes();
+        let enabled = engine.enabled();
         if enabled.is_empty() {
             return taken;
         }

@@ -142,7 +142,7 @@ pub fn profile_costs(inst: &ReversalInstance, profile: &Profile) -> WorkVector {
         let sinks: Vec<NodeId> = inst
             .graph
             .nodes()
-            .filter(|&u| u != inst.dest && dirs.is_sink(&inst.graph, u))
+            .filter(|&u| u != inst.dest && dirs.is_sink(u))
             .collect();
         if sinks.is_empty() {
             return work;

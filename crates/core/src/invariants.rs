@@ -116,7 +116,7 @@ pub fn check_cor_3_3(inst: &ReversalInstance, state: &PrState) -> Result<(), Str
 /// Reports the sink whose list equals neither set.
 pub fn check_cor_3_4(inst: &ReversalInstance, state: &PrState) -> Result<(), String> {
     for u in inst.graph.nodes() {
-        if !state.dirs.is_sink(&inst.graph, u) {
+        if !state.dirs.is_sink(u) {
             continue;
         }
         let list = state.list(u);
@@ -362,7 +362,7 @@ mod tests {
             assert!(check_cor_3_3(&inst, &s).is_ok());
             assert!(check_cor_3_4(&inst, &s).is_ok());
             assert!(check_acyclic(&inst, &s.dirs).is_ok());
-            let sinks = s.dirs.sinks(&inst.graph);
+            let sinks = s.dirs.sinks();
             let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
                 break;
             };
@@ -383,7 +383,7 @@ mod tests {
             assert!(check_inv_4_1(&inst, &emb, &s).is_ok());
             assert!(check_inv_4_2(&inst, &emb, &s).is_ok());
             assert!(check_acyclic(&inst, &s.dirs).is_ok());
-            let sinks = s.dirs.sinks(&inst.graph);
+            let sinks = s.dirs.sinks();
             let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
                 break;
             };

@@ -20,7 +20,11 @@
 //!   named predicates with rich counterexample messages.
 //! * [`engine`] — run loops (greedy rounds, random, deterministic) with
 //!   work accounting: total reversals, per-node work vectors, rounds,
-//!   dummy steps.
+//!   dummy steps. [`engine::run_engine`] consumes the engines'
+//!   incremental enabled view; [`engine::run_engine_scan`] is the
+//!   retained naive-scan reference it is differentially tested against.
+//! * [`enabled`] — incremental enabled-set maintenance
+//!   ([`EnabledTracker`]) shared by every engine.
 //! * [`work`] — growth-rate fitting for the Θ(n_b²) worst-case work
 //!   experiments.
 //! * [`game`] — the Charron-Bost-style social-cost comparison of FR vs PR.
@@ -48,6 +52,7 @@
 mod dirs;
 
 pub mod alg;
+pub mod enabled;
 pub mod engine;
 pub mod game;
 pub mod invariants;
@@ -55,3 +60,4 @@ pub mod trace;
 pub mod work;
 
 pub use dirs::{DirInconsistency, MirroredDirs, ReversalStep};
+pub use enabled::EnabledTracker;

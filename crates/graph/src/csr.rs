@@ -1,0 +1,273 @@
+//! Compressed-sparse-row view of an [`UndirectedGraph`] — the flat
+//! execution-side representation of the communication graph.
+//!
+//! The [`UndirectedGraph`] frontend stores adjacency in
+//! `BTreeMap`/`BTreeSet` for deterministic construction, parsing, and
+//! serialization, but every lookup on the run-loop hot path pays a
+//! pointer-chasing logarithmic cost. `CsrGraph` is built **once** per
+//! instance and never mutated afterwards (executions only re-orient
+//! edges, they never change the graph), so all of it fits in four flat
+//! arrays:
+//!
+//! * a sorted node table giving every [`NodeId`] a dense index in
+//!   `0..n`;
+//! * CSR offsets + neighbor array: the neighbors of node `i` occupy the
+//!   contiguous **half-edge slots** `offsets[i]..offsets[i + 1]`, sorted
+//!   by neighbor id;
+//! * a twin table: the slot of the ordered pair `(u, v)` maps to the
+//!   slot of `(v, u)` in O(1), so per-endpoint edge state (the paper's
+//!   duplicated `dir[u, v]` variables) can live in one `Vec` indexed by
+//!   slot.
+//!
+//! Iteration orders (nodes ascending, neighbors ascending, edges
+//! lexicographic) match the `BTreeMap` frontend exactly, so executions
+//! driven through either representation are step-for-step identical.
+
+use crate::{NodeId, UndirectedGraph};
+
+/// A compressed-sparse-row snapshot of an [`UndirectedGraph`] with
+/// half-edge/twin indexing.
+///
+/// Each ordered pair of adjacent nodes `(u, v)` owns one **slot** — a
+/// flat array index — and [`CsrGraph::twin`] maps the slot of `(u, v)`
+/// to the slot of `(v, u)`.
+///
+/// ```
+/// use lr_graph::{CsrGraph, NodeId, UndirectedGraph};
+///
+/// let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2)]).unwrap();
+/// let csr = CsrGraph::from_graph(&g);
+/// assert_eq!(csr.node_count(), 3);
+/// assert_eq!(csr.half_edge_count(), 4);
+/// let one = csr.index_of(NodeId::new(1)).unwrap();
+/// assert_eq!(csr.degree(one), 2);
+/// for slot in csr.slots(one) {
+///     assert_eq!(csr.source(slot), one);
+///     assert_eq!(csr.twin(csr.twin(slot)), slot);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// All nodes, ascending; position in this table is the dense index.
+    nodes: Vec<NodeId>,
+    /// Whether `nodes[i].raw() == i` for all `i` (the common case), which
+    /// makes [`CsrGraph::index_of`] O(1) instead of a binary search.
+    contiguous: bool,
+    /// CSR offsets, length `n + 1`; node `i`'s slots are
+    /// `offsets[i]..offsets[i + 1]`.
+    offsets: Vec<u32>,
+    /// Per-slot target node index, length `2m`.
+    targets: Vec<u32>,
+    /// Per-slot source node index, length `2m`.
+    sources: Vec<u32>,
+    /// Per-slot twin slot (slot of the reversed ordered pair).
+    twins: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR snapshot of `graph`. O(n + m) plus one binary
+    /// search per half-edge for the twin table.
+    pub fn from_graph(graph: &UndirectedGraph) -> Self {
+        let nodes: Vec<NodeId> = graph.nodes().collect();
+        let contiguous = nodes.iter().enumerate().all(|(i, u)| u.raw() as usize == i);
+        let index_of = |u: NodeId| -> u32 {
+            if contiguous {
+                u.raw()
+            } else {
+                nodes.binary_search(&u).expect("neighbor is a node") as u32
+            }
+        };
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        let mut sources = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0u32);
+        for (i, &u) in nodes.iter().enumerate() {
+            for v in graph.neighbors(u) {
+                targets.push(index_of(v));
+                sources.push(i as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        let mut twins = vec![0u32; targets.len()];
+        for slot in 0..targets.len() {
+            let (src, dst) = (sources[slot] as usize, targets[slot] as usize);
+            let back = targets[offsets[dst] as usize..offsets[dst + 1] as usize]
+                .binary_search(&(src as u32))
+                .expect("undirected edge has a reverse half-edge");
+            twins[slot] = offsets[dst] + back as u32;
+        }
+        CsrGraph {
+            nodes,
+            contiguous,
+            offsets,
+            targets,
+            sources,
+            twins,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of half-edge slots (= 2 × edge count).
+    pub fn half_edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// All nodes in ascending id order (dense-index order).
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// The node at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= node_count()`.
+    pub fn node(&self, idx: usize) -> NodeId {
+        self.nodes[idx]
+    }
+
+    /// The dense index of `u`, or `None` if `u` is not a node.
+    pub fn index_of(&self, u: NodeId) -> Option<usize> {
+        if self.contiguous {
+            let i = u.raw() as usize;
+            (i < self.nodes.len()).then_some(i)
+        } else {
+            self.nodes.binary_search(&u).ok()
+        }
+    }
+
+    /// Degree of the node at dense index `idx`.
+    pub fn degree(&self, idx: usize) -> usize {
+        (self.offsets[idx + 1] - self.offsets[idx]) as usize
+    }
+
+    /// The half-edge slots owned by the node at dense index `idx`.
+    pub fn slots(&self, idx: usize) -> std::ops::Range<usize> {
+        self.offsets[idx] as usize..self.offsets[idx + 1] as usize
+    }
+
+    /// Dense indices of the neighbors of node `idx`, ascending; entry `k`
+    /// corresponds to slot `slots(idx).start + k`.
+    pub fn neighbor_indices(&self, idx: usize) -> &[u32] {
+        &self.targets[self.slots(idx)]
+    }
+
+    /// The dense index of the slot's target (the neighbor).
+    pub fn target(&self, slot: usize) -> usize {
+        self.targets[slot] as usize
+    }
+
+    /// The dense index of the slot's source (the owning node).
+    pub fn source(&self, slot: usize) -> usize {
+        self.sources[slot] as usize
+    }
+
+    /// The slot of the reversed ordered pair: `twin(slot of (u, v))` is
+    /// the slot of `(v, u)`.
+    pub fn twin(&self, slot: usize) -> usize {
+        self.twins[slot] as usize
+    }
+
+    /// The slot of the ordered pair `(u, v)` given both dense indices, or
+    /// `None` if `{u, v}` is not an edge. O(log Δ).
+    pub fn slot_of(&self, u_idx: usize, v_idx: usize) -> Option<usize> {
+        let range = self.slots(u_idx);
+        let rel = self.targets[range.clone()]
+            .binary_search(&(v_idx as u32))
+            .ok()?;
+        Some(range.start + rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn mirrors_btreemap_adjacency_exactly() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.half_edge_count(), 2 * g.edge_count());
+        for (i, u) in g.nodes().enumerate() {
+            assert_eq!(csr.node(i), u);
+            assert_eq!(csr.index_of(u), Some(i));
+            assert_eq!(csr.degree(i), g.degree(u));
+            let nbrs: Vec<NodeId> = csr
+                .neighbor_indices(i)
+                .iter()
+                .map(|&j| csr.node(j as usize))
+                .collect();
+            let expected: Vec<NodeId> = g.neighbors(u).collect();
+            assert_eq!(nbrs, expected, "neighbor order must match the frontend");
+        }
+    }
+
+    #[test]
+    fn twin_is_an_involution_crossing_the_edge() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2), (0, 2), (1, 3)]).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        for slot in 0..csr.half_edge_count() {
+            let t = csr.twin(slot);
+            assert_ne!(t, slot);
+            assert_eq!(csr.twin(t), slot, "twin must be an involution");
+            assert_eq!(csr.source(t), csr.target(slot));
+            assert_eq!(csr.target(t), csr.source(slot));
+        }
+    }
+
+    #[test]
+    fn slot_of_finds_every_ordered_pair() {
+        let g = UndirectedGraph::from_edges(&[(0, 1), (1, 2)]).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        for (u, v) in g.edges() {
+            let (ui, vi) = (csr.index_of(u).unwrap(), csr.index_of(v).unwrap());
+            let s = csr.slot_of(ui, vi).expect("edge has a slot");
+            assert_eq!(csr.source(s), ui);
+            assert_eq!(csr.target(s), vi);
+            assert_eq!(csr.twin(s), csr.slot_of(vi, ui).unwrap());
+        }
+        assert_eq!(csr.slot_of(0, 2), None, "{{0, 2}} is not an edge");
+    }
+
+    #[test]
+    fn non_contiguous_ids_fall_back_to_binary_search() {
+        let mut g = UndirectedGraph::new();
+        g.ensure_node(n(5));
+        g.ensure_node(n(9));
+        g.ensure_node(n(200));
+        g.add_edge(n(5), n(200)).unwrap();
+        g.add_edge(n(9), n(200)).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.index_of(n(5)), Some(0));
+        assert_eq!(csr.index_of(n(9)), Some(1));
+        assert_eq!(csr.index_of(n(200)), Some(2));
+        assert_eq!(csr.index_of(n(6)), None);
+        assert_eq!(csr.degree(2), 2);
+        let s = csr.slot_of(0, 2).unwrap();
+        assert_eq!(csr.node(csr.target(s)), n(200));
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_slot_ranges() {
+        let mut g = UndirectedGraph::with_nodes(3);
+        g.add_edge(n(0), n(1)).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.degree(2), 0);
+        assert!(csr.slots(2).is_empty());
+        assert!(csr.neighbor_indices(2).is_empty());
+    }
+}

@@ -6,6 +6,9 @@
 //! * [`UndirectedGraph`] — the fixed communication graph `G = (V, E)` of the
 //!   system model (§2 of Radeva & Lynch, *Partial Reversal Acyclicity*).
 //!   Nodes and edges are never added or removed during an execution.
+//! * [`CsrGraph`] — a flat compressed-sparse-row snapshot of the same
+//!   graph with half-edge/twin indexing, built once per instance and used
+//!   by the execution engines' hot paths.
 //! * [`Orientation`] — a direction assignment for every edge of `G`,
 //!   i.e. a directed version `G' = (V, E')`.
 //! * [`DirectedView`] — a borrowed directed graph (`G` + `Orientation`) with
@@ -39,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod directed;
 mod embedding;
 mod error;
@@ -53,6 +57,7 @@ pub mod generate;
 pub mod metrics;
 pub mod parse;
 
+pub use csr::CsrGraph;
 pub use directed::DirectedView;
 pub use embedding::PlaneEmbedding;
 pub use error::GraphError;

@@ -368,7 +368,7 @@ impl MwvHarness {
     /// Crashes a node: fails all its links with notifications, then runs
     /// to quiescence.
     pub fn crash(&mut self, dead: NodeId) {
-        let nbrs: Vec<NodeId> = self.sim.live_neighbors(dead);
+        let nbrs: Vec<NodeId> = self.sim.live_neighbors(dead).to_vec();
         for v in nbrs {
             self.sim.fail_link(dead, v);
             self.sim.inject(dead, v, MwvMsg::LinkDown(dead));
@@ -407,7 +407,8 @@ impl MwvHarness {
                 let next = self
                     .sim
                     .live_neighbors(cur)
-                    .into_iter()
+                    .iter()
+                    .copied()
                     .filter(|v| component.contains(v))
                     .map(|v| (self.sim.node(v).height, v))
                     .filter(|(h, _)| *h < me)

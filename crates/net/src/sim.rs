@@ -14,7 +14,7 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt::Debug;
 
-use lr_graph::{NodeId, UndirectedGraph};
+use lr_graph::{CsrGraph, NodeId, UndirectedGraph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -124,6 +124,13 @@ pub struct SimStats {
 pub struct EventSim<P: Protocol> {
     protocol: P,
     graph: UndirectedGraph,
+    /// CSR snapshot of `graph` for dense node indexing.
+    csr: CsrGraph,
+    /// Per-node live-neighbor lists (dense index), maintained
+    /// incrementally: rebuilt only for the two endpoints of a failed or
+    /// healed link, so event dispatch never rescans adjacency or
+    /// allocates.
+    live_nbrs: Vec<Vec<NodeId>>,
     nodes: BTreeMap<NodeId, P::Node>,
     link_config: LinkConfig,
     /// Links currently down (canonical order).
@@ -152,9 +159,20 @@ impl<P: Protocol> EventSim<P> {
             graph.node_count(),
             "every node needs protocol state"
         );
+        let csr = CsrGraph::from_graph(&graph);
+        let live_nbrs = (0..csr.node_count())
+            .map(|i| {
+                csr.neighbor_indices(i)
+                    .iter()
+                    .map(|&j| csr.node(j as usize))
+                    .collect()
+            })
+            .collect();
         EventSim {
             protocol,
             graph,
+            csr,
+            live_nbrs,
             nodes,
             link_config,
             failed: Default::default(),
@@ -193,17 +211,32 @@ impl<P: Protocol> EventSim<P> {
         &self.graph
     }
 
-    /// Live neighbors of `u` (failed links excluded).
-    pub fn live_neighbors(&self, u: NodeId) -> Vec<NodeId> {
-        self.graph
-            .neighbors(u)
-            .filter(|&v| !self.is_failed(u, v))
-            .collect()
+    /// Live neighbors of `u` (failed links excluded), as a borrow of the
+    /// incrementally maintained cache — no allocation.
+    pub fn live_neighbors(&self, u: NodeId) -> &[NodeId] {
+        match self.csr.index_of(u) {
+            Some(i) => &self.live_nbrs[i],
+            None => &[],
+        }
     }
 
     fn is_failed(&self, u: NodeId, v: NodeId) -> bool {
         let key = if u < v { (u, v) } else { (v, u) };
         self.failed.contains(&key)
+    }
+
+    /// Recomputes the cached live-neighbor list of one node — called only
+    /// when a link incident to it fails or heals.
+    fn rebuild_live(&mut self, u: NodeId) {
+        let i = self.csr.index_of(u).expect("endpoint is a node");
+        let live: Vec<NodeId> = self
+            .csr
+            .neighbor_indices(i)
+            .iter()
+            .map(|&j| self.csr.node(j as usize))
+            .filter(|&v| !self.is_failed(u, v))
+            .collect();
+        self.live_nbrs[i] = live;
     }
 
     /// Fails the link `{u, v}`: future sends are impossible and in-flight
@@ -226,12 +259,18 @@ impl<P: Protocol> EventSim<P> {
             self.in_flight.remove(&s);
             self.stats.lost_to_failure += 1;
         }
+        self.rebuild_live(u);
+        self.rebuild_live(v);
     }
 
     /// Restores a previously failed link.
     pub fn heal_link(&mut self, u: NodeId, v: NodeId) {
         let key = if u < v { (u, v) } else { (v, u) };
         self.failed.remove(&key);
+        if self.graph.contains_edge(u, v) {
+            self.rebuild_live(u);
+            self.rebuild_live(v);
+        }
     }
 
     /// Runs every node's `on_start` hook (call once, before stepping).
@@ -306,11 +345,11 @@ impl<P: Protocol> EventSim<P> {
     }
 
     fn dispatch(&mut self, u: NodeId, incoming: Option<(NodeId, P::Msg)>) {
-        let neighbors = self.live_neighbors(u);
+        let idx = self.csr.index_of(u).expect("dispatch target is a node");
         let mut ctx = Ctx {
             self_id: u,
             now: self.now,
-            neighbors: &neighbors,
+            neighbors: &self.live_nbrs[idx],
             outbox: Vec::new(),
             timers: Vec::new(),
         };

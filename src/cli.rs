@@ -200,7 +200,7 @@ fn cmd_check(stdin: &str) -> Result<String, CliError> {
         check_cor_3_4(&inst, &pr).map_err(err)?;
         check_acyclic(&inst, &pr.dirs).map_err(err)?;
         states += 1;
-        let sinks = pr.dirs.sinks(&inst.graph);
+        let sinks = pr.dirs.sinks();
         let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
             break;
         };
@@ -220,7 +220,7 @@ fn cmd_check(stdin: &str) -> Result<String, CliError> {
         check_inv_4_2(&inst, &emb, &np).map_err(err)?;
         check_acyclic(&inst, &np.dirs).map_err(err)?;
         states += 1;
-        let sinks = np.dirs.sinks(&inst.graph);
+        let sinks = np.dirs.sinks();
         let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
             break;
         };

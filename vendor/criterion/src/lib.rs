@@ -79,12 +79,28 @@ pub struct Bencher {
     measured: Option<(Duration, u64)>,
 }
 
+/// `LR_BENCH_SMOKE=1` switches every bench to a single timed sample with
+/// no warmup — the CI smoke mode that keeps benchmark code compiling and
+/// running without paying for statistical windows.
+fn smoke_mode() -> bool {
+    static SMOKE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SMOKE.get_or_init(|| std::env::var("LR_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
 impl Bencher {
     /// Times `routine`, first warming up, then measuring for a fixed
-    /// window; records total time and iteration count.
+    /// window; records total time and iteration count. Under
+    /// `LR_BENCH_SMOKE=1` it takes exactly one sample instead.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         const WARMUP: Duration = Duration::from_millis(20);
         const MEASURE: Duration = Duration::from_millis(120);
+
+        if smoke_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.measured = Some((start.elapsed(), 1));
+            return;
+        }
 
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
