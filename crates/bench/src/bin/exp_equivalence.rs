@@ -27,9 +27,9 @@ struct Row {
 fn lockstep(mut engines: Vec<Box<dyn ReversalEngine + '_>>, pick_last: bool) -> usize {
     let mut steps = 0;
     loop {
-        let enabled = engines[0].enabled_nodes();
+        let enabled = engines[0].enabled().to_vec();
         for e in &engines[1..] {
-            assert_eq!(e.enabled_nodes(), enabled, "sink sets diverged");
+            assert_eq!(e.enabled(), enabled, "sink sets diverged");
         }
         let u = if pick_last {
             enabled.last().copied()

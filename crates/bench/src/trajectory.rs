@@ -1,0 +1,164 @@
+//! The persisted bench trajectory: every throughput measurement appends
+//! one machine-readable record to `BENCH_pr3.json` at the repository
+//! root, so performance history accumulates across runs (and PRs) in a
+//! form the CI gate and future sessions can parse with the vendored
+//! `serde_json` alone.
+//!
+//! The file is a JSON array of [`BenchRecord`]s. Writers
+//! read-modify-write the whole array ([`append_records`]); readers
+//! ([`load_records`]) fail loudly on malformed content — CI runs the
+//! parse as a gate so the trajectory can never rot silently.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+/// One throughput measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Which harness produced the record (`exp_throughput`,
+    /// `bench_throughput`).
+    pub bench: String,
+    /// Measurement series: `seq_alloc` (allocating step reference),
+    /// `seq_zero_alloc` (zero-allocation pipeline), or `parallel`
+    /// (plan-phase fan-out).
+    pub series: String,
+    /// Algorithm name as reported by the engine ("PR", "GB-triple", …).
+    pub algorithm: String,
+    /// Instance family ("alternating_chain", …).
+    pub family: String,
+    /// Node count of the instance.
+    pub n: usize,
+    /// Worker threads (1 for the sequential series).
+    pub threads: usize,
+    /// CPUs available to the process when the record was taken —
+    /// parallel scaling numbers are meaningless without it (a
+    /// single-core container cannot show speedup, only overhead).
+    pub cpus: usize,
+    /// Node-steps executed in the measured run.
+    pub steps: usize,
+    /// Wall-clock time of the measured run, nanoseconds.
+    pub elapsed_ns: u64,
+    /// `steps / elapsed` — the headline throughput figure.
+    pub steps_per_sec: f64,
+    /// Whether the run was taken in `LR_BENCH_SMOKE=1` one-sample mode
+    /// (smoke numbers keep the file well-formed but are not meaningful
+    /// measurements).
+    pub smoke: bool,
+}
+
+impl BenchRecord {
+    /// CPUs available to this process (1 when undetectable).
+    pub fn available_cpus() -> usize {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+
+    /// Computes the derived throughput field from `steps`/`elapsed_ns`.
+    pub fn throughput(steps: usize, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            steps as f64 * 1e9 / elapsed_ns as f64
+        }
+    }
+}
+
+/// Path of the trajectory file: `BENCH_pr3.json` at the repository root
+/// (resolved from this crate's manifest directory, so it is stable no
+/// matter which working directory a bench or binary runs from).
+pub fn trajectory_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_pr3.json")
+}
+
+/// Loads the full trajectory. A missing or empty file is an empty
+/// trajectory; malformed JSON is an error (CI fails on it).
+///
+/// # Errors
+///
+/// Returns a description when the file exists but does not parse as a
+/// `Vec<BenchRecord>` with the vendored `serde_json`.
+pub fn load_records() -> Result<Vec<BenchRecord>, String> {
+    let path = trajectory_path();
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    if text.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Appends `records` to the trajectory (read-modify-write of the whole
+/// array, pretty-printed). The rewrite goes through a temp file +
+/// rename so a crash mid-write can never leave truncated JSON in the
+/// committed file (which would trip the CI parse gate on an unrelated
+/// change); concurrent writers still last-write-win per whole file.
+///
+/// # Errors
+///
+/// Returns a description if the existing file is unreadable/malformed
+/// or the rewrite fails.
+pub fn append_records(records: &[BenchRecord]) -> Result<(), String> {
+    let mut all = load_records()?;
+    all.extend_from_slice(records);
+    let path = trajectory_path();
+    let json = serde_json::to_string_pretty(&all)
+        .map_err(|e| format!("cannot serialize trajectory: {e}"))?;
+    let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+    fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, &path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(series: &str, steps: usize, ns: u64) -> BenchRecord {
+        BenchRecord {
+            bench: "test".into(),
+            series: series.into(),
+            algorithm: "PR".into(),
+            family: "alternating_chain".into(),
+            n: 64,
+            threads: 1,
+            cpus: BenchRecord::available_cpus(),
+            steps,
+            elapsed_ns: ns,
+            steps_per_sec: BenchRecord::throughput(steps, ns),
+            smoke: true,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_vendored_serde_json() {
+        let rows = vec![
+            record("seq_alloc", 1000, 2_000_000),
+            record("parallel", 5, 7),
+        ];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<BenchRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn throughput_handles_zero_elapsed() {
+        assert_eq!(BenchRecord::throughput(100, 0), 0.0);
+        let t = BenchRecord::throughput(1_000, 1_000_000_000);
+        assert!((t - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trajectory_path_points_at_repo_root() {
+        let p = trajectory_path();
+        assert!(p.ends_with("BENCH_pr3.json"));
+        // The parent directory must contain the workspace manifest.
+        let root = p.parent().unwrap().join("Cargo.toml");
+        assert!(root.exists(), "expected workspace root next to {p:?}");
+    }
+}

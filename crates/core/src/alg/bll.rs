@@ -19,7 +19,7 @@ use std::sync::Arc;
 use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 
 use crate::alg::ReversalEngine;
-use crate::{EnabledTracker, MirroredDirs, ReversalStep};
+use crate::{EnabledTracker, MirroredDirs, PlanAux, StepOutcome, StepScratch};
 
 /// A label-update policy for [`BllEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,46 +128,62 @@ impl ReversalEngine for BllEngine<'_> {
         self.tracker.enabled()
     }
 
-    fn step(&mut self, u: NodeId) -> ReversalStep {
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
         assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
         assert!(
             self.is_sink(u),
             "reverse({u}) precondition: {u} must be a sink"
         );
-        let one_labeled: Vec<NodeId> = self
-            .inst
-            .graph
-            .neighbors(u)
-            .filter(|&v| self.state.label(u, v))
-            .collect();
-        let targets: Vec<NodeId> = if one_labeled.is_empty() {
-            self.inst.graph.neighbors(u).collect()
-        } else {
-            one_labeled
-        };
-        for &v in &targets {
-            self.state.dirs.reverse_outward(u, v);
-            if self.labeling == BllLabeling::PartialReversal {
-                // v records that u reversed toward it.
-                self.state.labels.insert((v, u), false);
+        let csr = self.state.dirs.csr();
+        let ui = csr.index_of(u).expect("sink is a node");
+        // A stepping sink reverses exactly its 1-labeled links — all
+        // links if none is labeled 1. Two label passes instead of an
+        // intermediate `one_labeled` vector.
+        let any_one = csr
+            .slots(ui)
+            .any(|slot| self.state.label(u, csr.node(csr.target(slot))));
+        scratch.clear();
+        for slot in csr.slots(ui) {
+            let v = csr.node(csr.target(slot));
+            if !any_one || self.state.label(u, v) {
+                scratch.reversed.push(v);
             }
         }
-        if self.labeling == BllLabeling::PartialReversal {
-            // u forgets its history (list[u] := ∅ ⇒ all labels 1).
-            for v in self.inst.graph.neighbors(u).collect::<Vec<_>>() {
-                self.state.labels.insert((u, v), true);
-            }
-        }
-        self.tracker.record_step(self.state.dirs.csr(), u, &targets);
-        ReversalStep {
-            node: u,
-            reversed: targets,
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
             dummy: false,
         }
     }
 
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], _aux: PlanAux) {
+        let ui = self.state.dirs.csr().index_of(u).expect("planned node");
+        self.state.dirs.reverse_all_outward_at(ui, reversed);
+        if self.labeling == BllLabeling::PartialReversal {
+            for &v in reversed {
+                // v records that u reversed toward it.
+                self.state.labels.insert((v, u), false);
+            }
+            // u forgets its history (list[u] := ∅ ⇒ all labels 1). Every
+            // (u, v) key already exists, so these are in-place updates.
+            let inst = self.inst;
+            for v in inst.graph.neighbors(u) {
+                self.state.labels.insert((u, v), true);
+            }
+        }
+        self.tracker.record_step(self.state.dirs.csr(), u, reversed);
+    }
+
     fn orientation(&self) -> Orientation {
         self.state.dirs.orientation()
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
     }
 
     fn reset(&mut self) {
@@ -226,8 +242,8 @@ mod tests {
             let mut pr = PrEngine::new(&inst);
             let mut steps = 0;
             loop {
-                assert_eq!(bll.enabled_nodes(), pr.enabled_nodes());
-                let Some(&u) = bll.enabled_nodes().first() else {
+                assert_eq!(bll.enabled(), pr.enabled());
+                let Some(&u) = bll.enabled().first() else {
                     break;
                 };
                 let a = bll.step(u);
@@ -248,8 +264,8 @@ mod tests {
             let mut fr = FullReversalEngine::new(&inst);
             let mut steps = 0;
             loop {
-                assert_eq!(bll.enabled_nodes(), fr.enabled_nodes());
-                let Some(&u) = bll.enabled_nodes().last() else {
+                assert_eq!(bll.enabled(), fr.enabled());
+                let Some(&u) = bll.enabled().last() else {
                     break;
                 };
                 let a = bll.step(u);
@@ -268,7 +284,7 @@ mod tests {
         for labeling in [BllLabeling::PartialReversal, BllLabeling::FullReversal] {
             let mut e = BllEngine::new(&inst, labeling);
             let mut steps = 0;
-            while let Some(&u) = e.enabled_nodes().first() {
+            while let Some(&u) = e.enabled().first() {
                 e.step(u);
                 let o = e.orientation();
                 assert!(

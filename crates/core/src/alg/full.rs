@@ -11,7 +11,7 @@ use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 use lr_ioa::Automaton;
 
 use crate::alg::ReversalEngine;
-use crate::{EnabledTracker, MirroredDirs, ReversalStep};
+use crate::{EnabledTracker, MirroredDirs, PlanAux, ReversalStep, StepOutcome, StepScratch};
 
 /// FR state: just the mirrored edge directions.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -105,15 +105,41 @@ impl ReversalEngine for FullReversalEngine<'_> {
         self.tracker.enabled()
     }
 
-    fn step(&mut self, u: NodeId) -> ReversalStep {
-        let step = full_reversal_step(self.inst, &mut self.state, u);
-        self.tracker
-            .record_step(self.state.dirs.csr(), u, &step.reversed);
-        step
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
+        let csr = self.state.dirs.csr();
+        let ui = csr.index_of(u).expect("stepping node exists");
+        assert!(
+            self.state.dirs.is_sink_at(ui),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        scratch.clear();
+        for slot in csr.slots(ui) {
+            scratch.reversed.push(csr.node(csr.target(slot)));
+        }
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: false,
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], _aux: PlanAux) {
+        let ui = self.state.dirs.csr().index_of(u).expect("planned node");
+        self.state.dirs.reverse_all_outward_at(ui, reversed);
+        self.tracker.record_step(self.state.dirs.csr(), u, reversed);
     }
 
     fn orientation(&self) -> Orientation {
         self.state.dirs.orientation()
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
     }
 
     fn reset(&mut self) {
@@ -197,7 +223,7 @@ mod tests {
         let inst = generate::chain_away(5);
         let mut e = FullReversalEngine::new(&inst);
         let mut total = 0usize;
-        while let Some(&u) = e.enabled_nodes().first() {
+        while let Some(&u) = e.enabled().first() {
             total += e.step(u).reversal_count();
             assert!(total < 10_000, "runaway execution");
         }

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use lr_graph::{CsrGraph, NodeId, Orientation, PlaneEmbedding, ReversalInstance};
 
 use crate::alg::ReversalEngine;
-use crate::{EnabledTracker, ReversalStep};
+use crate::{EnabledTracker, PlanAux, StepOutcome, StepScratch};
 
 /// A Gafni–Bertsekas pair height `(α, id)`, ordered lexicographically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -162,7 +162,7 @@ impl ReversalEngine for PairHeightsEngine<'_> {
         self.tracker.enabled()
     }
 
-    fn step(&mut self, u: NodeId) -> ReversalStep {
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
         assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
         let ui = self.csr.index_of(u).expect("stepping node exists");
         assert!(
@@ -176,23 +176,35 @@ impl ReversalEngine for PairHeightsEngine<'_> {
             .map(|&v| self.heights[v as usize].alpha)
             .max()
             .expect("sink has at least one neighbor");
-        let reversed: Vec<NodeId> = self
-            .csr
-            .neighbor_indices(ui)
-            .iter()
-            .map(|&v| self.csr.node(v as usize))
-            .collect();
-        self.heights[ui].alpha = max_alpha + 1;
-        self.tracker.record_step(&self.csr, u, &reversed);
-        ReversalStep {
-            node: u,
-            reversed,
+        scratch.clear();
+        for &v in self.csr.neighbor_indices(ui) {
+            scratch.reversed.push(self.csr.node(v as usize));
+        }
+        // The new α rides in the plan payload so apply never re-scans.
+        scratch.aux = PlanAux(max_alpha + 1, 0);
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
             dummy: false,
         }
     }
 
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], aux: PlanAux) {
+        let ui = self.csr.index_of(u).expect("planned node");
+        self.heights[ui].alpha = aux.0;
+        self.tracker.record_step(&self.csr, u, reversed);
+    }
+
     fn orientation(&self) -> Orientation {
         height_orientation(&self.csr, &self.heights)
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
     }
 
     fn reset(&mut self) {
@@ -269,7 +281,7 @@ impl ReversalEngine for TripleHeightsEngine<'_> {
         self.tracker.enabled()
     }
 
-    fn step(&mut self, u: NodeId) -> ReversalStep {
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
         assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
         let ui = self.csr.index_of(u).expect("stepping node exists");
         assert!(
@@ -283,33 +295,48 @@ impl ReversalEngine for TripleHeightsEngine<'_> {
             .min()
             .expect("sink has at least one neighbor");
         let new_alpha = min_alpha + 1;
-        // Neighbors tying on the new α: u must drop below them on β.
-        let min_beta_tying = nbrs
+        // Neighbors tying on the new α: u must drop below them on β. The
+        // payload always carries a concrete β — the current one when no
+        // neighbor ties — so apply is an unconditional write.
+        let new_beta = nbrs
             .iter()
             .filter(|&&v| self.heights[v as usize].alpha == new_alpha)
             .map(|&v| self.heights[v as usize].beta)
-            .min();
+            .min()
+            .map_or(self.heights[ui].beta, |b| b - 1);
         // The edges that flip are exactly those to minimum-α neighbors.
-        let reversed: Vec<NodeId> = nbrs
-            .iter()
-            .filter(|&&v| self.heights[v as usize].alpha == min_alpha)
-            .map(|&v| self.csr.node(v as usize))
-            .collect();
-        let h = &mut self.heights[ui];
-        h.alpha = new_alpha;
-        if let Some(b) = min_beta_tying {
-            h.beta = b - 1;
+        scratch.clear();
+        for &v in nbrs {
+            if self.heights[v as usize].alpha == min_alpha {
+                scratch.reversed.push(self.csr.node(v as usize));
+            }
         }
-        self.tracker.record_step(&self.csr, u, &reversed);
-        ReversalStep {
-            node: u,
-            reversed,
+        scratch.aux = PlanAux(new_alpha, new_beta);
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
             dummy: false,
         }
     }
 
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], aux: PlanAux) {
+        let ui = self.csr.index_of(u).expect("planned node");
+        let h = &mut self.heights[ui];
+        h.alpha = aux.0;
+        h.beta = aux.1;
+        self.tracker.record_step(&self.csr, u, reversed);
+    }
+
     fn orientation(&self) -> Orientation {
         height_orientation(&self.csr, &self.heights)
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
     }
 
     fn reset(&mut self) {
@@ -386,9 +413,10 @@ mod tests {
             let mut fr = FullReversalEngine::new(&inst);
             let mut steps = 0;
             loop {
-                let sinks = gb.enabled_nodes();
-                assert_eq!(sinks, fr.enabled_nodes(), "sink sets must agree");
-                let Some(&u) = sinks.first() else { break };
+                assert_eq!(gb.enabled(), fr.enabled(), "sink sets must agree");
+                let Some(&u) = gb.enabled().first() else {
+                    break;
+                };
                 let a = gb.step(u);
                 let b = fr.step(u);
                 assert_eq!(a.reversed, b.reversed, "reversal sets must agree");
@@ -407,9 +435,8 @@ mod tests {
             let mut pr = PrEngine::new(&inst);
             let mut steps = 0;
             loop {
-                let sinks = gb.enabled_nodes();
-                assert_eq!(sinks, pr.enabled_nodes(), "sink sets must agree");
-                let Some(&u) = sinks.last() else { break };
+                assert_eq!(gb.enabled(), pr.enabled(), "sink sets must agree");
+                let Some(&u) = gb.enabled().last() else { break };
                 let a = gb.step(u);
                 let b = pr.step(u);
                 assert_eq!(
@@ -433,7 +460,7 @@ mod tests {
                 Box::new(TripleHeightsEngine::new(&inst))
             };
             let mut steps = 0usize;
-            while let Some(&u) = eng.enabled_nodes().first() {
+            while let Some(&u) = eng.enabled().first() {
                 eng.step(u);
                 steps += 1;
                 assert!(steps < 1_000_000, "runaway");

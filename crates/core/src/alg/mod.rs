@@ -32,13 +32,13 @@ use std::sync::Arc;
 
 use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 
-use crate::ReversalStep;
+use crate::{PlanAux, ReversalStep, StepOutcome, StepScratch};
 
 /// An imperative link-reversal state machine over a fixed instance.
 ///
-/// A node may step when it is a sink and is not the destination; `step`
-/// performs one node's reversal in place. The greedy/random run loops in
-/// [`crate::engine`] drive engines to termination.
+/// A node may step when it is a sink and is not the destination. The
+/// greedy/random run loops in [`crate::engine`] drive engines to
+/// termination.
 ///
 /// Every engine maintains its enabled set **incrementally** (via
 /// [`crate::EnabledTracker`]): [`ReversalEngine::enabled`] is an O(1)
@@ -46,7 +46,34 @@ use crate::ReversalStep;
 /// [`ReversalEngine::is_terminated`] an O(1) emptiness check, instead of
 /// the O(n·Δ) whole-graph rescan the pre-PR-2 engines performed before
 /// every step.
-pub trait ReversalEngine {
+///
+/// # The step pipeline
+///
+/// Since PR 3 a step is split into a read-only **plan** and a mutating
+/// **apply**:
+///
+/// * [`ReversalEngine::plan_step`] computes the step's reversal targets
+///   against the current state into a caller-owned [`StepScratch`]
+///   without mutating anything;
+/// * [`ReversalEngine::apply_planned`] executes a previously planned
+///   step in place;
+/// * [`ReversalEngine::step_into`] is plan + apply — the
+///   **zero-allocation hot path** the run loops use (one reusable
+///   scratch per run);
+/// * [`ReversalEngine::step`] is the allocating compatibility wrapper
+///   (fresh buffer per call, owned [`ReversalStep`] result) retained
+///   for traces, tests, and the automaton cross-checks.
+///
+/// Because the sinks of one greedy round are pairwise non-adjacent, a
+/// plan computed against the pre-round state equals the plan a
+/// sequential schedule would compute mid-round — which is what lets
+/// [`crate::engine::run_engine_parallel`] fan the plan phase out across
+/// worker threads and still produce bit-identical executions.
+///
+/// `Sync` is a supertrait so `&dyn ReversalEngine` can be shared with
+/// those plan workers; engines hold only plain data and are naturally
+/// `Sync`.
+pub trait ReversalEngine: Sync {
     /// The instance this engine runs on.
     fn instance(&self) -> &ReversalInstance;
 
@@ -69,19 +96,82 @@ pub trait ReversalEngine {
     /// O(1); no allocation.
     fn enabled(&self) -> &[NodeId];
 
-    /// The enabled nodes as an owned vector (compatibility wrapper over
-    /// [`ReversalEngine::enabled`]).
+    /// The enabled nodes as an owned vector.
+    ///
+    /// Compatibility wrapper over [`ReversalEngine::enabled`] that
+    /// allocates a fresh `Vec` on every call. **Prefer the borrowed
+    /// [`ReversalEngine::enabled`] slice** (and `.to_vec()` it yourself
+    /// on the rare occasion an owned snapshot is genuinely needed); this
+    /// wrapper only survives for source compatibility with pre-PR-2
+    /// callers.
+    #[doc(hidden)]
     fn enabled_nodes(&self) -> Vec<NodeId> {
         self.enabled().to_vec()
     }
 
-    /// Performs node `u`'s reversal step.
+    /// Plans node `u`'s reversal step against the **current** state
+    /// without mutating it: writes the reversed neighbors (ascending)
+    /// into `scratch` and returns the step's [`StepOutcome`].
     ///
     /// # Panics
     ///
     /// Panics if `u` is not enabled (not a sink, or is the destination) —
     /// that is a scheduling bug, not a runtime condition.
-    fn step(&mut self, u: NodeId) -> ReversalStep;
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome;
+
+    /// Applies a step previously planned by [`ReversalEngine::plan_step`]
+    /// for `u`: `reversed` is the planned target list and `aux` the
+    /// plan's payload. The state must not have changed in a way that
+    /// affects `u`'s plan in between (the non-adjacency of a greedy
+    /// round's sinks guarantees this for whole-round batches).
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], aux: PlanAux);
+
+    /// Performs node `u`'s reversal step through the caller-owned
+    /// `scratch`, reversing **no heap allocation** in steady state: the
+    /// reversed-neighbor list is written into the reusable buffer and
+    /// the returned [`StepOutcome`] is `Copy`. See [`StepScratch`] for
+    /// the ownership contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not enabled.
+    fn step_into(&mut self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        let outcome = self.plan_step(u, scratch);
+        self.apply_planned(u, &scratch.reversed, scratch.aux);
+        outcome
+    }
+
+    /// Performs node `u`'s reversal step, returning an owned
+    /// [`ReversalStep`].
+    ///
+    /// Thin compatibility wrapper over [`ReversalEngine::step_into`]
+    /// that allocates a fresh buffer per call — exactly the pre-PR-3
+    /// behavior. Run loops use `step_into`; traces, tests, and one-shot
+    /// callers keep using this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not enabled (not a sink, or is the destination) —
+    /// that is a scheduling bug, not a runtime condition.
+    fn step(&mut self, u: NodeId) -> ReversalStep {
+        let mut scratch = StepScratch::new();
+        let outcome = self.step_into(u, &mut scratch);
+        ReversalStep {
+            node: u,
+            reversed: scratch.reversed,
+            dummy: outcome.dummy,
+        }
+    }
+
+    /// Marks the start of a greedy round whose steps will all be applied
+    /// before the enabled view is read again. Engines forward this to
+    /// [`crate::EnabledTracker::begin_batch`] so the round's enabled-set
+    /// edits collapse into one merge; the default is a no-op.
+    fn begin_round(&mut self) {}
+
+    /// Closes a round opened by [`ReversalEngine::begin_round`],
+    /// bringing [`ReversalEngine::enabled`] current.
+    fn end_round(&mut self) {}
 
     /// The current single-copy orientation of the graph.
     fn orientation(&self) -> Orientation;
@@ -165,7 +255,27 @@ mod tests {
             let e = kind.engine(&inst);
             assert_eq!(e.instance().dest, inst.dest);
             assert!(!e.is_terminated(), "{} should have work", kind.name());
-            assert_eq!(e.enabled_nodes(), vec![lr_graph::NodeId::new(3)]);
+            assert_eq!(e.enabled(), &[lr_graph::NodeId::new(3)][..]);
+            // The allocating compat wrapper must mirror the borrowed view.
+            assert_eq!(e.enabled_nodes(), e.enabled().to_vec());
+        }
+    }
+
+    #[test]
+    fn default_step_wrapper_matches_step_into() {
+        let inst = generate::chain_away(5);
+        for kind in AlgorithmKind::ALL {
+            let mut a = kind.engine(&inst);
+            let mut b = kind.engine(&inst);
+            let mut scratch = crate::StepScratch::new();
+            let u = lr_graph::NodeId::new(4);
+            let step = a.step(u);
+            let outcome = b.step_into(u, &mut scratch);
+            assert_eq!(step.reversed, scratch.reversed().to_vec());
+            assert_eq!(step.reversal_count(), outcome.reversal_count);
+            assert_eq!(step.dummy, outcome.dummy);
+            assert_eq!(b.csr().node(outcome.node_idx), u);
+            assert_eq!(a.enabled(), b.enabled());
         }
     }
 }

@@ -16,11 +16,11 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, EdgeDir, NodeId, Orientation, ReversalInstance};
 use lr_ioa::Automaton;
 
 use crate::alg::ReversalEngine;
-use crate::{EnabledTracker, MirroredDirs, ReversalStep};
+use crate::{EnabledTracker, MirroredDirs, PlanAux, ReversalStep, StepOutcome, StepScratch};
 
 /// The parity of a node's step count — the derived variable `parity[u]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -104,6 +104,11 @@ pub struct NewPrEngine<'a> {
     inst: &'a ReversalInstance,
     state: NewPrState,
     tracker: EnabledTracker,
+    /// `init_in[slot of (u, v)]` ⇔ `dir[u, v] = in` **initially** — the
+    /// frozen `in-nbrs_u` / `out-nbrs_u` partition of §2, laid out by
+    /// half-edge slot so the plan phase selects targets without touching
+    /// the allocating [`ReversalInstance::initial_in_nbrs`] lists.
+    init_in: Vec<bool>,
 }
 
 impl<'a> NewPrEngine<'a> {
@@ -111,10 +116,16 @@ impl<'a> NewPrEngine<'a> {
     pub fn new(inst: &'a ReversalInstance) -> Self {
         let state = NewPrState::initial(inst);
         let tracker = EnabledTracker::from_dirs(&state.dirs, inst.dest);
+        // The direction state *is* the initial orientation right now, so
+        // snapshotting it per slot captures exactly `in-nbrs`/`out-nbrs`.
+        let init_in = (0..state.dirs.len())
+            .map(|slot| state.dirs.dir_at(slot) == EdgeDir::In)
+            .collect();
         NewPrEngine {
             inst,
             state,
             tracker,
+            init_in,
         }
     }
 
@@ -145,15 +156,48 @@ impl ReversalEngine for NewPrEngine<'_> {
         self.tracker.enabled()
     }
 
-    fn step(&mut self, u: NodeId) -> ReversalStep {
-        let step = newpr_step(self.inst, &mut self.state, u);
-        self.tracker
-            .record_step(self.state.dirs.csr(), u, &step.reversed);
-        step
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
+        assert!(
+            self.state.dirs.is_sink(u),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        let csr = self.state.dirs.csr();
+        let ui = csr.index_of(u).expect("sink is a node");
+        // Even parity reverses the initial in-neighbors, odd parity the
+        // initial out-neighbors (Algorithm 2) — read straight off the
+        // frozen per-slot partition, ascending like the lists were.
+        let want_initial_in = self.state.parity(u) == Parity::Even;
+        scratch.clear();
+        for slot in csr.slots(ui) {
+            if self.init_in[slot] == want_initial_in {
+                scratch.reversed.push(csr.node(csr.target(slot)));
+            }
+        }
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: scratch.reversed.is_empty(),
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], _aux: PlanAux) {
+        let ui = self.state.dirs.csr().index_of(u).expect("planned node");
+        self.state.dirs.reverse_all_outward_at(ui, reversed);
+        *self.state.counts.get_mut(&u).expect("u has a count") += 1;
+        self.tracker.record_step(self.state.dirs.csr(), u, reversed);
     }
 
     fn orientation(&self) -> Orientation {
         self.state.dirs.orientation()
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
     }
 
     fn reset(&mut self) {

@@ -16,7 +16,7 @@ use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
 use lr_ioa::Automaton;
 
 use crate::alg::ReversalEngine;
-use crate::{EnabledTracker, MirroredDirs, ReversalStep};
+use crate::{EnabledTracker, MirroredDirs, PlanAux, ReversalStep, StepOutcome, StepScratch};
 
 /// Shared state of `PR` and `OneStepPR`: edge directions plus `list[u]`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -48,6 +48,37 @@ impl PrState {
     }
 }
 
+/// The target-selection rule of Algorithm 1/3 — the **single** shared
+/// transition function both the allocating [`onestep_pr_step`] and the
+/// zero-allocation engine plan use: `reverse(u)` targets the neighbors
+/// not in `list[u]` — unless the list holds *all* neighbors, in which
+/// case everything reverses. Neighbor slots are ascending by id,
+/// matching the old BTreeSet iteration.
+fn pr_select_targets(csr: &CsrGraph, list_u: &BTreeSet<NodeId>, ui: usize, out: &mut Vec<NodeId>) {
+    let list_is_full = list_u.len() == csr.degree(ui);
+    for slot in csr.slots(ui) {
+        let v = csr.node(csr.target(slot));
+        if list_is_full || !list_u.contains(&v) {
+            out.push(v);
+        }
+    }
+}
+
+/// The effect half of Algorithm 1/3 shared by engine and automaton:
+/// reverse the selected edges outward, record `u` in each reversed
+/// neighbor's list, empty `list[u]`.
+fn pr_apply_targets(state: &mut PrState, u: NodeId, ui: usize, targets: &[NodeId]) {
+    state.dirs.reverse_all_outward_at(ui, targets);
+    for &v in targets {
+        state
+            .lists
+            .get_mut(&v)
+            .expect("neighbor has a list")
+            .insert(u);
+    }
+    state.lists.get_mut(&u).expect("u has a list").clear();
+}
+
 /// Applies the effect of `reverse(u)` exactly as written in Algorithm 1/3
 /// for a single node `u`.
 ///
@@ -63,29 +94,9 @@ pub fn onestep_pr_step(inst: &ReversalInstance, state: &mut PrState, u: NodeId) 
     );
     let csr = Arc::clone(state.dirs.csr());
     let ui = csr.index_of(u).expect("sink is a node");
-    let list_u = &state.lists[&u];
-    // `reverse(u)` targets the neighbors not in list[u] — unless the list
-    // holds *all* neighbors, in which case everything reverses. Neighbor
-    // slots are ascending by id, matching the old BTreeSet iteration.
-    let list_is_full = list_u.len() == csr.degree(ui);
     let mut targets = Vec::with_capacity(csr.degree(ui));
-    let mut slots = Vec::with_capacity(csr.degree(ui));
-    for slot in csr.slots(ui) {
-        let v = csr.node(csr.target(slot));
-        if list_is_full || !list_u.contains(&v) {
-            targets.push(v);
-            slots.push(slot);
-        }
-    }
-    for (&v, &slot) in targets.iter().zip(&slots) {
-        state.dirs.reverse_outward_at(slot);
-        state
-            .lists
-            .get_mut(&v)
-            .expect("neighbor has a list")
-            .insert(u);
-    }
-    state.lists.get_mut(&u).expect("u has a list").clear();
+    pr_select_targets(&csr, &state.lists[&u], ui, &mut targets);
+    pr_apply_targets(state, u, ui, &targets);
     ReversalStep {
         node: u,
         reversed: targets,
@@ -170,15 +181,39 @@ impl ReversalEngine for PrEngine<'_> {
         self.tracker.enabled()
     }
 
-    fn step(&mut self, u: NodeId) -> ReversalStep {
-        let step = onestep_pr_step(self.inst, &mut self.state, u);
-        self.tracker
-            .record_step(self.state.dirs.csr(), u, &step.reversed);
-        step
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.inst.dest, "destination {u} never takes steps");
+        assert!(
+            self.state.dirs.is_sink(u),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        let csr = self.state.dirs.csr();
+        let ui = csr.index_of(u).expect("sink is a node");
+        scratch.clear();
+        pr_select_targets(csr, &self.state.lists[&u], ui, &mut scratch.reversed);
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: false,
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], _aux: PlanAux) {
+        let ui = self.state.dirs.csr().index_of(u).expect("planned node");
+        pr_apply_targets(&mut self.state, u, ui, reversed);
+        self.tracker.record_step(self.state.dirs.csr(), u, reversed);
     }
 
     fn orientation(&self) -> Orientation {
         self.state.dirs.orientation()
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
     }
 
     fn reset(&mut self) {
@@ -338,7 +373,7 @@ mod tests {
         e.step(n(2)); // reverses {1,2}; list[1] = {2}
                       // Now 1 is NOT a sink (edge to 0 outgoing). Make it one: 0 is dest
                       // and cannot step. So drive: nothing else enabled... check state.
-        assert_eq!(e.enabled_nodes(), vec![]);
+        assert!(e.enabled().is_empty());
         // 1 -> 0 still; 2 -> 1 now: 1 has in from 2, out to 0. Terminated.
         let view_o = e.orientation();
         let view = DirectedView::new(&inst.graph, &view_o);
@@ -350,7 +385,7 @@ mod tests {
         let inst = generate::chain_away(8);
         let mut pr = PrEngine::new(&inst);
         let mut pr_total = 0usize;
-        while let Some(&u) = pr.enabled_nodes().first() {
+        while let Some(&u) = pr.enabled().first() {
             pr_total += pr.step(u).reversal_count();
             assert!(pr_total < 100_000);
         }
@@ -359,7 +394,7 @@ mod tests {
 
         let mut fr = crate::alg::FullReversalEngine::new(&inst);
         let mut fr_total = 0usize;
-        while let Some(&u) = fr.enabled_nodes().first() {
+        while let Some(&u) = fr.enabled().first() {
             fr_total += fr.step(u).reversal_count();
             assert!(fr_total < 100_000);
         }

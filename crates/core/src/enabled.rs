@@ -25,14 +25,39 @@ use lr_graph::{CsrGraph, NodeId};
 /// Incrementally maintained set of enabled nodes (sinks minus the
 /// destination), kept sorted ascending so scheduling policies see the
 /// same deterministic order a full scan would produce.
+///
+/// Two update modes:
+///
+/// * **immediate** (the default) — every [`EnabledTracker::record_step`]
+///   edits the sorted vector in place (one binary search + contiguous
+///   shift per changed node), keeping `enabled()` exact after every
+///   step. Single-step schedulers need this.
+/// * **batched** — between [`EnabledTracker::begin_batch`] and
+///   [`EnabledTracker::end_batch`], `record_step` only accumulates
+///   out-count deltas plus removal/insertion lists; `end_batch` merges
+///   them into the sorted vector in **one linear pass**. Greedy rounds
+///   use this: a round applies many steps without reading `enabled()`,
+///   so the per-step O(s) shifts (s = current sink count) collapse into
+///   a single O(s + round) merge. Because the enabled *set* is a pure
+///   function of the out-counts, the merged result is bit-identical to
+///   what per-step editing produces.
 #[derive(Debug, Clone)]
 pub struct EnabledTracker {
     /// Dense index of the destination (never enabled).
     dest_idx: usize,
     /// Per-node count of outgoing half-edges; a sink has count 0.
     out_count: Vec<u32>,
-    /// Enabled nodes, ascending.
+    /// Enabled nodes, ascending. Stale w.r.t. `removed`/`inserted` while
+    /// a batch is open.
     enabled: Vec<NodeId>,
+    /// Whether a batch is open.
+    batching: bool,
+    /// Batched: nodes that stepped and gained outgoing edges.
+    removed: Vec<NodeId>,
+    /// Batched: nodes whose out-count reached zero.
+    inserted: Vec<NodeId>,
+    /// Reusable merge target, swapped with `enabled` in `end_batch`.
+    merge_buf: Vec<NodeId>,
 }
 
 impl EnabledTracker {
@@ -55,6 +80,10 @@ impl EnabledTracker {
             dest_idx,
             out_count,
             enabled,
+            batching: false,
+            removed: Vec::new(),
+            inserted: Vec::new(),
+            merge_buf: Vec::new(),
         }
     }
 
@@ -66,8 +95,62 @@ impl EnabledTracker {
     }
 
     /// The currently enabled nodes, ascending. O(1).
+    ///
+    /// While a batch is open the view reflects the state at
+    /// [`EnabledTracker::begin_batch`]; [`EnabledTracker::end_batch`]
+    /// brings it current.
     pub fn enabled(&self) -> &[NodeId] {
         &self.enabled
+    }
+
+    /// Opens a batch: subsequent [`EnabledTracker::record_step`] calls
+    /// accumulate deltas instead of editing the sorted vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a batch is already open.
+    pub fn begin_batch(&mut self) {
+        assert!(!self.batching, "batch already open");
+        self.batching = true;
+        self.removed.clear();
+        self.inserted.clear();
+    }
+
+    /// Closes the batch, merging the accumulated removals and
+    /// insertions into the sorted enabled vector in one linear pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batch is open.
+    pub fn end_batch(&mut self) {
+        assert!(self.batching, "no batch open");
+        self.batching = false;
+        // Steppers are recorded in schedule order, which greedy rounds
+        // take ascending — but sort defensively so the merge never
+        // depends on the caller's iteration order. Newly enabled nodes
+        // arrive in reversal order and genuinely need the sort.
+        self.removed.sort_unstable();
+        self.inserted.sort_unstable();
+        self.merge_buf.clear();
+        let (mut i, mut j, mut k) = (0, 0, 0);
+        while i < self.enabled.len() || j < self.inserted.len() {
+            let take_inserted = j < self.inserted.len()
+                && (i >= self.enabled.len() || self.inserted[j] < self.enabled[i]);
+            if take_inserted {
+                self.merge_buf.push(self.inserted[j]);
+                j += 1;
+            } else {
+                let u = self.enabled[i];
+                i += 1;
+                if k < self.removed.len() && self.removed[k] == u {
+                    k += 1;
+                } else {
+                    self.merge_buf.push(u);
+                }
+            }
+        }
+        debug_assert_eq!(k, self.removed.len(), "removed node was not enabled");
+        std::mem::swap(&mut self.enabled, &mut self.merge_buf);
     }
 
     /// Applies the enabled-set delta of one step: `u` reversed the edges
@@ -82,7 +165,11 @@ impl EnabledTracker {
         if !reversed.is_empty() {
             // A dummy step (NewPR §4.1) reverses nothing: u stays a sink
             // and stays enabled. Otherwise it gained outgoing edges.
-            self.remove(u);
+            if self.batching {
+                self.removed.push(u);
+            } else {
+                self.remove(u);
+            }
         }
         for &v in reversed {
             let vi = csr.index_of(v).expect("reversed neighbor exists");
@@ -90,7 +177,11 @@ impl EnabledTracker {
             self.out_count[vi] -= 1;
             if self.out_count[vi] == 0 && vi != self.dest_idx {
                 // v had an outgoing edge, so degree(v) > 0 holds.
-                self.insert(v);
+                if self.batching {
+                    self.inserted.push(v);
+                } else {
+                    self.insert(v);
+                }
             }
         }
     }
@@ -156,6 +247,46 @@ mod tests {
             guard += 1;
             assert!(guard < 100_000);
         }
+    }
+
+    #[test]
+    fn batched_round_matches_immediate_updates() {
+        // Drive identical full-reversal greedy rounds through both
+        // update modes; every round boundary must agree exactly.
+        let inst = generate::random_connected(16, 14, 3);
+        let mut dirs_a = MirroredDirs::from_instance(&inst);
+        let mut dirs_b = dirs_a.clone();
+        let mut a = EnabledTracker::from_dirs(&dirs_a, inst.dest); // immediate
+        let mut b = EnabledTracker::from_dirs(&dirs_b, inst.dest); // batched
+        let mut guard = 0;
+        while !a.enabled().is_empty() {
+            let round: Vec<NodeId> = a.enabled().to_vec();
+            b.begin_batch();
+            for &u in &round {
+                let reversed: Vec<NodeId> = inst.graph.neighbors(u).collect();
+                for &v in &reversed {
+                    dirs_a.reverse_outward(u, v);
+                    dirs_b.reverse_outward(u, v);
+                }
+                a.record_step(dirs_a.csr(), u, &reversed);
+                b.record_step(dirs_b.csr(), u, &reversed);
+            }
+            b.end_batch();
+            assert_eq!(a.enabled(), b.enabled(), "modes diverged");
+            guard += 1;
+            assert!(guard < 100_000);
+        }
+        assert!(b.enabled().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch already open")]
+    fn nested_batches_are_rejected() {
+        let inst = generate::chain_away(3);
+        let dirs = MirroredDirs::from_instance(&inst);
+        let mut t = EnabledTracker::from_dirs(&dirs, inst.dest);
+        t.begin_batch();
+        t.begin_batch();
     }
 
     #[test]

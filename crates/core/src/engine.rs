@@ -5,8 +5,27 @@
 //! **rounds** (greedy schedule depth). The run loop records both, plus the
 //! per-node work vector used by the game-theoretic comparison (E10) and
 //! NewPR's dummy-step count (E9).
+//!
+//! Four loops share one driver:
+//!
+//! * [`run_engine`] — the production path: incremental enabled view,
+//!   zero-allocation [`ReversalEngine::step_into`] pipeline (one
+//!   [`StepScratch`] per run), batched enabled-set merges per greedy
+//!   round.
+//! * [`run_engine_parallel`] — greedy rounds with the **plan phase
+//!   fanned out** across worker threads; bit-identical to the
+//!   sequential greedy run.
+//! * [`run_engine_scan`] — retained naive-rescan reference (pre-PR-2
+//!   behavior).
+//! * [`run_engine_alloc`] — retained allocating-step reference
+//!   (pre-PR-3 behavior: one owned [`crate::ReversalStep`] per step).
+//!
+//! The reference loops exist so the fast paths stay falsifiable: the
+//! differential suite (`tests/csr_differential.rs`) checks all four
+//! produce identical [`RunStats`] on every engine configuration.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use lr_graph::{CsrGraph, DirectedView, NodeId};
 use rand::rngs::SmallRng;
@@ -14,7 +33,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use crate::alg::ReversalEngine;
-use crate::ReversalStep;
+use crate::{PlanAux, StepOutcome, StepScratch};
 
 /// Scheduling policy for [`run_engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,9 +67,10 @@ pub struct RunStats {
     /// Number of greedy rounds (only meaningful for
     /// [`SchedulePolicy::GreedyRounds`]; equals `steps` otherwise).
     pub rounds: usize,
-    /// Per-node step counts — the work vector of the game-theoretic
-    /// analysis (each node's "cost").
-    pub work_per_node: BTreeMap<NodeId, usize>,
+    /// Per-node step counts indexed by **dense CSR node index** — the
+    /// work vector of the game-theoretic analysis (each node's "cost").
+    /// Use [`RunStats::work_per_node`] for the node-keyed map view.
+    pub work: Vec<usize>,
     /// Whether the run reached quiescence within the step budget.
     pub terminated: bool,
 }
@@ -58,7 +78,7 @@ pub struct RunStats {
 impl RunStats {
     /// The maximum work performed by any single node.
     pub fn max_node_work(&self) -> usize {
-        self.work_per_node.values().copied().max().unwrap_or(0)
+        self.work.iter().copied().max().unwrap_or(0)
     }
 
     /// The social cost in the sense of Charron-Bost et al.: the total
@@ -66,14 +86,25 @@ impl RunStats {
     pub fn social_cost(&self) -> usize {
         self.steps
     }
+
+    /// The work vector as a node-keyed map, derived on demand from the
+    /// dense [`RunStats::work`] vector (`csr` must be the engine's CSR
+    /// snapshot). Only the node-keyed reports (E10) pay for the map.
+    pub fn work_per_node(&self, csr: &CsrGraph) -> BTreeMap<NodeId, usize> {
+        csr.nodes()
+            .enumerate()
+            .map(|(i, u)| (u, self.work[i]))
+            .collect()
+    }
 }
 
 /// Default safety budget: generous for Θ(n²) workloads on benchmark sizes.
 pub const DEFAULT_MAX_STEPS: usize = 50_000_000;
 
 /// Per-step bookkeeping shared by every scheduling arm of the run loops:
-/// step/reversal/dummy counters plus a dense work vector indexed by CSR
-/// node index (no per-step map lookups).
+/// step/reversal/dummy counters plus a dense work vector indexed by the
+/// CSR node index carried in each [`StepOutcome`] (no per-step map or
+/// index lookups).
 struct StepBook {
     steps: usize,
     total_reversals: usize,
@@ -91,13 +122,25 @@ impl StepBook {
         }
     }
 
-    fn record(&mut self, csr: &CsrGraph, step: &ReversalStep) {
+    fn record(&mut self, outcome: &StepOutcome) {
         self.steps += 1;
-        self.total_reversals += step.reversal_count();
-        if step.dummy {
+        self.total_reversals += outcome.reversal_count;
+        if outcome.dummy {
             self.dummy_steps += 1;
         }
-        self.work[csr.index_of(step.node).expect("node exists")] += 1;
+        self.work[outcome.node_idx] += 1;
+    }
+
+    fn into_stats(self, algorithm: &'static str, rounds: usize, terminated: bool) -> RunStats {
+        RunStats {
+            algorithm,
+            steps: self.steps,
+            total_reversals: self.total_reversals,
+            dummy_steps: self.dummy_steps,
+            rounds,
+            work: self.work,
+            terminated,
+        }
     }
 }
 
@@ -111,6 +154,21 @@ enum EnabledSource {
     Scan,
 }
 
+/// How the run loop performs each step.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StepMode {
+    /// The zero-allocation pipeline: one reusable [`StepScratch`] for
+    /// the whole run, [`ReversalEngine::step_into`] per step.
+    ZeroAlloc,
+    /// The pre-PR-3 behavior, retained as a measurement reference: every
+    /// step goes through the allocating [`ReversalEngine::step`] wrapper
+    /// (a fresh buffer and an owned `ReversalStep` per step), the
+    /// bookkeeping re-resolves the node index, and greedy rounds edit
+    /// the enabled set per step instead of batching the round — the
+    /// PR 2 loop, faithfully.
+    Alloc,
+}
+
 fn scan_enabled(buf: &mut Vec<NodeId>, engine: &dyn ReversalEngine) {
     buf.clear();
     let inst = engine.instance();
@@ -121,14 +179,63 @@ fn scan_enabled(buf: &mut Vec<NodeId>, engine: &dyn ReversalEngine) {
     );
 }
 
+/// One step under the chosen [`StepMode`], recorded into `book`.
+fn take_step(
+    engine: &mut dyn ReversalEngine,
+    book: &mut StepBook,
+    csr: &CsrGraph,
+    scratch: &mut StepScratch,
+    mode: StepMode,
+    u: NodeId,
+) {
+    match mode {
+        StepMode::ZeroAlloc => {
+            let outcome = engine.step_into(u, scratch);
+            book.record(&outcome);
+        }
+        StepMode::Alloc => {
+            let step = engine.step(u);
+            book.record(&StepOutcome {
+                node_idx: csr.index_of(step.node).expect("node exists"),
+                reversal_count: step.reversal_count(),
+                dummy: step.dummy,
+            });
+        }
+    }
+}
+
+/// One greedy round through the zero-allocation pipeline with batched
+/// enabled-set edits: every sink in `snapshot` steps once (stopping at
+/// the budget). Shared by [`drive`] and the sequential fast path of
+/// [`run_engine_parallel_with`] so the two loops stay in lockstep by
+/// construction — the bit-identical guarantee depends on it.
+fn greedy_round_zero_alloc(
+    engine: &mut dyn ReversalEngine,
+    snapshot: &[NodeId],
+    book: &mut StepBook,
+    scratch: &mut StepScratch,
+    max_steps: usize,
+) {
+    engine.begin_round();
+    for &u in snapshot {
+        let outcome = engine.step_into(u, scratch);
+        book.record(&outcome);
+        if book.steps >= max_steps {
+            break;
+        }
+    }
+    engine.end_round();
+}
+
 fn drive(
     engine: &mut dyn ReversalEngine,
     policy: SchedulePolicy,
     max_steps: usize,
     source: EnabledSource,
+    mode: StepMode,
 ) -> RunStats {
     let algorithm = engine.algorithm_name();
-    let csr = std::sync::Arc::clone(engine.csr());
+    let csr = Arc::clone(engine.csr());
     let mut book = StepBook::new(csr.node_count());
     let mut rounds = 0usize;
     let mut terminated = false;
@@ -136,6 +243,7 @@ fn drive(
         SchedulePolicy::RandomSingle { seed } => Some(SmallRng::seed_from_u64(seed)),
         _ => None,
     };
+    let mut scratch = StepScratch::new();
     // Reusable buffer: the greedy-round snapshot, and under `Scan` the
     // rescanned enabled set. The incremental single-step policies never
     // touch it — they read the engine's view directly.
@@ -159,17 +267,33 @@ fn drive(
             SchedulePolicy::GreedyRounds => {
                 // A maximal simultaneous step: every sink in the snapshot
                 // steps once. Sinks are pairwise non-adjacent, so
-                // sequential application equals the set action.
+                // sequential application equals the set action — and no
+                // one reads the enabled view until the round ends, so the
+                // engine batches its enabled-set edits into one merge.
                 if source == EnabledSource::Incremental {
                     snapshot.clear();
                     snapshot.extend_from_slice(engine.enabled());
                 }
                 rounds += 1;
-                for &u in &snapshot {
-                    let step = engine.step(u);
-                    book.record(&csr, &step);
-                    if book.steps >= max_steps {
-                        break;
+                match mode {
+                    StepMode::ZeroAlloc => {
+                        greedy_round_zero_alloc(
+                            engine,
+                            &snapshot,
+                            &mut book,
+                            &mut scratch,
+                            max_steps,
+                        );
+                    }
+                    // The PR 2 reference mode keeps per-step enabled-set
+                    // edits (no round batching existed before PR 3).
+                    StepMode::Alloc => {
+                        for &u in &snapshot {
+                            take_step(engine, &mut book, &csr, &mut scratch, mode, u);
+                            if book.steps >= max_steps {
+                                break;
+                            }
+                        }
                     }
                 }
             }
@@ -180,9 +304,8 @@ fn drive(
                     EnabledSource::Scan => snapshot.choose(rng),
                 }
                 .expect("enabled non-empty");
-                let step = engine.step(u);
                 rounds += 1;
-                book.record(&csr, &step);
+                take_step(engine, &mut book, &csr, &mut scratch, mode, u);
             }
             SchedulePolicy::FirstSingle | SchedulePolicy::LastSingle => {
                 let view = match source {
@@ -194,31 +317,19 @@ fn drive(
                 } else {
                     *view.last().expect("non-empty")
                 };
-                let step = engine.step(u);
                 rounds += 1;
-                book.record(&csr, &step);
+                take_step(engine, &mut book, &csr, &mut scratch, mode, u);
             }
         }
     }
-    RunStats {
-        algorithm,
-        steps: book.steps,
-        total_reversals: book.total_reversals,
-        dummy_steps: book.dummy_steps,
-        rounds,
-        work_per_node: csr
-            .nodes()
-            .enumerate()
-            .map(|(i, u)| (u, book.work[i]))
-            .collect(),
-        terminated,
-    }
+    book.into_stats(algorithm, rounds, terminated)
 }
 
 /// Drives `engine` until termination (no enabled node) or until
 /// `max_steps` node-steps have been taken, consuming the engine's
-/// incrementally maintained enabled view (O(Δ + s) per step,
-/// allocation-free outside greedy-round snapshots).
+/// incrementally maintained enabled view through the zero-allocation
+/// step pipeline: one [`StepScratch`] for the whole run, no per-step
+/// heap traffic after warm-up.
 ///
 /// The engine is **not** reset first; callers compose runs on partially
 /// advanced engines when needed (the routing simulator does).
@@ -227,14 +338,19 @@ pub fn run_engine(
     policy: SchedulePolicy,
     max_steps: usize,
 ) -> RunStats {
-    drive(engine, policy, max_steps, EnabledSource::Incremental)
+    drive(
+        engine,
+        policy,
+        max_steps,
+        EnabledSource::Incremental,
+        StepMode::ZeroAlloc,
+    )
 }
 
 /// The retained **naive-scan reference loop**: identical scheduling and
 /// bookkeeping to [`run_engine`], but the enabled set is recomputed
 /// before every step by scanning all nodes through
-/// [`ReversalEngine::is_sink`] — the pre-refactor O(n·Δ)-per-step
-/// behavior.
+/// [`ReversalEngine::is_sink`] — the pre-PR-2 O(n·Δ)-per-step behavior.
 ///
 /// Exists so the incremental machinery stays falsifiable: the
 /// differential suite (`tests/csr_differential.rs`) and the
@@ -244,7 +360,183 @@ pub fn run_engine_scan(
     policy: SchedulePolicy,
     max_steps: usize,
 ) -> RunStats {
-    drive(engine, policy, max_steps, EnabledSource::Scan)
+    drive(
+        engine,
+        policy,
+        max_steps,
+        EnabledSource::Scan,
+        StepMode::ZeroAlloc,
+    )
+}
+
+/// The retained **PR 2 reference loop**: identical scheduling to
+/// [`run_engine`], but every step goes through the allocating
+/// [`ReversalEngine::step`] compatibility wrapper — a fresh buffer and
+/// an owned [`crate::ReversalStep`] per step, ~4.2 M allocations for
+/// one n = 4096 alternating-chain run — and greedy rounds pay the
+/// per-step sorted enabled-vector edits instead of the PR 3 batched
+/// round merge.
+///
+/// Exists as the measurement baseline for the zero-allocation pipeline
+/// (`exp_throughput`, `bench_throughput`) and as a differential
+/// reference for `step` vs `step_into` equivalence.
+pub fn run_engine_alloc(
+    engine: &mut dyn ReversalEngine,
+    policy: SchedulePolicy,
+    max_steps: usize,
+) -> RunStats {
+    drive(
+        engine,
+        policy,
+        max_steps,
+        EnabledSource::Incremental,
+        StepMode::Alloc,
+    )
+}
+
+/// Tuning for [`run_engine_parallel_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker-thread count for the plan phase (clamped to ≥ 1; 1 means
+    /// fully sequential).
+    pub threads: usize,
+    /// Rounds with fewer enabled nodes than this run sequentially —
+    /// spawning workers for a handful of sinks costs more than it saves.
+    pub min_parallel_round: usize,
+}
+
+impl ParallelConfig {
+    /// `threads` workers with the default round-size cutoff
+    /// (`64 × threads`).
+    pub fn new(threads: usize) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+            min_parallel_round: 64 * threads.max(1),
+        }
+    }
+}
+
+/// One planned step, pointing into a shard's concatenated target buffer.
+struct PlanRec {
+    outcome: StepOutcome,
+    start: usize,
+    aux: PlanAux,
+}
+
+/// Per-worker plan output, reused across rounds.
+#[derive(Default)]
+struct PlanShard {
+    recs: Vec<PlanRec>,
+    targets: Vec<NodeId>,
+    scratch: StepScratch,
+}
+
+/// Plans one shard of a round against the shared pre-round state.
+fn plan_shard(planner: &dyn ReversalEngine, shard: &mut PlanShard, nodes: &[NodeId]) {
+    for &u in nodes {
+        let outcome = planner.plan_step(u, &mut shard.scratch);
+        shard.recs.push(PlanRec {
+            outcome,
+            start: shard.targets.len(),
+            aux: shard.scratch.aux(),
+        });
+        shard.targets.extend_from_slice(shard.scratch.reversed());
+    }
+}
+
+/// [`run_engine`] for [`SchedulePolicy::GreedyRounds`] with the **plan
+/// phase of each round fanned out across worker threads**, default
+/// tuning. See [`run_engine_parallel_with`].
+pub fn run_engine_parallel(
+    engine: &mut dyn ReversalEngine,
+    threads: usize,
+    max_steps: usize,
+) -> RunStats {
+    run_engine_parallel_with(engine, ParallelConfig::new(threads), max_steps)
+}
+
+/// Greedy-rounds execution with parallel planning, explicit tuning.
+///
+/// Each round snapshots the enabled slice, partitions it across
+/// `cfg.threads` crossbeam-scoped workers that **plan** their shard's
+/// steps against the shared pre-round state (read-only, one scratch per
+/// shard), then applies every planned step on the caller thread in
+/// snapshot order. Because a round's sinks are pairwise non-adjacent,
+/// plans computed against the pre-round state equal the plans a
+/// sequential schedule would compute mid-round, and the sequential apply
+/// merges the out-count deltas deterministically — so the resulting
+/// [`RunStats`], final state, and enabled sets are **bit-identical** to
+/// [`run_engine`] under [`SchedulePolicy::GreedyRounds`].
+///
+/// Rounds smaller than `cfg.min_parallel_round` (and everything when
+/// `cfg.threads == 1`) take the sequential fast path.
+pub fn run_engine_parallel_with(
+    engine: &mut dyn ReversalEngine,
+    cfg: ParallelConfig,
+    max_steps: usize,
+) -> RunStats {
+    let threads = cfg.threads.max(1);
+    let algorithm = engine.algorithm_name();
+    let csr = Arc::clone(engine.csr());
+    let mut book = StepBook::new(csr.node_count());
+    let mut rounds = 0usize;
+    let mut terminated = false;
+    let mut snapshot: Vec<NodeId> = Vec::new();
+    let mut shards: Vec<PlanShard> = (0..threads).map(|_| PlanShard::default()).collect();
+    let mut scratch = StepScratch::new();
+    loop {
+        if engine.is_terminated() {
+            terminated = true;
+            break;
+        }
+        if book.steps >= max_steps {
+            break;
+        }
+        snapshot.clear();
+        snapshot.extend_from_slice(engine.enabled());
+        rounds += 1;
+        if threads == 1 || snapshot.len() < cfg.min_parallel_round {
+            // Sequential fast path — exactly one `run_engine` round.
+            greedy_round_zero_alloc(engine, &snapshot, &mut book, &mut scratch, max_steps);
+            continue;
+        }
+        // Plan phase: workers read the shared pre-round state.
+        for shard in &mut shards {
+            shard.recs.clear();
+            shard.targets.clear();
+        }
+        let chunk = snapshot.len().div_ceil(threads);
+        let planner: &dyn ReversalEngine = engine;
+        crossbeam::thread::scope(|s| {
+            let mut work = shards.iter_mut().zip(snapshot.chunks(chunk));
+            // The caller thread plans the first shard itself; only the
+            // remaining shards pay for a spawn.
+            let first = work.next();
+            for (shard, nodes) in work {
+                s.spawn(move |_| plan_shard(planner, shard, nodes));
+            }
+            if let Some((shard, nodes)) = first {
+                plan_shard(planner, shard, nodes);
+            }
+        })
+        .expect("plan worker panicked");
+        // Apply phase: snapshot order (shards are snapshot chunks), so
+        // the tracker's out-count deltas merge deterministically.
+        engine.begin_round();
+        'apply: for shard in &shards {
+            for rec in &shard.recs {
+                let u = csr.node(rec.outcome.node_idx);
+                let targets = &shard.targets[rec.start..rec.start + rec.outcome.reversal_count];
+                engine.apply_planned(u, targets, rec.aux);
+                book.record(&rec.outcome);
+                if book.steps >= max_steps {
+                    break 'apply;
+                }
+            }
+        }
+        engine.end_round();
+    }
+    book.into_stats(algorithm, rounds, terminated)
 }
 
 /// Runs and asserts the link-reversal postcondition: the final orientation
@@ -284,13 +576,14 @@ pub fn run_to_destination_oriented(
 /// spot checks and failure-injection tests.
 pub fn advance_randomly(engine: &mut dyn ReversalEngine, steps: usize, seed: u64) -> usize {
     let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scratch = StepScratch::new();
     for taken in 0..steps {
         let enabled = engine.enabled();
         if enabled.is_empty() {
             return taken;
         }
         let u = enabled[rng.gen_range(0..enabled.len())];
-        engine.step(u);
+        engine.step_into(u, &mut scratch);
     }
     steps
 }
@@ -317,7 +610,7 @@ mod tests {
                 assert!(stats.terminated);
                 assert!(stats.steps > 0);
                 assert_eq!(
-                    stats.work_per_node.values().sum::<usize>(),
+                    stats.work.iter().sum::<usize>(),
                     stats.steps,
                     "work vector must sum to steps"
                 );
@@ -382,5 +675,76 @@ mod tests {
         let stats = run_engine(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
         assert_eq!(stats.social_cost(), stats.steps);
         assert!(stats.max_node_work() >= 1);
+    }
+
+    #[test]
+    fn work_per_node_map_mirrors_dense_vector() {
+        let inst = generate::alternating_chain(9);
+        let mut e = PrEngine::new(&inst);
+        let stats = run_engine(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        let map = stats.work_per_node(e.csr());
+        assert_eq!(map.len(), stats.work.len());
+        for (i, u) in e.csr().nodes().enumerate() {
+            assert_eq!(map[&u], stats.work[i]);
+        }
+    }
+
+    #[test]
+    fn alloc_reference_loop_matches_zero_alloc_loop() {
+        let inst = generate::alternating_chain(17);
+        for policy in [
+            SchedulePolicy::GreedyRounds,
+            SchedulePolicy::RandomSingle { seed: 11 },
+            SchedulePolicy::FirstSingle,
+            SchedulePolicy::LastSingle,
+        ] {
+            let mut fast = PrEngine::new(&inst);
+            let fast_stats = run_engine(&mut fast, policy, DEFAULT_MAX_STEPS);
+            let mut slow = PrEngine::new(&inst);
+            let slow_stats = run_engine_alloc(&mut slow, policy, DEFAULT_MAX_STEPS);
+            assert_eq!(fast_stats, slow_stats);
+            assert_eq!(fast.orientation(), slow.orientation());
+        }
+    }
+
+    #[test]
+    fn parallel_greedy_is_bit_identical_to_sequential() {
+        let inst = generate::alternating_chain(65);
+        for kind in AlgorithmKind::ALL {
+            let mut seq = kind.engine(&inst);
+            let seq_stats = run_engine(
+                seq.as_mut(),
+                SchedulePolicy::GreedyRounds,
+                DEFAULT_MAX_STEPS,
+            );
+            for threads in [1usize, 2, 4, 8] {
+                let mut par = kind.engine(&inst);
+                // min_parallel_round: 0 forces the parallel path even on
+                // this small instance.
+                let cfg = ParallelConfig {
+                    threads,
+                    min_parallel_round: 0,
+                };
+                let par_stats = run_engine_parallel_with(par.as_mut(), cfg, DEFAULT_MAX_STEPS);
+                assert_eq!(par_stats, seq_stats, "{} × {threads} threads", kind.name());
+                assert_eq!(par.orientation(), seq.orientation());
+                assert_eq!(par.enabled(), seq.enabled());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_step_budget() {
+        let inst = generate::alternating_chain(65);
+        let mut seq = PrEngine::new(&inst);
+        let seq_stats = run_engine(&mut seq, SchedulePolicy::GreedyRounds, 100);
+        let mut par = PrEngine::new(&inst);
+        let cfg = ParallelConfig {
+            threads: 4,
+            min_parallel_round: 0,
+        };
+        let par_stats = run_engine_parallel_with(&mut par, cfg, 100);
+        assert!(!par_stats.terminated);
+        assert_eq!(par_stats, seq_stats);
     }
 }

@@ -79,7 +79,9 @@ pub fn work_vector(kind: AlgorithmKind, inst: &ReversalInstance) -> WorkVector {
     let mut e = kind.engine(inst);
     let stats = run_engine(e.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
     assert!(stats.terminated, "{} did not terminate", kind.name());
-    stats.work_per_node
+    // The node-keyed map is derived here, at the one consumer that needs
+    // it — the run itself only fills the dense work vector.
+    stats.work_per_node(e.csr())
 }
 
 /// A per-node strategy in the (projected) Charron-Bost game: when this

@@ -21,10 +21,21 @@
 //! * [`engine`] — run loops (greedy rounds, random, deterministic) with
 //!   work accounting: total reversals, per-node work vectors, rounds,
 //!   dummy steps. [`engine::run_engine`] consumes the engines'
-//!   incremental enabled view; [`engine::run_engine_scan`] is the
-//!   retained naive-scan reference it is differentially tested against.
+//!   incremental enabled view through the zero-allocation step pipeline;
+//!   [`engine::run_engine_parallel`] fans the plan phase of greedy
+//!   rounds out across worker threads; [`engine::run_engine_scan`]
+//!   (naive rescans) and [`engine::run_engine_alloc`] (per-step
+//!   allocation) are the retained reference loops they are
+//!   differentially tested against.
+//! * [`step`] — the zero-allocation step pipeline: caller-owned
+//!   [`StepScratch`] buffers and lightweight [`StepOutcome`]s. The
+//!   **caller owns the scratch**: one buffer per run, overwritten by
+//!   every step, no per-step heap traffic after warm-up (see the module
+//!   docs for the full ownership contract).
 //! * [`enabled`] — incremental enabled-set maintenance
-//!   ([`EnabledTracker`]) shared by every engine.
+//!   ([`EnabledTracker`]) shared by every engine, with per-step edits
+//!   for single-step schedulers and batched out-count-delta merges for
+//!   greedy rounds.
 //! * [`work`] — growth-rate fitting for the Θ(n_b²) worst-case work
 //!   experiments.
 //! * [`game`] — the Charron-Bost-style social-cost comparison of FR vs PR.
@@ -56,8 +67,10 @@ pub mod enabled;
 pub mod engine;
 pub mod game;
 pub mod invariants;
+pub mod step;
 pub mod trace;
 pub mod work;
 
 pub use dirs::{DirInconsistency, MirroredDirs, ReversalStep};
 pub use enabled::EnabledTracker;
+pub use step::{PlanAux, StepOutcome, StepScratch};

@@ -1,0 +1,141 @@
+//! The zero-allocation step pipeline: caller-owned scratch buffers and
+//! lightweight step outcomes.
+//!
+//! Before PR 3 every [`crate::ReversalStep`] carried an owned
+//! `Vec<NodeId>` of reversed neighbors, so a 4.2 M-step run performed
+//! 4.2 M heap allocations just to report what each step did. The
+//! pipeline now splits a step into three pieces:
+//!
+//! * [`StepScratch`] — a **caller-owned, reusable** buffer the engine
+//!   writes each step's reversed-neighbor list (and an opaque plan
+//!   payload) into;
+//! * [`StepOutcome`] — the lightweight, `Copy` result of a step: the
+//!   stepping node's dense CSR index, the reversal count, and the NewPR
+//!   dummy flag;
+//! * [`PlanAux`] — an opaque payload carried from
+//!   [`crate::alg::ReversalEngine::plan_step`] to
+//!   [`crate::alg::ReversalEngine::apply_planned`] (the height engines
+//!   stash the new height here so apply never re-scans the
+//!   neighborhood).
+//!
+//! # Ownership contract
+//!
+//! The **caller** owns the scratch and is expected to reuse one
+//! `StepScratch` for an entire run: `step_into` overwrites (never
+//! appends to) the buffer, so after the warm-up growth of the first few
+//! steps the pipeline performs no per-step allocation at all. The
+//! buffer's contents are only meaningful until the next `plan_step` /
+//! `step_into` call that receives the same scratch; callers that need to
+//! keep a step's reversal set must copy it out (or use the allocating
+//! [`crate::alg::ReversalEngine::step`] compatibility wrapper, which
+//! does exactly that).
+
+use lr_graph::NodeId;
+
+/// The lightweight result of one engine step: everything the run-loop
+/// bookkeeping needs, nothing heap-allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Dense CSR index of the node that stepped (see
+    /// [`lr_graph::CsrGraph::index_of`]); run loops index their work
+    /// vectors with it directly instead of re-resolving the `NodeId`.
+    pub node_idx: usize,
+    /// Number of edges reversed by the step (0 for NewPR dummy steps).
+    pub reversal_count: usize,
+    /// `true` for NewPR "dummy" steps that reverse nothing and only flip
+    /// the parity bit (§4.1).
+    pub dummy: bool,
+}
+
+/// Opaque payload a [`crate::alg::ReversalEngine::plan_step`] hands to
+/// the matching [`crate::alg::ReversalEngine::apply_planned`].
+///
+/// Engines whose apply phase needs more than the reversed-neighbor list
+/// (the Gafni–Bertsekas height engines precompute the stepping node's
+/// new height during planning) smuggle it through here; all other
+/// engines use [`PlanAux::default`]. The contents are meaningless to
+/// callers — they only shuttle the value between the two trait calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanAux(pub(crate) i64, pub(crate) i64);
+
+/// A caller-owned, reusable buffer for the zero-allocation step
+/// pipeline. See the [module docs](self) for the ownership contract.
+#[derive(Debug, Clone, Default)]
+pub struct StepScratch {
+    /// Reversed neighbors of the most recent planned step, ascending by
+    /// node id (the order every engine reverses in).
+    pub(crate) reversed: Vec<NodeId>,
+    /// Plan payload of the most recent planned step.
+    pub(crate) aux: PlanAux,
+}
+
+impl StepScratch {
+    /// An empty scratch; grows on first use and is then reused.
+    pub fn new() -> Self {
+        StepScratch::default()
+    }
+
+    /// A scratch pre-sized for steps reversing up to `degree` edges,
+    /// avoiding even the warm-up growth.
+    pub fn with_capacity(degree: usize) -> Self {
+        StepScratch {
+            reversed: Vec::with_capacity(degree),
+            aux: PlanAux::default(),
+        }
+    }
+
+    /// The reversed neighbors written by the most recent
+    /// [`crate::alg::ReversalEngine::plan_step`] /
+    /// [`crate::alg::ReversalEngine::step_into`], ascending by node id.
+    pub fn reversed(&self) -> &[NodeId] {
+        &self.reversed
+    }
+
+    /// The plan payload of the most recent planned step (pass to
+    /// [`crate::alg::ReversalEngine::apply_planned`]).
+    pub fn aux(&self) -> PlanAux {
+        self.aux
+    }
+
+    /// Appends one reversed neighbor to the current plan. For
+    /// [`crate::alg::ReversalEngine::plan_step`] implementations
+    /// outside this crate; call [`StepScratch::clear`] first.
+    pub fn push(&mut self, v: NodeId) {
+        self.reversed.push(v);
+    }
+
+    /// Stores the plan payload to hand to
+    /// [`crate::alg::ReversalEngine::apply_planned`]. [`PlanAux`] is
+    /// opaque, so external engines that need a richer plan payload
+    /// should stash it in their own state keyed by the stepping node
+    /// and leave this at the default.
+    pub fn set_aux(&mut self, aux: PlanAux) {
+        self.aux = aux;
+    }
+
+    /// Resets the buffer for a new plan. Every `plan_step`
+    /// implementation calls this first, so external callers normally
+    /// never need to.
+    pub fn clear(&mut self) {
+        self.reversed.clear();
+        self.aux = PlanAux::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_reuse_keeps_capacity() {
+        let mut s = StepScratch::with_capacity(8);
+        let cap = s.reversed.capacity();
+        assert!(cap >= 8);
+        s.reversed.push(NodeId::new(1));
+        s.aux = PlanAux(3, 4);
+        s.clear();
+        assert!(s.reversed().is_empty());
+        assert_eq!(s.aux(), PlanAux::default());
+        assert_eq!(s.reversed.capacity(), cap, "clear must not shrink");
+    }
+}

@@ -63,16 +63,19 @@ impl Trace {
         fn record_one(frames: &mut Vec<TraceFrame>, engine: &mut dyn ReversalEngine, u: NodeId) {
             let step = engine.step(u);
             let after = engine.orientation();
-            let sinks_after = engine.enabled_nodes();
+            // A trace frame keeps its own copy of the sink set, so the
+            // borrowed view is snapshotted deliberately.
+            let sinks_after = engine.enabled().to_vec();
             frames.push(TraceFrame {
                 step,
                 after,
                 sinks_after,
             });
         }
+        // Reusable greedy-round snapshot of the borrowed enabled view.
+        let mut round: Vec<NodeId> = Vec::new();
         loop {
-            let enabled = engine.enabled_nodes();
-            if enabled.is_empty() {
+            if engine.is_terminated() {
                 break;
             }
             assert!(
@@ -81,18 +84,24 @@ impl Trace {
             );
             match policy {
                 SchedulePolicy::GreedyRounds => {
-                    for u in enabled {
+                    round.clear();
+                    round.extend_from_slice(engine.enabled());
+                    for &u in &round {
                         record_one(&mut frames, engine, u);
                     }
                 }
                 SchedulePolicy::RandomSingle { .. } => {
                     let rng = rng.as_mut().expect("rng for RandomSingle");
-                    let u = *enabled.choose(rng).expect("non-empty");
+                    let u = *engine.enabled().choose(rng).expect("non-empty");
                     record_one(&mut frames, engine, u);
                 }
-                SchedulePolicy::FirstSingle => record_one(&mut frames, engine, enabled[0]),
+                SchedulePolicy::FirstSingle => {
+                    let u = *engine.enabled().first().expect("non-empty");
+                    record_one(&mut frames, engine, u);
+                }
                 SchedulePolicy::LastSingle => {
-                    record_one(&mut frames, engine, *enabled.last().expect("non-empty"))
+                    let u = *engine.enabled().last().expect("non-empty");
+                    record_one(&mut frames, engine, u);
                 }
             }
         }

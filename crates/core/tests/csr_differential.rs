@@ -11,8 +11,12 @@
 //! flat slot-indexed representation.
 
 use lr_core::alg::{AlgorithmKind, BllEngine, BllLabeling, PrEngine, ReversalEngine};
-use lr_core::engine::{run_engine, run_engine_scan, RunStats, SchedulePolicy, DEFAULT_MAX_STEPS};
+use lr_core::engine::{
+    run_engine, run_engine_alloc, run_engine_parallel_with, run_engine_scan, ParallelConfig,
+    RunStats, SchedulePolicy, DEFAULT_MAX_STEPS,
+};
 use lr_core::invariants::{check_acyclic, check_inv_3_1};
+use lr_core::StepScratch;
 use lr_graph::{generate, DirectedView, NodeId, ReversalInstance};
 use proptest::prelude::*;
 
@@ -135,6 +139,96 @@ proptest! {
         }
     }
 
+    /// The zero-allocation `step_into` pipeline is observably identical
+    /// to the allocating `step` compatibility wrapper, in lockstep after
+    /// **every** step: same reversed-neighbor lists, same outcome
+    /// fields, same enabled sets and final orientations — on every
+    /// engine configuration.
+    #[test]
+    fn step_into_matches_step_lockstep(
+        inst in instance_strategy(),
+        seed in any::<u64>(),
+    ) {
+        for (name, factory) in all_engines(&inst) {
+            let mut via_step = factory();
+            let mut via_step_into = factory();
+            let mut scratch = StepScratch::new();
+            let mut k = 0usize;
+            loop {
+                prop_assert_eq!(
+                    via_step.enabled(),
+                    via_step_into.enabled(),
+                    "{}: enabled sets diverged after {} steps",
+                    name,
+                    k
+                );
+                if via_step.is_terminated() {
+                    break;
+                }
+                let enabled = via_step.enabled();
+                let u = enabled[(seed as usize + k) % enabled.len()];
+                let step = via_step.step(u);
+                let outcome = via_step_into.step_into(u, &mut scratch);
+                prop_assert_eq!(&step.reversed[..], scratch.reversed(), "{}", name);
+                prop_assert_eq!(step.reversal_count(), outcome.reversal_count, "{}", name);
+                prop_assert_eq!(step.dummy, outcome.dummy, "{}", name);
+                prop_assert_eq!(
+                    via_step_into.csr().node(outcome.node_idx),
+                    u,
+                    "{}: outcome must carry the stepping node's dense index",
+                    name
+                );
+                k += 1;
+                prop_assert!(k < 1_000_000, "runaway execution");
+            }
+            prop_assert_eq!(via_step.orientation(), via_step_into.orientation(), "{}", name);
+        }
+    }
+
+    /// The allocating reference loop (`run_engine_alloc`, the pre-PR-3
+    /// per-step-allocation behavior) produces identical `RunStats` to
+    /// the zero-allocation loop on every configuration × policy.
+    #[test]
+    fn alloc_reference_loop_matches_zero_alloc(
+        inst in instance_strategy(),
+        seed in any::<u64>(),
+    ) {
+        for (name, factory) in all_engines(&inst) {
+            for policy in policies(seed) {
+                let mut fast = factory();
+                let fast_stats = run_engine(fast.as_mut(), policy, DEFAULT_MAX_STEPS);
+                let mut slow = factory();
+                let slow_stats = run_engine_alloc(slow.as_mut(), policy, DEFAULT_MAX_STEPS);
+                prop_assert_eq!(&fast_stats, &slow_stats, "{} under {:?}", name, policy);
+                prop_assert_eq!(fast.orientation(), slow.orientation(), "{}", name);
+            }
+        }
+    }
+
+    /// `run_engine_parallel` is bit-identical to sequential
+    /// `GreedyRounds`: same `RunStats` (work vectors included), final
+    /// orientations, and enabled sets across thread counts {1, 2, 4, 8}
+    /// — with the round-size cutoff forced to 0 so the parallel
+    /// plan/apply path actually runs on these small instances.
+    #[test]
+    fn parallel_rounds_bit_identical_to_sequential(
+        inst in instance_strategy(),
+        _seed in any::<u64>(),
+    ) {
+        for (name, factory) in all_engines(&inst) {
+            let mut seq = factory();
+            let seq_stats = run_engine(seq.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = ParallelConfig { threads, min_parallel_round: 0 };
+                let mut par = factory();
+                let par_stats = run_engine_parallel_with(par.as_mut(), cfg, DEFAULT_MAX_STEPS);
+                prop_assert_eq!(&par_stats, &seq_stats, "{} × {} threads", name, threads);
+                prop_assert_eq!(par.orientation(), seq.orientation(), "{}", name);
+                prop_assert_eq!(par.enabled(), seq.enabled(), "{}", name);
+            }
+        }
+    }
+
     /// The paper's checked properties survive on the flat representation:
     /// Invariant 3.1 on the duplicated slot state, acyclicity, and
     /// destination-orientedness of the final orientation.
@@ -163,11 +257,11 @@ fn reset_restores_initial_enabled_set() {
     let inst = generate::random_connected(12, 8, 99);
     for (name, factory) in all_engines(&inst) {
         let mut e = factory();
-        let initial = e.enabled_nodes();
+        let initial = e.enabled().to_vec();
         let u = *e.enabled().first().expect("instance has work");
         e.step(u);
         e.reset();
-        assert_eq!(e.enabled_nodes(), initial, "{name}");
+        assert_eq!(e.enabled(), initial, "{name}");
     }
 }
 

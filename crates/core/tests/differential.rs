@@ -116,9 +116,9 @@ fn representations_lockstep_across_families() {
 fn lockstep(engines: &mut [Box<dyn ReversalEngine + '_>]) {
     let mut guard = 0;
     loop {
-        let enabled = engines[0].enabled_nodes();
+        let enabled = engines[0].enabled().to_vec();
         for e in engines.iter().skip(1) {
-            assert_eq!(e.enabled_nodes(), enabled, "sink sets diverged");
+            assert_eq!(e.enabled(), enabled, "sink sets diverged");
         }
         let Some(&u) = enabled.last() else { break };
         let reference: Vec<NodeId> = engines[0].step(u).reversed;

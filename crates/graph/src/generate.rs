@@ -237,6 +237,55 @@ pub fn layered(width: usize, depth: usize, p: f64, seed: u64) -> ReversalInstanc
     ReversalInstance::new(g, o, NodeId::new(0)).expect("layered graph is valid")
 }
 
+/// A random connected **bipartite** instance with every edge initially
+/// oriented from side A (`0..width`, containing the destination node 0)
+/// to side B (`width..2·width`): side B starts as one maximal sink set
+/// of `width` pairwise non-adjacent nodes, and a greedy round that steps
+/// all of B hands the whole sink set to A — the "ping-pong" family whose
+/// rounds stay ~`width` wide for a long prefix of the execution.
+///
+/// Built for throughput benchmarking of round-parallel executors: wide
+/// rounds with tunable degree (each B node gets `degree` distinct A
+/// neighbors — one deterministic for connectivity, the rest random).
+///
+/// # Panics
+///
+/// Panics if `width < 2` or `degree` is outside `2..=width` (two
+/// deterministic edges per B node form the connecting ring).
+pub fn bipartite_away(width: usize, degree: usize, seed: u64) -> ReversalInstance {
+    assert!(width >= 2, "bipartite sides need at least 2 nodes");
+    assert!(
+        degree >= 2 && degree <= width,
+        "degree must be in 2..=width"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = UndirectedGraph::with_nodes(2 * width);
+    let mut o = Orientation::new();
+    for i in 0..width {
+        let b = NodeId::new((width + i) as u32);
+        // Deterministic ring A_i — B_i — A_{i+1}: guarantees
+        // connectivity and coverage of both sides regardless of the
+        // random draws below.
+        for a in [i, (i + 1) % width] {
+            let a = NodeId::new(a as u32);
+            g.add_edge(a, b).expect("fresh edge");
+            o.set_from_to(a, b);
+        }
+        let mut added = 2;
+        let mut attempts = 0;
+        while added < degree && attempts < 50 * degree {
+            attempts += 1;
+            let a = NodeId::new(rng.gen_range(0..width) as u32);
+            if !g.contains_edge(a, b) {
+                g.add_edge(a, b).expect("checked fresh");
+                o.set_from_to(a, b);
+                added += 1;
+            }
+        }
+    }
+    ReversalInstance::new(g, o, NodeId::new(0)).expect("bipartite instance is valid")
+}
+
 /// A random connected graph: a random spanning tree over `n` nodes plus
 /// `extra_edges` additional random edges, oriented by a uniformly random
 /// topological order. The destination is node 0.
@@ -309,6 +358,39 @@ pub fn random_orientation(graph: &UndirectedGraph, seed: u64) -> Orientation {
 mod tests {
     use super::*;
     use crate::DirectedView;
+
+    #[test]
+    fn bipartite_away_has_one_wide_sink_side() {
+        let inst = bipartite_away(8, 3, 7);
+        assert_eq!(inst.node_count(), 16);
+        // Side B (ids 8..16) is exactly the initial sink set.
+        let sinks = inst.view().sinks();
+        assert_eq!(sinks.len(), 8);
+        assert!(sinks.iter().all(|u| u.raw() >= 8));
+        // Every B node carries the requested degree.
+        for i in 8..16 {
+            assert_eq!(inst.graph.degree(NodeId::new(i)), 3);
+        }
+        // Deterministic per seed.
+        let again = bipartite_away(8, 3, 7);
+        assert_eq!(inst, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be in 2..=width")]
+    fn bipartite_away_rejects_sub_ring_degree() {
+        let _ = bipartite_away(4, 1, 1);
+    }
+
+    #[test]
+    fn bipartite_away_is_connected_at_minimum_degree_for_any_seed() {
+        // Degree 2 builds exactly the deterministic ring — connectivity
+        // must not depend on the random draws.
+        for seed in 0..20 {
+            let inst = bipartite_away(5, 2, seed);
+            assert!(inst.graph.is_connected(), "seed {seed}");
+        }
+    }
 
     #[test]
     fn chain_away_all_nodes_bad() {

@@ -58,9 +58,11 @@ pub mod prelude {
         PrSetAutomaton, ReversalEngine, TripleHeightsEngine,
     };
     pub use lr_core::engine::{
-        run_engine, run_to_destination_oriented, RunStats, SchedulePolicy, DEFAULT_MAX_STEPS,
+        run_engine, run_engine_parallel, run_to_destination_oriented, RunStats, SchedulePolicy,
+        DEFAULT_MAX_STEPS,
     };
     pub use lr_core::invariants;
+    pub use lr_core::{StepOutcome, StepScratch};
     pub use lr_graph::{
         generate, DirectedView, NodeId, Orientation, PlaneEmbedding, ReversalInstance,
         UndirectedGraph,

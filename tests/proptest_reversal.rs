@@ -57,10 +57,13 @@ proptest! {
         let mut gb = TripleHeightsEngine::new(&inst);
         let mut guard = 0;
         loop {
-            let sinks = pr.enabled_nodes();
-            prop_assert_eq!(&sinks, &gb.enabled_nodes());
-            let u = if pick_last { sinks.last() } else { sinks.first() };
-            let Some(&u) = u else { break };
+            prop_assert_eq!(pr.enabled(), gb.enabled());
+            let pick = if pick_last {
+                pr.enabled().last()
+            } else {
+                pr.enabled().first()
+            };
+            let Some(&u) = pick else { break };
             prop_assert_eq!(pr.step(u).reversed, gb.step(u).reversed);
             guard += 1;
             prop_assert!(guard < 500_000);
@@ -119,7 +122,9 @@ proptest! {
                 let mut e = kind.engine(&inst);
                 let stats = run_engine(e.as_mut(), policy, 10_000_000);
                 prop_assert!(stats.terminated);
-                let work = (stats.work_per_node, stats.total_reversals);
+                // The dense work vector is comparable across runs on one
+                // instance: every engine shares the same CSR indexing.
+                let work = (stats.work, stats.total_reversals);
                 match &reference {
                     None => reference = Some(work),
                     Some(r) => prop_assert_eq!(

@@ -1,9 +1,114 @@
-//! Offline stand-in for `crossbeam`, exposing the [`channel`] module
-//! this workspace uses, implemented over [`std::sync::mpsc`].
+//! Offline stand-in for `crossbeam`, exposing the [`channel`] and
+//! [`thread`] modules this workspace uses, implemented over
+//! [`std::sync::mpsc`] and [`std::thread::scope`] respectively.
 //!
 //! The real crossbeam channel is MPMC; this stub keeps the MPSC
 //! std semantics, which suffice for the one-receiver-per-node topology
-//! in `lr-net`'s threaded mode.
+//! in `lr-net`'s threaded mode. The scoped-thread API matches the real
+//! crate's signatures (`scope(|s| …)` returning a `Result`, spawn
+//! closures receiving `&Scope`), with one documented divergence: a
+//! panicking child thread re-panics in the parent on join (std
+//! semantics) instead of surfacing as the scope's `Err`.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape over
+    //! [`std::thread::scope`].
+
+    /// Join result: `Ok` or the child's panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle for spawning threads that may borrow from the
+    /// caller's stack. Obtained through [`scope`]; spawn closures
+    /// receive a fresh `&Scope` so they can spawn siblings, matching the
+    /// real crate.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// A handle to a scoped thread, joinable before the scope closes.
+    /// Unjoined threads are joined automatically when the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it
+        /// can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing the environment can be
+    /// spawned; all spawned threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// The real crate reports child panics as `Err`; this stub
+    /// propagates them as panics (std semantics) and otherwise always
+    /// returns `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::scope;
+
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4, 5, 6, 7, 8];
+            let mut partial = [0u64; 2];
+            scope(|s| {
+                let (a, b) = partial.split_at_mut(1);
+                let (lo, hi) = data.split_at(4);
+                s.spawn(move |_| a[0] = lo.iter().sum());
+                s.spawn(move |_| b[0] = hi.iter().sum());
+            })
+            .unwrap();
+            assert_eq!(partial.iter().sum::<u64>(), 36);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_argument() {
+            let total = scope(|s| {
+                let h = s.spawn(|inner| {
+                    let g = inner.spawn(|_| 21u32);
+                    g.join().unwrap() * 2
+                });
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(total, 42);
+        }
+    }
+}
 
 pub mod channel {
     //! Unbounded channels with crossbeam's naming.
