@@ -19,7 +19,10 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use lr_bench::trajectory::{append_records, load_records, BenchRecord};
+use lr_bench::trajectory::{
+    append_records, load_records, load_records_from, trajectory_path_named, BenchRecord,
+    ScenarioRecord, SCENARIO_TRAJECTORY,
+};
 use lr_core::alg::{PrEngine, ReversalEngine, TripleHeightsEngine};
 use lr_core::engine::{
     run_engine, run_engine_alloc, run_engine_parallel, RunStats, SchedulePolicy, DEFAULT_MAX_STEPS,
@@ -106,18 +109,35 @@ fn fmt_sps(sps: f64) -> String {
 
 fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--verify") {
-        return match load_records() {
-            Ok(records) => {
-                println!(
-                    "BENCH_pr3.json OK: {} record(s) parse with the vendored serde_json",
-                    records.len()
-                );
-                ExitCode::SUCCESS
-            }
+        // Parse gate over every persisted trajectory: the PR 3
+        // throughput rows and the PR 4 scenario rows both have to keep
+        // parsing with the vendored serde_json.
+        let mut ok = true;
+        match load_records() {
+            Ok(records) => println!(
+                "BENCH_pr3.json OK: {} record(s) parse with the vendored serde_json",
+                records.len()
+            ),
             Err(e) => {
                 eprintln!("BENCH_pr3.json FAILED to parse: {e}");
-                ExitCode::FAILURE
+                ok = false;
             }
+        }
+        let scenario_path = trajectory_path_named(SCENARIO_TRAJECTORY);
+        match load_records_from::<ScenarioRecord>(&scenario_path) {
+            Ok(records) => println!(
+                "{SCENARIO_TRAJECTORY} OK: {} record(s) parse with the vendored serde_json",
+                records.len()
+            ),
+            Err(e) => {
+                eprintln!("{SCENARIO_TRAJECTORY} FAILED to parse: {e}");
+                ok = false;
+            }
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
         };
     }
 

@@ -1,16 +1,27 @@
-//! The persisted bench trajectory: every throughput measurement appends
-//! one machine-readable record to `BENCH_pr3.json` at the repository
-//! root, so performance history accumulates across runs (and PRs) in a
-//! form the CI gate and future sessions can parse with the vendored
-//! `serde_json` alone.
+//! The persisted bench trajectory: every measurement appends one
+//! machine-readable record to a JSON file at the repository root, so
+//! performance history accumulates across runs (and PRs) in a form the
+//! CI gate and future sessions can parse with the vendored `serde_json`
+//! alone.
 //!
-//! The file is a JSON array of [`BenchRecord`]s. Writers
-//! read-modify-write the whole array ([`append_records`]); readers
-//! ([`load_records`]) fail loudly on malformed content — CI runs the
-//! parse as a gate so the trajectory can never rot silently.
+//! Two trajectories exist today, each a JSON array of one record type:
+//!
+//! * `BENCH_pr3.json` — [`BenchRecord`] throughput rows from the step
+//!   pipeline experiments (PR 3);
+//! * `BENCH_pr4.json` ([`SCENARIO_TRAJECTORY`]) — [`ScenarioRecord`]
+//!   rows emitted by the `lr-scenario` sweep runner (PR 4): convergence
+//!   after churn, delivery rate, message counts, route stretch, and
+//!   per-node work distribution.
+//!
+//! The file name is caller-chosen ([`trajectory_path_named`],
+//! [`append_records_to`], [`load_records_from`]); the original
+//! `BENCH_pr3.json`-specific helpers survive as thin wrappers. Writers
+//! read-modify-write the whole array; readers fail loudly on malformed
+//! content — CI runs the parse as a gate so a trajectory can never rot
+//! silently.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
@@ -64,26 +75,115 @@ impl BenchRecord {
     }
 }
 
-/// Path of the trajectory file: `BENCH_pr3.json` at the repository root
+/// One structured result row from a scenario run (PR 4): the sweep
+/// runner emits one row per churn event plus one `"summary"` row per
+/// `(seed, trial)` run. Appended to [`SCENARIO_TRAJECTORY`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioRecord {
+    /// Scenario name from the spec.
+    pub scenario: String,
+    /// Protocol driven ("routing", "reversal", "tora", "mutex",
+    /// "election").
+    pub protocol: String,
+    /// Topology family ("random", "grid", "inline", …).
+    pub family: String,
+    /// Node count of the instance.
+    pub n: usize,
+    /// Undirected edge count of the instance.
+    pub edges: usize,
+    /// Base seed of the run (from the spec's seed list).
+    pub seed: u64,
+    /// Trial index within the seed.
+    pub trial: usize,
+    /// Row kind: `"event"` for per-churn-event rows, `"summary"` for
+    /// the end-of-run roll-up.
+    pub row: String,
+    /// Index of the churn event (for `"summary"` rows: the number of
+    /// churn events executed).
+    pub event_index: usize,
+    /// Human-readable event description (`"fail 2 link(s)"`,
+    /// `"summary"`, …).
+    pub event: String,
+    /// Virtual time the event fired (for summaries: end-of-run time).
+    pub at: u64,
+    /// Ticks from the event until the network re-quiesced (convergence
+    /// time; for summaries: total virtual duration of the run). When
+    /// `quiesced` is false this is the settle window — a censored
+    /// measurement.
+    pub convergence_ticks: u64,
+    /// Whether the network actually went quiescent within the settle
+    /// window. `false` marks livelock — e.g. Partial Reversal in a
+    /// component cut off from the destination reverses forever (the
+    /// partition problem TORA exists to solve).
+    pub quiesced: bool,
+    /// Packets/queries injected so far (for tora: distinct queried
+    /// sources).
+    pub injected: u64,
+    /// Packets/queries delivered so far. Cumulative for most
+    /// protocols; for tora it is the number of queried sources
+    /// currently routed, which partition detection can *decrease*
+    /// between rows (heights are erased on a detected partition).
+    pub delivered: u64,
+    /// Packets dropped (hop limit) so far.
+    pub dropped: u64,
+    /// Packets buffered somewhere, still undelivered.
+    pub stranded: u64,
+    /// `delivered / injected` (1.0 when nothing was injected).
+    pub delivery_rate: f64,
+    /// Mean hops over delivered packets.
+    pub mean_hops: f64,
+    /// Mean route stretch over delivered packets: hops divided by the
+    /// shortest live path at injection time (0 when no packet was
+    /// delivered).
+    pub stretch: f64,
+    /// Total packet revisits (transient routing loops) so far.
+    pub revisits: u64,
+    /// Total protocol messages handed to the network so far.
+    pub messages: u64,
+    /// Total reversals across nodes so far.
+    pub total_reversals: u64,
+    /// Largest per-node reversal count (work skew).
+    pub max_node_reversals: u64,
+    /// Mean per-node reversal count.
+    pub mean_node_reversals: f64,
+    /// Whether the protocol's structural invariant held when the row
+    /// was taken (height orientation acyclic over live links / token
+    /// tree oriented toward the holder) — the paper's
+    /// acyclicity-under-perturbation observable.
+    pub acyclic: bool,
+    /// Whether the row was produced in smoke mode (shrunken run; keeps
+    /// the file well-formed but is not a meaningful measurement).
+    pub smoke: bool,
+}
+
+/// File name of the scenario trajectory at the repository root.
+pub const SCENARIO_TRAJECTORY: &str = "BENCH_pr4.json";
+
+/// Path of a caller-named trajectory file at the repository root
 /// (resolved from this crate's manifest directory, so it is stable no
 /// matter which working directory a bench or binary runs from).
-pub fn trajectory_path() -> PathBuf {
+pub fn trajectory_path_named(file_name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("..")
         .join("..")
-        .join("BENCH_pr3.json")
+        .join(file_name)
 }
 
-/// Loads the full trajectory. A missing or empty file is an empty
-/// trajectory; malformed JSON is an error (CI fails on it).
+/// Path of the PR 3 throughput trajectory, `BENCH_pr3.json`.
+pub fn trajectory_path() -> PathBuf {
+    trajectory_path_named("BENCH_pr3.json")
+}
+
+/// Loads a whole trajectory file as records of type `T`. A missing or
+/// empty file is an empty trajectory; malformed JSON is an error (CI
+/// fails on it).
 ///
 /// # Errors
 ///
 /// Returns a description when the file exists but does not parse as a
-/// `Vec<BenchRecord>` with the vendored `serde_json`.
-pub fn load_records() -> Result<Vec<BenchRecord>, String> {
-    let path = trajectory_path();
-    let text = match fs::read_to_string(&path) {
+/// `Vec<T>` with the vendored `serde_json`.
+pub fn load_records_from<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<Vec<T>, String> {
+    let text = match fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
@@ -94,25 +194,46 @@ pub fn load_records() -> Result<Vec<BenchRecord>, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
 }
 
-/// Appends `records` to the trajectory (read-modify-write of the whole
-/// array, pretty-printed). The rewrite goes through a temp file +
-/// rename so a crash mid-write can never leave truncated JSON in the
-/// committed file (which would trip the CI parse gate on an unrelated
-/// change); concurrent writers still last-write-win per whole file.
+/// Loads the PR 3 throughput trajectory.
+///
+/// # Errors
+///
+/// Same as [`load_records_from`].
+pub fn load_records() -> Result<Vec<BenchRecord>, String> {
+    load_records_from(&trajectory_path())
+}
+
+/// Appends `records` to the trajectory at `path` (read-modify-write of
+/// the whole array, pretty-printed). The rewrite goes through a temp
+/// file + rename so a crash mid-write can never leave truncated JSON in
+/// the committed file (which would trip the CI parse gate on an
+/// unrelated change); concurrent writers still last-write-win per whole
+/// file.
 ///
 /// # Errors
 ///
 /// Returns a description if the existing file is unreadable/malformed
 /// or the rewrite fails.
-pub fn append_records(records: &[BenchRecord]) -> Result<(), String> {
-    let mut all = load_records()?;
+pub fn append_records_to<T>(path: &Path, records: &[T]) -> Result<(), String>
+where
+    T: Serialize + for<'de> Deserialize<'de> + Clone,
+{
+    let mut all: Vec<T> = load_records_from(path)?;
     all.extend_from_slice(records);
-    let path = trajectory_path();
     let json = serde_json::to_string_pretty(&all)
         .map_err(|e| format!("cannot serialize trajectory: {e}"))?;
     let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
     fs::write(&tmp, json).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-    fs::rename(&tmp, &path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+    fs::rename(&tmp, path).map_err(|e| format!("cannot rename {}: {e}", tmp.display()))
+}
+
+/// Appends `records` to the PR 3 throughput trajectory.
+///
+/// # Errors
+///
+/// Same as [`append_records_to`].
+pub fn append_records(records: &[BenchRecord]) -> Result<(), String> {
+    append_records_to(&trajectory_path(), records)
 }
 
 #[cfg(test)]
@@ -160,5 +281,76 @@ mod tests {
         // The parent directory must contain the workspace manifest.
         let root = p.parent().unwrap().join("Cargo.toml");
         assert!(root.exists(), "expected workspace root next to {p:?}");
+    }
+
+    #[test]
+    fn named_trajectories_share_the_root() {
+        let scenario = trajectory_path_named(SCENARIO_TRAJECTORY);
+        assert!(scenario.ends_with("BENCH_pr4.json"));
+        assert_eq!(scenario.parent(), trajectory_path().parent());
+    }
+
+    fn scenario_record(row: &str) -> ScenarioRecord {
+        ScenarioRecord {
+            scenario: "test".into(),
+            protocol: "routing".into(),
+            family: "random".into(),
+            n: 16,
+            edges: 20,
+            seed: 7,
+            trial: 0,
+            row: row.into(),
+            event_index: 1,
+            event: "fail 2 link(s)".into(),
+            at: 100,
+            convergence_ticks: 42,
+            quiesced: true,
+            injected: 10,
+            delivered: 9,
+            dropped: 1,
+            stranded: 0,
+            delivery_rate: 0.9,
+            mean_hops: 3.5,
+            stretch: 1.2,
+            revisits: 0,
+            messages: 512,
+            total_reversals: 17,
+            max_node_reversals: 4,
+            mean_node_reversals: 1.0625,
+            acyclic: true,
+            smoke: true,
+        }
+    }
+
+    #[test]
+    fn scenario_records_round_trip_through_vendored_serde_json() {
+        let rows = vec![scenario_record("event"), scenario_record("summary")];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<ScenarioRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn append_and_load_are_inverse_on_a_temp_file() {
+        let path =
+            std::env::temp_dir().join(format!("lr_trajectory_test_{}.json", std::process::id()));
+        let _ = fs::remove_file(&path);
+        assert_eq!(
+            load_records_from::<ScenarioRecord>(&path).unwrap(),
+            Vec::<ScenarioRecord>::new(),
+            "missing file reads as empty"
+        );
+        append_records_to(&path, &[scenario_record("event")]).unwrap();
+        append_records_to(&path, &[scenario_record("summary")]).unwrap();
+        let back: Vec<ScenarioRecord> = load_records_from(&path).unwrap();
+        assert_eq!(back.len(), 2, "appends accumulate");
+        assert_eq!(back[0].row, "event");
+        assert_eq!(back[1].row, "summary");
+        fs::write(&path, "{ not json").unwrap();
+        assert!(
+            load_records_from::<ScenarioRecord>(&path).is_err(),
+            "malformed content must be a loud error"
+        );
+        let _ = fs::remove_file(&path);
     }
 }

@@ -183,6 +183,17 @@ impl ElectionHarness {
         }
     }
 
+    /// Direct access to the simulator.
+    pub fn sim(&self) -> &EventSim<Election> {
+        &self.sim
+    }
+
+    /// Mutable access to the simulator, e.g. to set per-link
+    /// [`LinkConfig`] overrides after the initial convergence.
+    pub fn sim_mut(&mut self) -> &mut EventSim<Election> {
+        &mut self.sim
+    }
+
     /// Crashes the current leader: fails all its links and delivers
     /// link-down notifications to its neighbors.
     pub fn crash_leader(&mut self) {

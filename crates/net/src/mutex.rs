@@ -180,6 +180,17 @@ impl MutexHarness {
         self.sim.inject(u, u, MutexMsg::Local);
     }
 
+    /// Direct access to the simulator.
+    pub fn sim(&self) -> &EventSim<RaymondMutex> {
+        &self.sim
+    }
+
+    /// Mutable access to the simulator, e.g. to fail links or set
+    /// per-link [`LinkConfig`] overrides between requests.
+    pub fn sim_mut(&mut self) -> &mut EventSim<RaymondMutex> {
+        &mut self.sim
+    }
+
     /// Runs to quiescence.
     ///
     /// # Panics

@@ -249,6 +249,12 @@ impl RoutingHarness {
         &self.sim
     }
 
+    /// Mutable access to the underlying simulator, e.g. to set per-link
+    /// [`LinkConfig`] overrides between packets.
+    pub fn sim_mut(&mut self) -> &mut EventSim<TorarRouting> {
+        &mut self.sim
+    }
+
     /// Current metrics.
     pub fn report(&self) -> RoutingReport {
         let delivered_pkts = &self.sim.node(self.dest).delivered;

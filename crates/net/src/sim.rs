@@ -133,6 +133,10 @@ pub struct EventSim<P: Protocol> {
     live_nbrs: Vec<Vec<NodeId>>,
     nodes: BTreeMap<NodeId, P::Node>,
     link_config: LinkConfig,
+    /// Per-link overrides of `link_config`, keyed by canonical edge.
+    /// Heterogeneous networks (the scenario engine's per-link specs) set
+    /// these; links without an entry use the global config.
+    link_overrides: BTreeMap<(NodeId, NodeId), LinkConfig>,
     /// Links currently down (canonical order).
     failed: std::collections::BTreeSet<(NodeId, NodeId)>,
     queue: BinaryHeap<Reverse<(u64, u64)>>, // (deliver_at, seq)
@@ -175,6 +179,7 @@ impl<P: Protocol> EventSim<P> {
             live_nbrs,
             nodes,
             link_config,
+            link_overrides: BTreeMap::new(),
             failed: Default::default(),
             queue: BinaryHeap::new(),
             in_flight: BTreeMap::new(),
@@ -189,6 +194,15 @@ impl<P: Protocol> EventSim<P> {
     /// Current virtual time.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Advances the virtual clock to `t` (no-op when `t` is not in the
+    /// future). Lets an external driver — e.g. the scenario engine —
+    /// fire scheduled actions at their nominal times even when the
+    /// network is quiescent and no event would otherwise move the
+    /// clock.
+    pub fn advance_to(&mut self, t: u64) {
+        self.now = self.now.max(t);
     }
 
     /// Statistics so far.
@@ -220,9 +234,39 @@ impl<P: Protocol> EventSim<P> {
         }
     }
 
+    /// Canonical (sorted) key for an undirected link — the one scheme
+    /// every per-link map in the simulator uses.
+    fn canon(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if u < v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
     fn is_failed(&self, u: NodeId, v: NodeId) -> bool {
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.failed.contains(&key)
+        self.failed.contains(&Self::canon(u, v))
+    }
+
+    /// Overrides the timing/loss configuration of the single link
+    /// `{u, v}` (both directions). Takes effect for messages enqueued
+    /// after the call; messages already in flight keep their schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{u, v}` is not an edge of the graph.
+    pub fn set_link_config(&mut self, u: NodeId, v: NodeId, config: LinkConfig) {
+        assert!(self.graph.contains_edge(u, v), "no link {u}–{v}");
+        self.link_overrides.insert(Self::canon(u, v), config);
+    }
+
+    /// The effective configuration of the link `{u, v}`: the per-link
+    /// override when one was set, the global config otherwise.
+    pub fn link_config(&self, u: NodeId, v: NodeId) -> LinkConfig {
+        self.link_overrides
+            .get(&Self::canon(u, v))
+            .copied()
+            .unwrap_or(self.link_config)
     }
 
     /// Recomputes the cached live-neighbor list of one node — called only
@@ -247,8 +291,7 @@ impl<P: Protocol> EventSim<P> {
     /// Panics if `{u, v}` is not an edge of the graph.
     pub fn fail_link(&mut self, u: NodeId, v: NodeId) {
         assert!(self.graph.contains_edge(u, v), "no link {u}–{v}");
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.failed.insert(key);
+        self.failed.insert(Self::canon(u, v));
         let doomed: Vec<u64> = self
             .in_flight
             .iter()
@@ -265,8 +308,7 @@ impl<P: Protocol> EventSim<P> {
 
     /// Restores a previously failed link.
     pub fn heal_link(&mut self, u: NodeId, v: NodeId) {
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.failed.remove(&key);
+        self.failed.remove(&Self::canon(u, v));
         if self.graph.contains_edge(u, v) {
             self.rebuild_live(u);
             self.rebuild_live(v);
@@ -306,29 +348,57 @@ impl<P: Protocol> EventSim<P> {
     /// Runs until quiescence or until `max_events` deliveries.
     ///
     /// Returns `true` if the network went quiescent within the budget.
+    /// Quiescence means no *live* message remains in flight — queue
+    /// entries whose message was discarded by a link failure do not
+    /// count.
     pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
         for _ in 0..max_events {
             if !self.step() {
                 return true;
             }
         }
-        self.queue.is_empty()
+        self.in_flight.is_empty()
     }
 
-    /// Runs until the next event would land after `deadline` (or the
-    /// queue empties). For protocols with recurring timers, which never
-    /// quiesce, this is the natural driver. Returns the number of events
-    /// delivered.
+    /// Virtual time of the next live event, dropping any stale queue
+    /// entries (messages cancelled by a link failure) encountered on
+    /// the way — a stale head must never satisfy a deadline check on
+    /// behalf of a live event scheduled later.
+    fn next_live_event_time(&mut self) -> Option<u64> {
+        while let Some(&Reverse((t, seq))) = self.queue.peek() {
+            if self.in_flight.contains_key(&seq) {
+                return Some(t);
+            }
+            self.queue.pop();
+        }
+        None
+    }
+
+    /// Runs until the next live event would land after `deadline` (or
+    /// nothing is in flight). For protocols with recurring timers,
+    /// which never quiesce, this is the natural driver. Returns the
+    /// number of events delivered.
     pub fn run_until(&mut self, deadline: u64) -> u64 {
-        let mut delivered = 0;
+        self.run_until_capped(deadline, u64::MAX).0
+    }
+
+    /// Like [`EventSim::run_until`], but delivers at most `max_events`
+    /// events. Returns `(delivered, capped)`: `capped` is `true` when
+    /// the budget ran out with live events still due at or before
+    /// `deadline`.
+    pub fn run_until_capped(&mut self, deadline: u64, max_events: u64) -> (u64, bool) {
+        let mut delivered = 0u64;
         loop {
-            match self.queue.peek() {
-                Some(&Reverse((t, _))) if t <= deadline => {
+            match self.next_live_event_time() {
+                Some(t) if t <= deadline => {
+                    if delivered == max_events {
+                        return (delivered, true);
+                    }
                     if self.step() {
                         delivered += 1;
                     }
                 }
-                _ => return delivered,
+                _ => return (delivered, false),
             }
         }
     }
@@ -391,16 +461,17 @@ impl<P: Protocol> EventSim<P> {
             self.stats.lost_to_failure += 1;
             return;
         }
-        if self.link_config.loss > 0.0 && self.rng.gen_bool(self.link_config.loss) {
+        let config = self.link_config(from, to);
+        if config.loss > 0.0 && self.rng.gen_bool(config.loss) {
             self.stats.dropped += 1;
             return;
         }
-        let jitter = if self.link_config.jitter > 0 {
-            self.rng.gen_range(0..=self.link_config.jitter)
+        let jitter = if config.jitter > 0 {
+            self.rng.gen_range(0..=config.jitter)
         } else {
             0
         };
-        let earliest = self.now + self.link_config.delay.max(1) + jitter;
+        let earliest = self.now + config.delay.max(1) + jitter;
         // FIFO per directed link: never deliver before the previous
         // message on the same link.
         let clock = self.link_clock.entry((from, to)).or_insert(0);
@@ -564,6 +635,123 @@ mod tests {
         sim.inject(n(0), n(1), ());
         assert!(sim.run_to_quiescence(100));
         assert!(sim.node(n(1)).received > 0);
+    }
+
+    #[test]
+    fn per_link_overrides_shape_delivery_times() {
+        // Path 0 — 1 — 2, global delay 1, but the {1, 2} hop overridden
+        // to delay 10: the flood reaches node 1 at t = 1 and node 2 at
+        // t = 11, and the final echo back over the slow link lands at
+        // t = 21.
+        let mut sim = flood_sim(3, LinkConfig::default(), 0);
+        sim.set_link_config(
+            n(1),
+            n(2),
+            LinkConfig {
+                delay: 10,
+                jitter: 0,
+                loss: 0.0,
+            },
+        );
+        assert_eq!(sim.link_config(n(2), n(1)).delay, 10, "both directions");
+        assert_eq!(sim.link_config(n(0), n(1)).delay, 1, "others untouched");
+        sim.start();
+        assert!(sim.run_to_quiescence(10_000));
+        assert_eq!(sim.stats().last_event_time, 21);
+    }
+
+    #[test]
+    fn per_link_loss_override_drops_only_on_that_link() {
+        // Path 0 — 1 — 2 with {1, 2} fully lossy: node 1 hears the
+        // flood, node 2 never does, and every drop happened on the lossy
+        // link.
+        let mut sim = flood_sim(3, LinkConfig::default(), 3);
+        sim.set_link_config(
+            n(1),
+            n(2),
+            LinkConfig {
+                delay: 1,
+                jitter: 0,
+                loss: 1.0,
+            },
+        );
+        sim.start();
+        assert!(sim.run_to_quiescence(10_000));
+        assert!(sim.node(n(1)).received > 0);
+        assert_eq!(sim.node(n(2)).received, 0);
+        assert!(sim.stats().dropped > 0);
+    }
+
+    #[test]
+    fn overrides_preserve_per_link_fifo_and_determinism() {
+        let run = |seed| {
+            let mut sim = flood_sim(5, LinkConfig::default(), seed);
+            sim.set_link_config(
+                n(2),
+                n(3),
+                LinkConfig {
+                    delay: 2,
+                    jitter: 9,
+                    loss: 0.2,
+                },
+            );
+            sim.start();
+            assert!(sim.run_to_quiescence(100_000));
+            sim.stats()
+        };
+        assert_eq!(run(11), run(11), "same seed, same run");
+    }
+
+    #[test]
+    fn stale_entries_from_failed_links_do_not_distort_deadlines_or_quiescence() {
+        // Path 0 — 1 — 2 with a slow {1, 2} link: node 0's broadcast to
+        // 1 is due at t = 1; node 1's relay to 2 at t = 100. Failing
+        // {0, 1} *after* node 1 relayed cancels 1's echo back to 0
+        // (due t ≈ 101) but leaves its queue entry.
+        let mut sim = flood_sim(3, LinkConfig::default(), 0);
+        sim.set_link_config(
+            n(1),
+            n(2),
+            LinkConfig {
+                delay: 100,
+                jitter: 0,
+                loss: 0.0,
+            },
+        );
+        sim.start();
+        assert_eq!(sim.run_until(1), 1, "node 1 hears the token");
+        sim.fail_link(n(0), n(1));
+        // The cancelled echo's stale entry (t = 101) must not make
+        // run_until(50) deliver the live t = 100 relay beyond its
+        // deadline…
+        assert_eq!(sim.run_until(50), 0, "nothing live is due by t = 50");
+        assert!(sim.now() <= 50, "clock must not overshoot the deadline");
+        // …and once the relay is delivered and everything live drains,
+        // leftover stale entries must not mask quiescence.
+        assert!(sim.run_to_quiescence(100));
+        assert!(
+            sim.run_to_quiescence(0),
+            "stale entries are not in-flight work"
+        );
+        assert_eq!(sim.node(n(2)).received, 1);
+    }
+
+    #[test]
+    fn run_until_capped_reports_exhaustion() {
+        let mut sim = flood_sim(6, LinkConfig::default(), 0);
+        sim.start();
+        let (delivered, capped) = sim.run_until_capped(u64::MAX, 2);
+        assert_eq!(delivered, 2);
+        assert!(capped, "live events remain beyond the budget");
+        let (_, capped) = sim.run_until_capped(u64::MAX, 10_000);
+        assert!(!capped, "the flood drains within the budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn override_on_missing_link_panics() {
+        let mut sim = flood_sim(3, LinkConfig::default(), 0);
+        sim.set_link_config(n(0), n(2), LinkConfig::default());
     }
 
     #[test]

@@ -410,6 +410,12 @@ impl ToraHarness {
         &self.sim
     }
 
+    /// Mutable access to the simulator, e.g. to set per-link
+    /// [`LinkConfig`] overrides before injecting traffic.
+    pub fn sim_mut(&mut self) -> &mut EventSim<Tora> {
+        &mut self.sim
+    }
+
     /// The orientation implied by the current heights over live links
     /// between *routed* nodes (NULL-height nodes contribute no edges).
     pub fn routed_orientation(&self) -> (UndirectedGraph, Orientation) {

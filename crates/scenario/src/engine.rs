@@ -1,0 +1,1047 @@
+//! Executing one scenario run: build the instance, wire the protocol
+//! onto [`EventSim`] with heterogeneous links, walk the merged
+//! churn + traffic timeline, and collect metrics after every churn
+//! event.
+//!
+//! ## Timing semantics
+//!
+//! Scenario times are **lower bounds**. Actions (churn events and
+//! traffic waves) execute in time order; before each one the simulator
+//! runs until the action's `at` tick. After every *churn* event the
+//! engine additionally waits up to the spec's **settle window** for the
+//! network to go quiescent and records the convergence time
+//! (`quiesced_at − fired_at`) — the paper's "convergence after
+//! perturbation" observable — so a slow convergence pushes later
+//! actions forward in virtual time. A phase that does not quiesce
+//! within the window (Partial Reversal livelocks in any component cut
+//! off from the destination — the partition behaviour TORA fixes) is
+//! recorded with `quiesced = false` and the censored convergence value.
+//! Every run stays bit-for-bit reproducible from `(spec, seed, trial)`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use lr_bench::trajectory::ScenarioRecord;
+use lr_core::alg::TripleHeight;
+use lr_graph::{DirectedView, NodeId, ReversalInstance, UndirectedGraph};
+use lr_net::election::ElectionHarness;
+use lr_net::mutex::{MutexHarness, MutexMsg};
+use lr_net::reversal::{initial_nodes, orientation_from_heights, DistributedPr, ReversalMsg};
+use lr_net::routing::{Packet, RouteMsg, RouteNode, TorarRouting};
+use lr_net::sim::{EventSim, LinkConfig, Protocol, SimStats};
+use lr_net::tora::{ToraHarness, ToraMsg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{
+    derive_run_seed, ChurnKind, LinkSpec, ProtocolKind, ScenarioSpec, Sources, SpecError,
+};
+use crate::topology::build_instance;
+
+/// A runtime failure of a structurally valid scenario (e.g. the
+/// network exhausted the `max_events` budget inside one settle
+/// window).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(pub String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<SpecError> for ScenarioError {
+    fn from(e: SpecError) -> Self {
+        ScenarioError(e.to_string())
+    }
+}
+
+/// The result of one `(seed, trial)` run: the structured rows for the
+/// trajectory plus the raw simulator stats (the determinism tests
+/// compare these bit-for-bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// One `"event"` row per churn event (plus the index-0 `"start"`
+    /// row) and one final `"summary"` row.
+    pub records: Vec<ScenarioRecord>,
+    /// End-of-run simulator statistics.
+    pub sim_stats: SimStats,
+}
+
+/// Cumulative metrics snapshot taken at a quiescent point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Metrics {
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    stranded: u64,
+    delivery_rate: f64,
+    mean_hops: f64,
+    stretch: f64,
+    revisits: u64,
+    messages: u64,
+    total_reversals: u64,
+    max_node_reversals: u64,
+    mean_node_reversals: f64,
+    acyclic: bool,
+}
+
+/// What every protocol adapter exposes to the shared timeline executor.
+trait Driver {
+    fn now(&self) -> u64;
+    /// Delivers live events due at or before `deadline`, at most
+    /// `max_events` of them; returns `(delivered, capped)` where
+    /// `capped` means the budget ran out with work still due.
+    fn run_until_capped(&mut self, deadline: u64, max_events: u64) -> (u64, bool);
+    /// Advances the virtual clock to `t` when the network is quiescent
+    /// before then (actions honor their nominal `at` times).
+    fn advance_to(&mut self, t: u64);
+    /// Whether no events remain in flight.
+    fn is_quiescent(&mut self) -> bool;
+    fn fail_link(&mut self, u: NodeId, v: NodeId);
+    fn heal_link(&mut self, u: NodeId, v: NodeId);
+    fn crash_leader(&mut self) -> Result<(), String> {
+        Err("crash_leader is only supported by election scenarios".into())
+    }
+    /// Injects one unit of traffic (packet / route query / CS request)
+    /// at each source.
+    fn inject_wave(&mut self, sources: &[NodeId]);
+    fn metrics(&self, live: &UndirectedGraph) -> Metrics;
+    fn sim_stats(&self) -> SimStats;
+}
+
+/// BFS distances from `from` over the *live* links of the simulator.
+fn live_distances<P: Protocol>(sim: &EventSim<P>, from: NodeId) -> BTreeMap<NodeId, u64> {
+    let mut dist = BTreeMap::new();
+    dist.insert(from, 0u64);
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[&u];
+        for &v in sim.live_neighbors(u) {
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
+                e.insert(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Checks that the orientation implied by `heights` over the live
+/// graph is acyclic — the paper's theorem, observed under churn.
+fn heights_acyclic(live: &UndirectedGraph, heights: &BTreeMap<NodeId, TripleHeight>) -> bool {
+    let o = orientation_from_heights(live, heights);
+    DirectedView::new(live, &o).is_acyclic()
+}
+
+fn work_stats(per_node: impl Iterator<Item = u64>) -> (u64, u64, f64) {
+    let counts: Vec<u64> = per_node.collect();
+    let total: u64 = counts.iter().sum();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mean = if counts.is_empty() {
+        0.0
+    } else {
+        total as f64 / counts.len() as f64
+    };
+    (total, max, mean)
+}
+
+fn rate(delivered: u64, injected: u64) -> f64 {
+    if injected == 0 {
+        1.0
+    } else {
+        delivered as f64 / injected as f64
+    }
+}
+
+// ───────────────────────── routing ─────────────────────────
+
+/// Full-metrics adapter: TORA-style greedy-downhill routing with
+/// per-packet origin and shortest-path-at-injection bookkeeping for
+/// route stretch.
+struct RoutingDriver {
+    sim: EventSim<TorarRouting>,
+    dest: NodeId,
+    next_packet: u64,
+    injected: u64,
+    /// Packet id → (origin, live shortest path to dest at injection).
+    origins: BTreeMap<u64, (NodeId, Option<u64>)>,
+}
+
+impl RoutingDriver {
+    fn new(
+        inst: &ReversalInstance,
+        link: LinkConfig,
+        overrides: &[(NodeId, NodeId, LinkConfig)],
+        seed: u64,
+    ) -> Self {
+        let nodes: BTreeMap<NodeId, RouteNode> = initial_nodes(inst)
+            .into_iter()
+            .map(|(u, rev)| {
+                (
+                    u,
+                    RouteNode {
+                        rev,
+                        buffered: Vec::new(),
+                        delivered: Vec::new(),
+                        dropped: 0,
+                        forwarded: 0,
+                        seen: Default::default(),
+                        revisits: 0,
+                    },
+                )
+            })
+            .collect();
+        let hop_limit = (4 * inst.node_count() as u32).max(16);
+        let mut sim = EventSim::new(
+            TorarRouting { hop_limit },
+            inst.graph.clone(),
+            nodes,
+            link,
+            seed,
+        );
+        for &(u, v, cfg) in overrides {
+            sim.set_link_config(u, v, cfg);
+        }
+        sim.start();
+        RoutingDriver {
+            sim,
+            dest: inst.dest,
+            next_packet: 0,
+            injected: 0,
+            origins: BTreeMap::new(),
+        }
+    }
+}
+
+impl Driver for RoutingDriver {
+    fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    fn run_until_capped(&mut self, deadline: u64, max_events: u64) -> (u64, bool) {
+        self.sim.run_until_capped(deadline, max_events)
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        self.sim.advance_to(t);
+    }
+
+    fn is_quiescent(&mut self) -> bool {
+        self.sim.run_to_quiescence(0)
+    }
+
+    fn fail_link(&mut self, u: NodeId, v: NodeId) {
+        self.sim.fail_link(u, v);
+        self.sim.inject(v, u, RouteMsg::LinkDown(v));
+        self.sim.inject(u, v, RouteMsg::LinkDown(u));
+    }
+
+    fn heal_link(&mut self, u: NodeId, v: NodeId) {
+        self.sim.heal_link(u, v);
+        // Re-announce across the healed link so it becomes usable
+        // (heights are monotone, so re-announcing is always safe).
+        let hu = self.sim.node(u).rev.height;
+        let hv = self.sim.node(v).rev.height;
+        self.sim.inject(u, v, RouteMsg::Height(hu));
+        self.sim.inject(v, u, RouteMsg::Height(hv));
+    }
+
+    fn inject_wave(&mut self, sources: &[NodeId]) {
+        // One BFS from the destination prices every source of the wave.
+        let dist = live_distances(&self.sim, self.dest);
+        for &src in sources {
+            let id = self.next_packet;
+            self.next_packet += 1;
+            self.injected += 1;
+            self.origins.insert(id, (src, dist.get(&src).copied()));
+            self.sim
+                .inject(src, src, RouteMsg::Data(Packet { id, hops: 0 }));
+        }
+    }
+
+    fn metrics(&self, live: &UndirectedGraph) -> Metrics {
+        let delivered_pkts = &self.sim.node(self.dest).delivered;
+        let delivered = delivered_pkts.len() as u64;
+        let mean_hops = if delivered == 0 {
+            0.0
+        } else {
+            delivered_pkts
+                .iter()
+                .map(|p| f64::from(p.hops))
+                .sum::<f64>()
+                / delivered as f64
+        };
+        // Stretch: hops over the live shortest path at injection time,
+        // averaged over delivered packets whose origin was connected.
+        let (mut stretch_sum, mut stretch_count) = (0.0, 0u64);
+        for p in delivered_pkts {
+            if let Some((_, Some(shortest))) = self.origins.get(&p.id) {
+                if *shortest > 0 {
+                    stretch_sum += f64::from(p.hops) / *shortest as f64;
+                    stretch_count += 1;
+                }
+            }
+        }
+        let (total, max, mean) = work_stats(self.sim.nodes().map(|(_, n)| n.rev.reversals));
+        let heights: BTreeMap<NodeId, TripleHeight> =
+            self.sim.nodes().map(|(u, n)| (u, n.rev.height)).collect();
+        Metrics {
+            injected: self.injected,
+            delivered,
+            dropped: self.sim.nodes().map(|(_, n)| n.dropped).sum(),
+            stranded: self.sim.nodes().map(|(_, n)| n.buffered.len() as u64).sum(),
+            delivery_rate: rate(delivered, self.injected),
+            mean_hops,
+            stretch: if stretch_count == 0 {
+                0.0
+            } else {
+                stretch_sum / stretch_count as f64
+            },
+            revisits: self.sim.nodes().map(|(_, n)| n.revisits).sum(),
+            messages: self.sim.stats().sent,
+            total_reversals: total,
+            max_node_reversals: max,
+            mean_node_reversals: mean,
+            acyclic: heights_acyclic(live, &heights),
+        }
+    }
+
+    fn sim_stats(&self) -> SimStats {
+        self.sim.stats()
+    }
+}
+
+// ───────────────────────── reversal ─────────────────────────
+
+/// Convergence-only adapter: the distributed Partial Reversal protocol
+/// under churn, no data traffic.
+struct ReversalDriver {
+    sim: EventSim<DistributedPr>,
+}
+
+impl ReversalDriver {
+    fn new(
+        inst: &ReversalInstance,
+        link: LinkConfig,
+        overrides: &[(NodeId, NodeId, LinkConfig)],
+        seed: u64,
+    ) -> Self {
+        let mut sim = EventSim::new(
+            DistributedPr,
+            inst.graph.clone(),
+            initial_nodes(inst),
+            link,
+            seed,
+        );
+        for &(u, v, cfg) in overrides {
+            sim.set_link_config(u, v, cfg);
+        }
+        sim.start();
+        ReversalDriver { sim }
+    }
+}
+
+impl Driver for ReversalDriver {
+    fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    fn run_until_capped(&mut self, deadline: u64, max_events: u64) -> (u64, bool) {
+        self.sim.run_until_capped(deadline, max_events)
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        self.sim.advance_to(t);
+    }
+
+    fn is_quiescent(&mut self) -> bool {
+        self.sim.run_to_quiescence(0)
+    }
+
+    fn fail_link(&mut self, u: NodeId, v: NodeId) {
+        self.sim.fail_link(u, v);
+        self.sim.inject(v, u, ReversalMsg::LinkDown(v));
+        self.sim.inject(u, v, ReversalMsg::LinkDown(u));
+    }
+
+    fn heal_link(&mut self, u: NodeId, v: NodeId) {
+        self.sim.heal_link(u, v);
+        let hu = self.sim.node(u).height;
+        let hv = self.sim.node(v).height;
+        self.sim.inject(u, v, ReversalMsg::Height(hu));
+        self.sim.inject(v, u, ReversalMsg::Height(hv));
+    }
+
+    fn inject_wave(&mut self, _sources: &[NodeId]) {
+        unreachable!("reversal scenarios carry no traffic (rejected at parse time)")
+    }
+
+    fn metrics(&self, live: &UndirectedGraph) -> Metrics {
+        let (total, max, mean) = work_stats(self.sim.nodes().map(|(_, n)| n.reversals));
+        let heights: BTreeMap<NodeId, TripleHeight> =
+            self.sim.nodes().map(|(u, n)| (u, n.height)).collect();
+        Metrics {
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            stranded: 0,
+            delivery_rate: 1.0,
+            mean_hops: 0.0,
+            stretch: 0.0,
+            revisits: 0,
+            messages: self.sim.stats().sent,
+            total_reversals: total,
+            max_node_reversals: max,
+            mean_node_reversals: mean,
+            acyclic: heights_acyclic(live, &heights),
+        }
+    }
+
+    fn sim_stats(&self) -> SimStats {
+        self.sim.stats()
+    }
+}
+
+// ───────────────────────── tora ─────────────────────────
+
+/// TORA adapter: traffic waves are route queries (QRY floods); a query
+/// counts as delivered while its source holds a non-NULL height at a
+/// measurement point (partition detection erases heights, un-counting
+/// the cut-off queries).
+///
+/// Churn and queries go through `sim_mut()` directly — not the
+/// harness's `fail_link`/`create_route`, which assert-quiesce
+/// internally with their own budget — so the engine's settle window
+/// and `max_events` contract hold for TORA like every other protocol.
+struct ToraDriver {
+    harness: ToraHarness,
+    queried: BTreeSet<NodeId>,
+    injected: u64,
+}
+
+impl Driver for ToraDriver {
+    fn now(&self) -> u64 {
+        self.harness.sim().now()
+    }
+
+    fn run_until_capped(&mut self, deadline: u64, max_events: u64) -> (u64, bool) {
+        self.harness
+            .sim_mut()
+            .run_until_capped(deadline, max_events)
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        self.harness.sim_mut().advance_to(t);
+    }
+
+    fn is_quiescent(&mut self) -> bool {
+        self.harness.sim_mut().run_to_quiescence(0)
+    }
+
+    fn fail_link(&mut self, u: NodeId, v: NodeId) {
+        // Mirrors ToraHarness::fail_link minus its internal quiesce.
+        let sim = self.harness.sim_mut();
+        sim.fail_link(u, v);
+        sim.inject(v, u, ToraMsg::LinkDown(v));
+        sim.inject(u, v, ToraMsg::LinkDown(u));
+    }
+
+    fn heal_link(&mut self, u: NodeId, v: NodeId) {
+        // Mirrors ToraHarness::heal_link minus its internal quiesce:
+        // re-announce both heights across the restored link.
+        let sim = self.harness.sim_mut();
+        sim.heal_link(u, v);
+        let hu = sim.node(u).height;
+        let hv = sim.node(v).height;
+        sim.inject(v, u, ToraMsg::Upd(hv));
+        sim.inject(u, v, ToraMsg::Upd(hu));
+    }
+
+    fn inject_wave(&mut self, sources: &[NodeId]) {
+        // `injected` counts *distinct* queried sources: a repeated
+        // NeedRoute for an already-queried node is TORA-idempotent, and
+        // counting it would cap the delivery rate below 1 for
+        // multi-wave traffic (delivered counts sources, not waves).
+        for &src in sources {
+            if self.queried.insert(src) {
+                self.injected += 1;
+            }
+            self.harness.sim_mut().inject(src, src, ToraMsg::NeedRoute);
+        }
+    }
+
+    fn metrics(&self, _live: &UndirectedGraph) -> Metrics {
+        let (routed_graph, o) = self.harness.routed_orientation();
+        let acyclic =
+            routed_graph.edge_count() == 0 || DirectedView::new(&routed_graph, &o).is_acyclic();
+        let (total, max, mean) = work_stats(
+            self.harness
+                .sim()
+                .nodes()
+                .map(|(_, n)| n.reference_levels_generated),
+        );
+        let delivered = self
+            .queried
+            .iter()
+            .filter(|&&u| self.harness.height(u).is_some())
+            .count() as u64;
+        Metrics {
+            injected: self.injected,
+            delivered,
+            dropped: 0,
+            stranded: 0,
+            delivery_rate: rate(delivered, self.injected),
+            mean_hops: 0.0,
+            stretch: 0.0,
+            revisits: 0,
+            messages: self.harness.sim().stats().sent,
+            total_reversals: total,
+            max_node_reversals: max,
+            mean_node_reversals: mean,
+            acyclic,
+        }
+    }
+
+    fn sim_stats(&self) -> SimStats {
+        self.harness.sim().stats()
+    }
+}
+
+// ───────────────────────── mutex ─────────────────────────
+
+/// Raymond's-algorithm adapter: traffic waves are critical-section
+/// requests; "delivered" counts completed CS entries.
+struct MutexDriver {
+    harness: MutexHarness,
+    injected: u64,
+}
+
+impl Driver for MutexDriver {
+    fn now(&self) -> u64 {
+        self.harness.sim().now()
+    }
+
+    fn run_until_capped(&mut self, deadline: u64, max_events: u64) -> (u64, bool) {
+        self.harness
+            .sim_mut()
+            .run_until_capped(deadline, max_events)
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        self.harness.sim_mut().advance_to(t);
+    }
+
+    fn is_quiescent(&mut self) -> bool {
+        self.harness.sim_mut().run_to_quiescence(0)
+    }
+
+    fn fail_link(&mut self, _u: NodeId, _v: NodeId) {
+        unreachable!("mutex scenarios reject churn at parse time")
+    }
+
+    fn heal_link(&mut self, _u: NodeId, _v: NodeId) {
+        unreachable!("mutex scenarios reject churn at parse time")
+    }
+
+    fn inject_wave(&mut self, sources: &[NodeId]) {
+        for &src in sources {
+            self.injected += 1;
+            self.harness.sim_mut().inject(src, src, MutexMsg::Local);
+        }
+    }
+
+    fn metrics(&self, _live: &UndirectedGraph) -> Metrics {
+        let sim = self.harness.sim();
+        let delivered: u64 = sim.nodes().map(|(_, n)| n.cs_entries).sum();
+        // Structural invariant at a quiescent point: exactly one token
+        // holder, and holder pointers walk to it without cycling.
+        let holders: Vec<NodeId> = sim
+            .nodes()
+            .filter(|(u, n)| n.holder == *u)
+            .map(|(u, _)| u)
+            .collect();
+        let acyclic = holders.len() == 1 && {
+            let holder = holders[0];
+            let bound = sim.graph().node_count();
+            sim.nodes().all(|(u, _)| {
+                let mut cur = u;
+                let mut hops = 0;
+                while cur != holder && hops <= bound {
+                    cur = sim.node(cur).holder;
+                    hops += 1;
+                }
+                cur == holder
+            })
+        };
+        let stranded: u64 = sim.nodes().map(|(_, n)| n.queue.len() as u64).sum();
+        Metrics {
+            injected: self.injected,
+            delivered,
+            dropped: 0,
+            stranded,
+            delivery_rate: rate(delivered, self.injected),
+            mean_hops: 0.0,
+            stretch: 0.0,
+            revisits: 0,
+            messages: sim.stats().sent,
+            total_reversals: 0,
+            max_node_reversals: 0,
+            mean_node_reversals: 0.0,
+            acyclic,
+        }
+    }
+
+    fn sim_stats(&self) -> SimStats {
+        self.harness.sim().stats()
+    }
+}
+
+// ───────────────────────── election ─────────────────────────
+
+/// Leader-election adapter: churn is `crash_leader`; metrics report the
+/// re-orientation work and post-crash agreement.
+struct ElectionDriver {
+    harness: ElectionHarness,
+    crashed: bool,
+}
+
+impl Driver for ElectionDriver {
+    fn now(&self) -> u64 {
+        self.harness.sim().now()
+    }
+
+    fn run_until_capped(&mut self, deadline: u64, max_events: u64) -> (u64, bool) {
+        self.harness
+            .sim_mut()
+            .run_until_capped(deadline, max_events)
+    }
+
+    fn advance_to(&mut self, t: u64) {
+        self.harness.sim_mut().advance_to(t);
+    }
+
+    fn is_quiescent(&mut self) -> bool {
+        self.harness.sim_mut().run_to_quiescence(0)
+    }
+
+    fn fail_link(&mut self, _u: NodeId, _v: NodeId) {
+        unreachable!("election scenarios accept only crash_leader churn (parse-time rule)")
+    }
+
+    fn heal_link(&mut self, _u: NodeId, _v: NodeId) {
+        unreachable!("election scenarios accept only crash_leader churn (parse-time rule)")
+    }
+
+    fn crash_leader(&mut self) -> Result<(), String> {
+        if self.crashed {
+            return Err("the leader is already crashed".into());
+        }
+        self.crashed = true;
+        self.harness.crash_leader();
+        Ok(())
+    }
+
+    fn inject_wave(&mut self, _sources: &[NodeId]) {
+        unreachable!("election scenarios carry no traffic (rejected at parse time)")
+    }
+
+    fn metrics(&self, live: &UndirectedGraph) -> Metrics {
+        let sim = self.harness.sim();
+        let (total, max, mean) = work_stats(sim.nodes().map(|(_, n)| n.reversals));
+        let heights: BTreeMap<NodeId, TripleHeight> =
+            sim.nodes().map(|(u, n)| (u, n.height)).collect();
+        Metrics {
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            stranded: 0,
+            delivery_rate: 1.0,
+            mean_hops: 0.0,
+            stretch: 0.0,
+            revisits: 0,
+            messages: sim.stats().sent,
+            total_reversals: total,
+            max_node_reversals: max,
+            mean_node_reversals: mean,
+            acyclic: heights_acyclic(live, &heights),
+        }
+    }
+
+    fn sim_stats(&self) -> SimStats {
+        self.harness.sim().stats()
+    }
+}
+
+// ───────────────────────── the executor ─────────────────────────
+
+/// One entry of the merged timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ActionKind {
+    /// Traffic waves fire before churn at the same tick.
+    Traffic(u64),
+    /// Churn index into `spec.churn`.
+    Churn(usize),
+}
+
+fn timeline(spec: &ScenarioSpec) -> Vec<(u64, ActionKind)> {
+    let mut actions: Vec<(u64, ActionKind)> = Vec::new();
+    if let Some(t) = &spec.traffic {
+        for wave in 0..t.packets_per_source {
+            // Saturating: extreme start/interval values clamp to the
+            // end of time instead of overflowing.
+            let at = t.start.saturating_add(wave.saturating_mul(t.interval));
+            actions.push((at, ActionKind::Traffic(wave)));
+        }
+    }
+    for (i, e) in spec.churn.iter().enumerate() {
+        actions.push((e.at, ActionKind::Churn(i)));
+    }
+    actions.sort();
+    actions
+}
+
+fn resolve_sources(spec: &ScenarioSpec, inst: &ReversalInstance) -> Vec<NodeId> {
+    match spec.traffic.as_ref().map(|t| &t.sources) {
+        Some(Sources::All) | None => inst
+            .graph
+            .nodes()
+            .filter(|&u| u != inst.dest || spec.protocol == ProtocolKind::Mutex)
+            .collect(),
+        Some(Sources::List(list)) => list.iter().map(|&u| NodeId::new(u)).collect(),
+    }
+}
+
+/// Builds the protocol adapter with heterogeneous links applied.
+///
+/// For routing/reversal the overrides are set *before* the protocol
+/// starts, so even the initial convergence sees them. The
+/// tora/mutex/election harness constructors run their own start (and
+/// initial convergence) internally; their overrides take effect from
+/// the first scenario action onward.
+fn make_driver(
+    spec: &ScenarioSpec,
+    inst: &ReversalInstance,
+    link: LinkConfig,
+    run_seed: u64,
+) -> Box<dyn Driver> {
+    let overrides: Vec<(NodeId, NodeId, LinkConfig)> = spec
+        .links
+        .overrides
+        .iter()
+        .map(|o| {
+            (
+                NodeId::new(o.u),
+                NodeId::new(o.v),
+                spec_link_config(&o.link),
+            )
+        })
+        .collect();
+    match spec.protocol {
+        ProtocolKind::Routing => Box::new(RoutingDriver::new(inst, link, &overrides, run_seed)),
+        ProtocolKind::Reversal => Box::new(ReversalDriver::new(inst, link, &overrides, run_seed)),
+        ProtocolKind::Tora => {
+            let mut harness = ToraHarness::new(&inst.graph, inst.dest, link, run_seed);
+            for &(u, v, cfg) in &overrides {
+                harness.sim_mut().set_link_config(u, v, cfg);
+            }
+            Box::new(ToraDriver {
+                harness,
+                queried: BTreeSet::new(),
+                injected: 0,
+            })
+        }
+        ProtocolKind::Mutex => {
+            let mut harness = MutexHarness::new(&inst.graph, inst.dest, link, run_seed);
+            for &(u, v, cfg) in &overrides {
+                harness.sim_mut().set_link_config(u, v, cfg);
+            }
+            Box::new(MutexDriver {
+                harness,
+                injected: 0,
+            })
+        }
+        ProtocolKind::Election => {
+            let mut harness = ElectionHarness::converged(inst, link, run_seed);
+            for &(u, v, cfg) in &overrides {
+                harness.sim_mut().set_link_config(u, v, cfg);
+            }
+            Box::new(ElectionDriver {
+                harness,
+                crashed: false,
+            })
+        }
+    }
+}
+
+fn spec_link_config(l: &LinkSpec) -> LinkConfig {
+    LinkConfig {
+        delay: l.delay,
+        jitter: l.jitter,
+        loss: l.loss,
+    }
+}
+
+/// Shared churn bookkeeping: the engine mirrors the failed-link set so
+/// partitions cut only live links and random churn samples correctly.
+struct LinkLedger {
+    edges: Vec<(NodeId, NodeId)>,
+    failed: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl LinkLedger {
+    fn new(graph: &UndirectedGraph) -> Self {
+        LinkLedger {
+            edges: graph.edges().collect(),
+            failed: BTreeSet::new(),
+        }
+    }
+
+    fn canon(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if u < v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    fn fail(&mut self, driver: &mut dyn Driver, u: NodeId, v: NodeId) {
+        if self.failed.insert(Self::canon(u, v)) {
+            driver.fail_link(u, v);
+        }
+    }
+
+    fn heal(&mut self, driver: &mut dyn Driver, u: NodeId, v: NodeId) {
+        if self.failed.remove(&Self::canon(u, v)) {
+            driver.heal_link(u, v);
+        }
+    }
+
+    fn live_edges(&self) -> Vec<(NodeId, NodeId)> {
+        self.edges
+            .iter()
+            .copied()
+            .filter(|e| !self.failed.contains(e))
+            .collect()
+    }
+
+    /// The graph restricted to live links (every node kept).
+    fn live_graph(&self, full: &UndirectedGraph) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new();
+        for u in full.nodes() {
+            g.ensure_node(u);
+        }
+        for (u, v) in self.live_edges() {
+            g.add_edge(u, v).expect("live edge is fresh");
+        }
+        g
+    }
+}
+
+/// Executes one `(seed, trial)` run of a parsed, validated spec.
+///
+/// `smoke` marks the emitted rows (the caller also shrinks the sweep);
+/// it does not change the run itself.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] when the topology cannot be built for
+/// this seed or the network exhausts `max_events` without quiescing.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    seed: u64,
+    trial: usize,
+    smoke: bool,
+) -> Result<RunOutcome, ScenarioError> {
+    let run_seed = derive_run_seed(seed, trial);
+    let inst = build_instance(&spec.topology, run_seed)?;
+    spec.validate_against(&inst, seed, trial)
+        .map_err(|e| ScenarioError(format!("invalid scenario: {e}")))?;
+    let link = spec_link_config(&spec.links.default);
+    let mut driver = make_driver(spec, &inst, link, run_seed);
+    let mut churn_rng = SmallRng::seed_from_u64(run_seed ^ 0xC4E1_15C0_0B5E_55ED);
+    let mut ledger = LinkLedger::new(&inst.graph);
+    let sources = resolve_sources(spec, &inst);
+    let mut records: Vec<ScenarioRecord> = Vec::new();
+
+    let base_record = |row: &str, event_index: usize, event: &str, at: u64| ScenarioRecord {
+        scenario: spec.name.clone(),
+        protocol: spec.protocol.name().to_string(),
+        family: spec.topology.family_name().to_string(),
+        n: inst.node_count(),
+        edges: inst.graph.edge_count(),
+        seed,
+        trial,
+        row: row.to_string(),
+        event_index,
+        event: event.to_string(),
+        at,
+        convergence_ticks: 0,
+        quiesced: true,
+        injected: 0,
+        delivered: 0,
+        dropped: 0,
+        stranded: 0,
+        delivery_rate: 1.0,
+        mean_hops: 0.0,
+        stretch: 0.0,
+        revisits: 0,
+        messages: 0,
+        total_reversals: 0,
+        max_node_reversals: 0,
+        mean_node_reversals: 0.0,
+        acyclic: true,
+        smoke,
+    };
+    let fill = |rec: &mut ScenarioRecord, m: &Metrics| {
+        rec.injected = m.injected;
+        rec.delivered = m.delivered;
+        rec.dropped = m.dropped;
+        rec.stranded = m.stranded;
+        rec.delivery_rate = m.delivery_rate;
+        rec.mean_hops = m.mean_hops;
+        rec.stretch = m.stretch;
+        rec.revisits = m.revisits;
+        rec.messages = m.messages;
+        rec.total_reversals = m.total_reversals;
+        rec.max_node_reversals = m.max_node_reversals;
+        rec.mean_node_reversals = m.mean_node_reversals;
+        rec.acyclic = m.acyclic;
+    };
+
+    // Waits up to the settle window for quiescence. Returns
+    // `(quiesced, convergence_ticks)` measured from `fired_at`; a
+    // non-quiescent phase reports the censored window instead.
+    let settle_phase = |driver: &mut dyn Driver,
+                        fired_at: u64,
+                        what: &str|
+     -> Result<(bool, u64), ScenarioError> {
+        let deadline = fired_at.saturating_add(spec.settle);
+        let (delivered, capped) = driver.run_until_capped(deadline, spec.max_events);
+        if capped {
+            return Err(ScenarioError(format!(
+                "{what}: event budget exhausted after {delivered} deliveries within one \
+                 settle window (max_events = {})",
+                spec.max_events
+            )));
+        }
+        let quiesced = driver.is_quiescent();
+        let ticks = if quiesced {
+            driver.now().saturating_sub(fired_at)
+        } else {
+            spec.settle
+        };
+        Ok((quiesced, ticks))
+    };
+
+    // Initial convergence: the index-0 "start" event row. (The
+    // tora/mutex/election harnesses converge in their constructors, so
+    // this phase is instantly quiescent for them and `now()` already
+    // carries their convergence time.)
+    let (quiesced, _) = settle_phase(driver.as_mut(), 0, "initial convergence")?;
+    let mut rec = base_record("event", 0, "start", 0);
+    rec.convergence_ticks = if quiesced { driver.now() } else { spec.settle };
+    rec.quiesced = quiesced;
+    fill(&mut rec, &driver.metrics(&ledger.live_graph(&inst.graph)));
+    records.push(rec);
+
+    for (at, action) in timeline(spec) {
+        if at > driver.now() {
+            let (delivered, capped) = driver.run_until_capped(at, spec.max_events);
+            if capped {
+                return Err(ScenarioError(format!(
+                    "drain to t = {at}: event budget exhausted after {delivered} deliveries \
+                     (max_events = {})",
+                    spec.max_events
+                )));
+            }
+            driver.advance_to(at);
+        }
+        match action {
+            ActionKind::Traffic(_) => driver.inject_wave(&sources),
+            ActionKind::Churn(i) => {
+                let fired_at = driver.now();
+                apply_churn(
+                    &spec.churn[i].kind,
+                    driver.as_mut(),
+                    &mut ledger,
+                    &mut churn_rng,
+                )?;
+                let (quiesced, ticks) =
+                    settle_phase(driver.as_mut(), fired_at, &format!("churn[{i}]"))?;
+                let mut rec = base_record("event", i + 1, &spec.churn[i].kind.describe(), fired_at);
+                rec.convergence_ticks = ticks;
+                rec.quiesced = quiesced;
+                fill(&mut rec, &driver.metrics(&ledger.live_graph(&inst.graph)));
+                records.push(rec);
+            }
+        }
+    }
+
+    let drain_from = driver.now();
+    let (quiesced, _) = settle_phase(driver.as_mut(), drain_from, "final drain")?;
+    let mut summary = base_record("summary", spec.churn.len(), "summary", driver.now());
+    summary.convergence_ticks = driver.now();
+    summary.quiesced = quiesced;
+    fill(
+        &mut summary,
+        &driver.metrics(&ledger.live_graph(&inst.graph)),
+    );
+    records.push(summary);
+
+    Ok(RunOutcome {
+        sim_stats: driver.sim_stats(),
+        records,
+    })
+}
+
+fn apply_churn(
+    kind: &ChurnKind,
+    driver: &mut dyn Driver,
+    ledger: &mut LinkLedger,
+    rng: &mut SmallRng,
+) -> Result<(), ScenarioError> {
+    match kind {
+        ChurnKind::Fail(edges) => {
+            for &(u, v) in edges {
+                ledger.fail(driver, NodeId::new(u), NodeId::new(v));
+            }
+        }
+        ChurnKind::Heal(edges) => {
+            for &(u, v) in edges {
+                ledger.heal(driver, NodeId::new(u), NodeId::new(v));
+            }
+        }
+        ChurnKind::Partition(side) => {
+            let side: BTreeSet<NodeId> = side.iter().map(|&u| NodeId::new(u)).collect();
+            for (u, v) in ledger.live_edges() {
+                if side.contains(&u) != side.contains(&v) {
+                    ledger.fail(driver, u, v);
+                }
+            }
+        }
+        ChurnKind::Random { fail, heal } => {
+            // Sample without replacement; if fewer links are available
+            // than requested, churn what exists.
+            for _ in 0..*fail {
+                let live = ledger.live_edges();
+                if live.is_empty() {
+                    break;
+                }
+                let (u, v) = live[rng.gen_range(0..live.len())];
+                ledger.fail(driver, u, v);
+            }
+            for _ in 0..*heal {
+                let failed: Vec<(NodeId, NodeId)> = ledger.failed.iter().copied().collect();
+                if failed.is_empty() {
+                    break;
+                }
+                let (u, v) = failed[rng.gen_range(0..failed.len())];
+                ledger.heal(driver, u, v);
+            }
+        }
+        ChurnKind::CrashLeader => driver.crash_leader().map_err(ScenarioError)?,
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! `lr-scenario` — the declarative scenario engine.
+//!
+//! The paper's subject is how link reversal behaves under *dynamic*
+//! topology; this crate makes dynamics a first-class, declarative
+//! workload instead of hand-written driver code. A JSON spec describes
+//! one experiment:
+//!
+//! * a **topology** — any `lr_graph::generate` family or an inline edge
+//!   list ([`spec::TopologySpec`]);
+//! * **heterogeneous links** — global delay/jitter/loss defaults plus
+//!   per-link overrides ([`spec::LinksSpec`], carried onto
+//!   `EventSim::set_link_config`);
+//! * a timed **churn schedule** — fail/heal waves, partitions, and
+//!   seeded mobility-style random churn ([`spec::ChurnEvent`]);
+//! * a **traffic workload** — injection waves from many sources against
+//!   the `lr-net` protocols: routing packets, TORA route queries, mutex
+//!   critical-section requests ([`spec::TrafficSpec`]);
+//! * the sweep dimensions — `seeds × trials`, each run seeded
+//!   deterministically ([`spec::derive_run_seed`]).
+//!
+//! The [`engine`] executes one run and collects metrics after every
+//! churn event: convergence time, delivery rate, message counts, route
+//! stretch, per-node work distribution, and whether the height-implied
+//! orientation stayed acyclic (the paper's theorem, observed under
+//! perturbation). The [`sweep`] runner executes the full sweep and
+//! emits [`lr_bench::trajectory::ScenarioRecord`] rows for the
+//! persisted `BENCH_pr4.json` trajectory.
+//!
+//! ```
+//! use lr_scenario::spec::ScenarioSpec;
+//! use lr_scenario::sweep::{run_sweep, SweepOptions};
+//!
+//! let spec = ScenarioSpec::from_json(
+//!     r#"{
+//!         "name": "doc-example",
+//!         "topology": {"family": "grid", "rows": 3, "cols": 3},
+//!         "churn": [{"at": 50, "fail": [[4, 5]]}],
+//!         "traffic": {"packets_per_source": 2, "interval": 10}
+//!     }"#,
+//! )
+//! .unwrap();
+//! let outcome = run_sweep(&spec, SweepOptions::default()).unwrap();
+//! // 1 start row + 1 churn row + 1 summary row.
+//! assert_eq!(outcome.records.len(), 3);
+//! assert!(outcome.records.iter().all(|r| r.acyclic));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod spec;
+pub mod sweep;
+pub mod topology;
+
+pub use engine::{run_scenario, RunOutcome, ScenarioError};
+pub use spec::{ScenarioSpec, SpecError};
+pub use sweep::{render_table, run_sweep, SweepOptions, SweepOutcome};

@@ -1,0 +1,1365 @@
+//! The declarative scenario specification: JSON in, validated spec out,
+//! canonical JSON back.
+//!
+//! A spec describes one reproducible experiment: a topology (an
+//! `lr-graph` generator family or an inline edge list), link timing
+//! defaults plus per-link overrides, a timed churn schedule, a traffic
+//! workload, and the sweep dimensions (`seeds × trials`). Parsing is
+//! hand-rolled over [`serde_json::Value`] rather than derived so every
+//! error carries the JSON path that caused it (`churn[2].at: expected a
+//! non-negative integer, found string`) — malformed specs must produce
+//! actionable errors, never panics.
+//!
+//! [`ScenarioSpec::to_value`] emits the *canonical* form: every
+//! resolved default is materialized and object keys are sorted, so
+//! `serialize → parse → re-serialize` is a fixed point (property-tested
+//! in `tests/proptest_spec.rs`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde_json::{Map, Value};
+
+/// A spec-level error: the JSON path that failed plus a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Dotted path into the spec (`topology.family`, `churn[0].fail`).
+    pub path: String,
+    /// What went wrong and, where possible, what was expected.
+    pub msg: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(path: impl Into<String>, msg: impl Into<String>) -> Self {
+        SpecError {
+            path: path.into(),
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+// ───────────────────────── parse helpers ─────────────────────────
+
+fn want_object<'a>(v: &'a Value, path: &str) -> Result<&'a Map<String, Value>, SpecError> {
+    v.as_object()
+        .ok_or_else(|| SpecError::new(path, format!("expected an object, found {}", v.kind())))
+}
+
+fn want_array<'a>(v: &'a Value, path: &str) -> Result<&'a Vec<Value>, SpecError> {
+    v.as_array()
+        .ok_or_else(|| SpecError::new(path, format!("expected an array, found {}", v.kind())))
+}
+
+fn want_str<'a>(v: &'a Value, path: &str) -> Result<&'a str, SpecError> {
+    v.as_str()
+        .ok_or_else(|| SpecError::new(path, format!("expected a string, found {}", v.kind())))
+}
+
+fn want_u64(v: &Value, path: &str) -> Result<u64, SpecError> {
+    v.as_u64().ok_or_else(|| {
+        SpecError::new(
+            path,
+            format!("expected a non-negative integer, found {}", v.kind()),
+        )
+    })
+}
+
+fn want_usize(v: &Value, path: &str) -> Result<usize, SpecError> {
+    want_u64(v, path).map(|n| n as usize)
+}
+
+fn want_u32(v: &Value, path: &str) -> Result<u32, SpecError> {
+    let n = want_u64(v, path)?;
+    u32::try_from(n).map_err(|_| SpecError::new(path, format!("{n} does not fit a node id (u32)")))
+}
+
+fn want_f64(v: &Value, path: &str) -> Result<f64, SpecError> {
+    v.as_f64()
+        .ok_or_else(|| SpecError::new(path, format!("expected a number, found {}", v.kind())))
+}
+
+fn want_bool(v: &Value, path: &str) -> Result<bool, SpecError> {
+    v.as_bool()
+        .ok_or_else(|| SpecError::new(path, format!("expected a boolean, found {}", v.kind())))
+}
+
+/// Rejects keys outside `allowed` — typos in a declarative spec should
+/// fail loudly, not be silently ignored.
+fn reject_unknown_keys(
+    map: &Map<String, Value>,
+    allowed: &[&str],
+    path: &str,
+) -> Result<(), SpecError> {
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(SpecError::new(
+                format!("{path}.{key}"),
+                format!("unknown key (expected one of: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_edge(v: &Value, path: &str) -> Result<(u32, u32), SpecError> {
+    let arr = want_array(v, path)?;
+    if arr.len() != 2 {
+        return Err(SpecError::new(
+            path,
+            format!(
+                "an edge is a two-element array [u, v], found {} elements",
+                arr.len()
+            ),
+        ));
+    }
+    let u = want_u32(&arr[0], &format!("{path}[0]"))?;
+    let w = want_u32(&arr[1], &format!("{path}[1]"))?;
+    if u == w {
+        return Err(SpecError::new(
+            path,
+            format!("self-loop {u}-{w} is not a link"),
+        ));
+    }
+    Ok((u, w))
+}
+
+fn parse_edge_list(v: &Value, path: &str) -> Result<Vec<(u32, u32)>, SpecError> {
+    let arr = want_array(v, path)?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, e)| parse_edge(e, &format!("{path}[{i}]")))
+        .collect()
+}
+
+fn edge_value(&(u, v): &(u32, u32)) -> Value {
+    Value::Array(vec![Value::from(u), Value::from(v)])
+}
+
+// ───────────────────────── protocol ─────────────────────────
+
+/// Which `lr-net` protocol the scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// TORA-style greedy-downhill routing with packet traffic (the
+    /// full-metrics path: delivery rate, hops, stretch, revisits).
+    Routing,
+    /// The distributed Partial Reversal protocol alone — churn and
+    /// convergence metrics, no data traffic.
+    Reversal,
+    /// Full TORA (QRY/UPD route creation, reference levels, partition
+    /// detection); traffic = route queries from the sources.
+    Tora,
+    /// Raymond's token-based mutual exclusion on a spanning tree;
+    /// traffic = critical-section requests from the sources.
+    Mutex,
+    /// Leader election by DAG re-orientation; churn may include
+    /// `crash_leader`.
+    Election,
+}
+
+impl ProtocolKind {
+    /// All protocols, for error messages and sweeps.
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::Routing,
+        ProtocolKind::Reversal,
+        ProtocolKind::Tora,
+        ProtocolKind::Mutex,
+        ProtocolKind::Election,
+    ];
+
+    /// The spec-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Routing => "routing",
+            ProtocolKind::Reversal => "reversal",
+            ProtocolKind::Tora => "tora",
+            ProtocolKind::Mutex => "mutex",
+            ProtocolKind::Election => "election",
+        }
+    }
+
+    fn parse(s: &str, path: &str) -> Result<Self, SpecError> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = Self::ALL.iter().map(|p| p.name()).collect();
+                SpecError::new(
+                    path,
+                    format!(
+                        "unknown protocol {s:?} (expected one of: {})",
+                        names.join(", ")
+                    ),
+                )
+            })
+    }
+}
+
+// ───────────────────────── topology ─────────────────────────
+
+/// The communication graph and initial orientation of the experiment.
+///
+/// Families map onto the `lr_graph::generate` constructors; `Inline` is
+/// a literal edge list oriented from the higher node id to the lower
+/// (which is always acyclic), with a caller-chosen destination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologySpec {
+    /// `generate::chain_away(n)`.
+    ChainAway {
+        /// Node count (≥ 2).
+        n: usize,
+    },
+    /// `generate::chain_toward(n)`.
+    ChainToward {
+        /// Node count (≥ 2).
+        n: usize,
+    },
+    /// `generate::alternating_chain(n)`.
+    Alternating {
+        /// Node count (≥ 2).
+        n: usize,
+    },
+    /// `generate::star_away(leaves)`.
+    Star {
+        /// Leaf count (≥ 1).
+        leaves: usize,
+    },
+    /// `generate::binary_tree_away(depth)`.
+    Tree {
+        /// Tree depth (≥ 1).
+        depth: usize,
+    },
+    /// `generate::grid_away(rows, cols)`.
+    Grid {
+        /// Row count.
+        rows: usize,
+        /// Column count (`rows × cols ≥ 2`).
+        cols: usize,
+    },
+    /// `generate::complete_away(n)`.
+    Complete {
+        /// Node count (≥ 2).
+        n: usize,
+    },
+    /// `generate::random_connected(n, extra_edges, seed)`.
+    Random {
+        /// Node count (≥ 2).
+        n: usize,
+        /// Edges beyond the random spanning tree.
+        extra_edges: usize,
+        /// Topology seed; when absent the run seed is used, so every
+        /// sweep run sees a different random topology.
+        seed: Option<u64>,
+    },
+    /// `generate::bipartite_away(width, degree, seed)`.
+    Bipartite {
+        /// Nodes per side (≥ 2).
+        width: usize,
+        /// Per-node degree (2 ..= width).
+        degree: usize,
+        /// Topology seed (run seed when absent).
+        seed: Option<u64>,
+    },
+    /// `generate::layered(width, depth, p, seed)`.
+    Layered {
+        /// Nodes per layer (≥ 1).
+        width: usize,
+        /// Layer count (≥ 2).
+        depth: usize,
+        /// Inter-layer edge probability.
+        p: f64,
+        /// Topology seed (run seed when absent).
+        seed: Option<u64>,
+    },
+    /// A literal edge list.
+    Inline {
+        /// Undirected edges as `[u, v]` pairs.
+        edges: Vec<(u32, u32)>,
+        /// The destination node.
+        dest: u32,
+    },
+}
+
+impl TopologySpec {
+    /// The family name used in the spec and in result rows.
+    pub fn family_name(&self) -> &'static str {
+        match self {
+            TopologySpec::ChainAway { .. } => "chain-away",
+            TopologySpec::ChainToward { .. } => "chain-toward",
+            TopologySpec::Alternating { .. } => "alternating",
+            TopologySpec::Star { .. } => "star",
+            TopologySpec::Tree { .. } => "tree",
+            TopologySpec::Grid { .. } => "grid",
+            TopologySpec::Complete { .. } => "complete",
+            TopologySpec::Random { .. } => "random",
+            TopologySpec::Bipartite { .. } => "bipartite",
+            TopologySpec::Layered { .. } => "layered",
+            TopologySpec::Inline { .. } => "inline",
+        }
+    }
+
+    fn parse(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let obj = want_object(v, path)?;
+        let family = match obj.get("family") {
+            Some(f) => want_str(f, &format!("{path}.family"))?,
+            None => {
+                return Err(SpecError::new(
+                    format!("{path}.family"),
+                    "missing (expected one of: chain-away, chain-toward, alternating, star, \
+                     tree, grid, complete, random, bipartite, layered, inline)",
+                ))
+            }
+        };
+        let req_usize = |key: &str, floor: usize| -> Result<usize, SpecError> {
+            let p = format!("{path}.{key}");
+            let v = obj.get(key).ok_or_else(|| {
+                SpecError::new(&p, format!("missing (required by family {family:?})"))
+            })?;
+            let n = want_usize(v, &p)?;
+            if n < floor {
+                return Err(SpecError::new(
+                    &p,
+                    format!("must be at least {floor}, got {n}"),
+                ));
+            }
+            Ok(n)
+        };
+        let opt_seed = || -> Result<Option<u64>, SpecError> {
+            obj.get("seed")
+                .map(|v| want_u64(v, &format!("{path}.seed")))
+                .transpose()
+        };
+        let allow = |keys: &[&str]| reject_unknown_keys(obj, keys, path);
+        match family {
+            "chain-away" => {
+                allow(&["family", "n"])?;
+                Ok(TopologySpec::ChainAway {
+                    n: req_usize("n", 2)?,
+                })
+            }
+            "chain-toward" => {
+                allow(&["family", "n"])?;
+                Ok(TopologySpec::ChainToward {
+                    n: req_usize("n", 2)?,
+                })
+            }
+            "alternating" => {
+                allow(&["family", "n"])?;
+                Ok(TopologySpec::Alternating {
+                    n: req_usize("n", 2)?,
+                })
+            }
+            "star" => {
+                allow(&["family", "leaves"])?;
+                Ok(TopologySpec::Star {
+                    leaves: req_usize("leaves", 1)?,
+                })
+            }
+            "tree" => {
+                allow(&["family", "depth"])?;
+                Ok(TopologySpec::Tree {
+                    depth: req_usize("depth", 1)?,
+                })
+            }
+            "grid" => {
+                allow(&["family", "rows", "cols"])?;
+                let rows = req_usize("rows", 1)?;
+                let cols = req_usize("cols", 1)?;
+                if rows * cols < 2 {
+                    return Err(SpecError::new(path, "grid needs at least 2 nodes"));
+                }
+                Ok(TopologySpec::Grid { rows, cols })
+            }
+            "complete" => {
+                allow(&["family", "n"])?;
+                Ok(TopologySpec::Complete {
+                    n: req_usize("n", 2)?,
+                })
+            }
+            "random" => {
+                allow(&["family", "n", "extra_edges", "seed"])?;
+                Ok(TopologySpec::Random {
+                    n: req_usize("n", 2)?,
+                    extra_edges: req_usize("extra_edges", 0)?,
+                    seed: opt_seed()?,
+                })
+            }
+            "bipartite" => {
+                allow(&["family", "width", "degree", "seed"])?;
+                let width = req_usize("width", 2)?;
+                let degree = req_usize("degree", 2)?;
+                if degree > width {
+                    return Err(SpecError::new(
+                        format!("{path}.degree"),
+                        format!("must be in 2..={width} (the side width), got {degree}"),
+                    ));
+                }
+                Ok(TopologySpec::Bipartite {
+                    width,
+                    degree,
+                    seed: opt_seed()?,
+                })
+            }
+            "layered" => {
+                allow(&["family", "width", "depth", "p", "seed"])?;
+                let p_path = format!("{path}.p");
+                let p = match obj.get("p") {
+                    Some(v) => want_f64(v, &p_path)?,
+                    None => 0.5,
+                };
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(SpecError::new(
+                        p_path,
+                        format!("must be a probability, got {p}"),
+                    ));
+                }
+                Ok(TopologySpec::Layered {
+                    width: req_usize("width", 1)?,
+                    depth: req_usize("depth", 1)?,
+                    p,
+                    seed: opt_seed()?,
+                })
+            }
+            "inline" => {
+                allow(&["family", "edges", "dest"])?;
+                let edges_path = format!("{path}.edges");
+                let edges = match obj.get("edges") {
+                    Some(v) => parse_edge_list(v, &edges_path)?,
+                    None => {
+                        return Err(SpecError::new(
+                            edges_path,
+                            "missing (required by family \"inline\")",
+                        ))
+                    }
+                };
+                if edges.is_empty() {
+                    return Err(SpecError::new(edges_path, "must contain at least one edge"));
+                }
+                let dest = match obj.get("dest") {
+                    Some(v) => want_u32(v, &format!("{path}.dest"))?,
+                    None => 0,
+                };
+                Ok(TopologySpec::Inline { edges, dest })
+            }
+            other => Err(SpecError::new(
+                format!("{path}.family"),
+                format!(
+                    "unknown family {other:?} (expected one of: chain-away, chain-toward, \
+                     alternating, star, tree, grid, complete, random, bipartite, layered, inline)"
+                ),
+            )),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("family".into(), Value::from(self.family_name()));
+        let put_seed = |m: &mut Map<String, Value>, seed: &Option<u64>| {
+            if let Some(s) = seed {
+                m.insert("seed".into(), Value::from(*s));
+            }
+        };
+        match self {
+            TopologySpec::ChainAway { n }
+            | TopologySpec::ChainToward { n }
+            | TopologySpec::Alternating { n }
+            | TopologySpec::Complete { n } => {
+                m.insert("n".into(), Value::from(*n));
+            }
+            TopologySpec::Star { leaves } => {
+                m.insert("leaves".into(), Value::from(*leaves));
+            }
+            TopologySpec::Tree { depth } => {
+                m.insert("depth".into(), Value::from(*depth));
+            }
+            TopologySpec::Grid { rows, cols } => {
+                m.insert("rows".into(), Value::from(*rows));
+                m.insert("cols".into(), Value::from(*cols));
+            }
+            TopologySpec::Random {
+                n,
+                extra_edges,
+                seed,
+            } => {
+                m.insert("n".into(), Value::from(*n));
+                m.insert("extra_edges".into(), Value::from(*extra_edges));
+                put_seed(&mut m, seed);
+            }
+            TopologySpec::Bipartite {
+                width,
+                degree,
+                seed,
+            } => {
+                m.insert("width".into(), Value::from(*width));
+                m.insert("degree".into(), Value::from(*degree));
+                put_seed(&mut m, seed);
+            }
+            TopologySpec::Layered {
+                width,
+                depth,
+                p,
+                seed,
+            } => {
+                m.insert("width".into(), Value::from(*width));
+                m.insert("depth".into(), Value::from(*depth));
+                m.insert("p".into(), Value::from(*p));
+                put_seed(&mut m, seed);
+            }
+            TopologySpec::Inline { edges, dest } => {
+                m.insert(
+                    "edges".into(),
+                    Value::Array(edges.iter().map(edge_value).collect()),
+                );
+                m.insert("dest".into(), Value::from(*dest));
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+// ───────────────────────── links ─────────────────────────
+
+/// Link timing/loss parameters (the spec-level mirror of
+/// `lr_net::sim::LinkConfig`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Base one-way delay in ticks (≥ 1).
+    pub delay: u64,
+    /// Maximum extra uniform random delay.
+    pub jitter: u64,
+    /// Drop probability in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            delay: 1,
+            jitter: 0,
+            loss: 0.0,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// Parses the three optional keys of `obj`, falling back to `base`.
+    fn parse_fields(
+        obj: &Map<String, Value>,
+        base: LinkSpec,
+        path: &str,
+    ) -> Result<Self, SpecError> {
+        let delay = match obj.get("delay") {
+            Some(v) => {
+                let d = want_u64(v, &format!("{path}.delay"))?;
+                if d == 0 {
+                    return Err(SpecError::new(
+                        format!("{path}.delay"),
+                        "must be at least 1 tick",
+                    ));
+                }
+                d
+            }
+            None => base.delay,
+        };
+        let jitter = match obj.get("jitter") {
+            Some(v) => want_u64(v, &format!("{path}.jitter"))?,
+            None => base.jitter,
+        };
+        let loss = match obj.get("loss") {
+            Some(v) => {
+                let l = want_f64(v, &format!("{path}.loss"))?;
+                if !(0.0..=1.0).contains(&l) {
+                    return Err(SpecError::new(
+                        format!("{path}.loss"),
+                        format!("must be a probability in [0, 1], got {l}"),
+                    ));
+                }
+                l
+            }
+            None => base.loss,
+        };
+        Ok(LinkSpec {
+            delay,
+            jitter,
+            loss,
+        })
+    }
+
+    fn put_fields(&self, m: &mut Map<String, Value>) {
+        m.insert("delay".into(), Value::from(self.delay));
+        m.insert("jitter".into(), Value::from(self.jitter));
+        m.insert("loss".into(), Value::from(self.loss));
+    }
+}
+
+/// One per-link override of the global link parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkOverride {
+    /// One endpoint.
+    pub u: u32,
+    /// The other endpoint.
+    pub v: u32,
+    /// The overriding parameters (unspecified keys inherit the global
+    /// default).
+    pub link: LinkSpec,
+}
+
+/// The `links` section: global defaults plus heterogeneous per-link
+/// overrides.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinksSpec {
+    /// The global default for every link without an override.
+    pub default: LinkSpec,
+    /// Per-link overrides.
+    pub overrides: Vec<LinkOverride>,
+}
+
+impl LinksSpec {
+    fn parse(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let obj = want_object(v, path)?;
+        reject_unknown_keys(obj, &["delay", "jitter", "loss", "overrides"], path)?;
+        let default = LinkSpec::parse_fields(obj, LinkSpec::default(), path)?;
+        let mut overrides = Vec::new();
+        if let Some(list) = obj.get("overrides") {
+            let list_path = format!("{path}.overrides");
+            for (i, item) in want_array(list, &list_path)?.iter().enumerate() {
+                let item_path = format!("{list_path}[{i}]");
+                let o = want_object(item, &item_path)?;
+                reject_unknown_keys(o, &["u", "v", "delay", "jitter", "loss"], &item_path)?;
+                let u = match o.get("u") {
+                    Some(v) => want_u32(v, &format!("{item_path}.u"))?,
+                    None => {
+                        return Err(SpecError::new(format!("{item_path}.u"), "missing endpoint"))
+                    }
+                };
+                let w = match o.get("v") {
+                    Some(v) => want_u32(v, &format!("{item_path}.v"))?,
+                    None => {
+                        return Err(SpecError::new(format!("{item_path}.v"), "missing endpoint"))
+                    }
+                };
+                let link = LinkSpec::parse_fields(o, default, &item_path)?;
+                overrides.push(LinkOverride { u, v: w, link });
+            }
+        }
+        Ok(LinksSpec { default, overrides })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        self.default.put_fields(&mut m);
+        if !self.overrides.is_empty() {
+            m.insert(
+                "overrides".into(),
+                Value::Array(
+                    self.overrides
+                        .iter()
+                        .map(|o| {
+                            let mut om = Map::new();
+                            om.insert("u".into(), Value::from(o.u));
+                            om.insert("v".into(), Value::from(o.v));
+                            o.link.put_fields(&mut om);
+                            Value::Object(om)
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        Value::Object(m)
+    }
+}
+
+// ───────────────────────── churn ─────────────────────────
+
+/// What a churn event does to the network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnKind {
+    /// Fail the listed links.
+    Fail(Vec<(u32, u32)>),
+    /// Heal the listed links.
+    Heal(Vec<(u32, u32)>),
+    /// Fail every link crossing between `side` and the rest of the
+    /// graph (a partition wave).
+    Partition(Vec<u32>),
+    /// Mobility-style random churn from the run's seeded RNG: fail
+    /// `fail` random live links, heal `heal` random failed links.
+    Random {
+        /// Live links to fail.
+        fail: usize,
+        /// Failed links to heal.
+        heal: usize,
+    },
+    /// Crash the current leader (election scenarios only).
+    CrashLeader,
+}
+
+impl ChurnKind {
+    /// Short description for result rows (`"fail 2 link(s)"`).
+    pub fn describe(&self) -> String {
+        match self {
+            ChurnKind::Fail(edges) => format!("fail {} link(s)", edges.len()),
+            ChurnKind::Heal(edges) => format!("heal {} link(s)", edges.len()),
+            ChurnKind::Partition(side) => format!("partition {} node(s)", side.len()),
+            ChurnKind::Random { fail, heal } => format!("random churn -{fail}/+{heal}"),
+            ChurnKind::CrashLeader => "crash leader".into(),
+        }
+    }
+}
+
+/// One timed entry of the churn schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnEvent {
+    /// Virtual time at which the event fires (a lower bound: the engine
+    /// measures convergence by running each event to quiescence before
+    /// the next one, so a late-converging event pushes later times
+    /// forward).
+    pub at: u64,
+    /// The action.
+    pub kind: ChurnKind,
+}
+
+impl ChurnEvent {
+    fn parse(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let obj = want_object(v, path)?;
+        reject_unknown_keys(
+            obj,
+            &["at", "fail", "heal", "partition", "random", "crash_leader"],
+            path,
+        )?;
+        let at = match obj.get("at") {
+            Some(v) => want_u64(v, &format!("{path}.at"))?,
+            None => return Err(SpecError::new(format!("{path}.at"), "missing event time")),
+        };
+        let actions: Vec<&str> = ["fail", "heal", "partition", "random", "crash_leader"]
+            .into_iter()
+            .filter(|k| obj.get(*k).is_some())
+            .collect();
+        if actions.len() != 1 {
+            return Err(SpecError::new(
+                path,
+                format!(
+                    "a churn event needs exactly one action of fail, heal, partition, random, \
+                     crash_leader; found {}",
+                    if actions.is_empty() {
+                        "none".to_string()
+                    } else {
+                        actions.join(" and ")
+                    }
+                ),
+            ));
+        }
+        let kind = match actions[0] {
+            "fail" => ChurnKind::Fail(parse_edge_list(
+                obj.get("fail").expect("checked"),
+                &format!("{path}.fail"),
+            )?),
+            "heal" => ChurnKind::Heal(parse_edge_list(
+                obj.get("heal").expect("checked"),
+                &format!("{path}.heal"),
+            )?),
+            "partition" => {
+                let side_path = format!("{path}.partition");
+                let side = want_array(obj.get("partition").expect("checked"), &side_path)?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| want_u32(v, &format!("{side_path}[{i}]")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if side.is_empty() {
+                    return Err(SpecError::new(
+                        side_path,
+                        "partition side must be non-empty",
+                    ));
+                }
+                ChurnKind::Partition(side)
+            }
+            "random" => {
+                let rnd_path = format!("{path}.random");
+                let o = want_object(obj.get("random").expect("checked"), &rnd_path)?;
+                reject_unknown_keys(o, &["fail", "heal"], &rnd_path)?;
+                let fail = match o.get("fail") {
+                    Some(v) => want_usize(v, &format!("{rnd_path}.fail"))?,
+                    None => 0,
+                };
+                let heal = match o.get("heal") {
+                    Some(v) => want_usize(v, &format!("{rnd_path}.heal"))?,
+                    None => 0,
+                };
+                if fail == 0 && heal == 0 {
+                    return Err(SpecError::new(
+                        rnd_path,
+                        "random churn must fail or heal at least one link",
+                    ));
+                }
+                ChurnKind::Random { fail, heal }
+            }
+            "crash_leader" => {
+                let flag_path = format!("{path}.crash_leader");
+                if !want_bool(obj.get("crash_leader").expect("checked"), &flag_path)? {
+                    return Err(SpecError::new(flag_path, "must be true when present"));
+                }
+                ChurnKind::CrashLeader
+            }
+            _ => unreachable!("action list is exhaustive"),
+        };
+        Ok(ChurnEvent { at, kind })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("at".into(), Value::from(self.at));
+        match &self.kind {
+            ChurnKind::Fail(edges) => {
+                m.insert(
+                    "fail".into(),
+                    Value::Array(edges.iter().map(edge_value).collect()),
+                );
+            }
+            ChurnKind::Heal(edges) => {
+                m.insert(
+                    "heal".into(),
+                    Value::Array(edges.iter().map(edge_value).collect()),
+                );
+            }
+            ChurnKind::Partition(side) => {
+                m.insert(
+                    "partition".into(),
+                    Value::Array(side.iter().map(|&u| Value::from(u)).collect()),
+                );
+            }
+            ChurnKind::Random { fail, heal } => {
+                let mut o = Map::new();
+                o.insert("fail".into(), Value::from(*fail));
+                o.insert("heal".into(), Value::from(*heal));
+                m.insert("random".into(), Value::Object(o));
+            }
+            ChurnKind::CrashLeader => {
+                m.insert("crash_leader".into(), Value::from(true));
+            }
+        }
+        Value::Object(m)
+    }
+}
+
+// ───────────────────────── traffic ─────────────────────────
+
+/// Which nodes inject traffic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Sources {
+    /// Every non-destination node.
+    #[default]
+    All,
+    /// An explicit list.
+    List(Vec<u32>),
+}
+
+/// The traffic workload: waves of injections from the sources.
+///
+/// Wave `k` (for `k < packets_per_source`) fires at
+/// `start + k × interval`; each wave injects one packet (routing), route
+/// query (tora), or critical-section request (mutex) per source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// The injecting nodes.
+    pub sources: Sources,
+    /// Waves per source.
+    pub packets_per_source: u64,
+    /// Virtual time of the first wave.
+    pub start: u64,
+    /// Ticks between waves.
+    pub interval: u64,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec {
+            sources: Sources::All,
+            packets_per_source: 1,
+            start: 0,
+            interval: 1,
+        }
+    }
+}
+
+impl TrafficSpec {
+    fn parse(v: &Value, path: &str) -> Result<Self, SpecError> {
+        let obj = want_object(v, path)?;
+        reject_unknown_keys(
+            obj,
+            &["sources", "packets_per_source", "start", "interval"],
+            path,
+        )?;
+        let sources = match obj.get("sources") {
+            None => Sources::All,
+            Some(Value::String(s)) if s == "all" => Sources::All,
+            Some(Value::Array(items)) => {
+                let list_path = format!("{path}.sources");
+                let list = items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| want_u32(v, &format!("{list_path}[{i}]")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if list.is_empty() {
+                    return Err(SpecError::new(list_path, "source list must be non-empty"));
+                }
+                Sources::List(list)
+            }
+            Some(other) => {
+                return Err(SpecError::new(
+                    format!("{path}.sources"),
+                    format!(
+                        "expected \"all\" or an array of node ids, found {}",
+                        other.kind()
+                    ),
+                ))
+            }
+        };
+        let num = |key: &str, default: u64, floor: u64| -> Result<u64, SpecError> {
+            let p = format!("{path}.{key}");
+            let n = match obj.get(key) {
+                Some(v) => want_u64(v, &p)?,
+                None => default,
+            };
+            if n < floor {
+                return Err(SpecError::new(
+                    p,
+                    format!("must be at least {floor}, got {n}"),
+                ));
+            }
+            Ok(n)
+        };
+        let packets_per_source = num("packets_per_source", 1, 1)?;
+        // Each wave is one timeline entry; an absurd count must be a
+        // path-carrying error, not an out-of-memory abort at run time.
+        if packets_per_source > MAX_TRAFFIC_WAVES {
+            return Err(SpecError::new(
+                format!("{path}.packets_per_source"),
+                format!("must be at most {MAX_TRAFFIC_WAVES} waves, got {packets_per_source}"),
+            ));
+        }
+        Ok(TrafficSpec {
+            sources,
+            packets_per_source,
+            start: num("start", 0, 0)?,
+            interval: num("interval", 1, 1)?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        match &self.sources {
+            Sources::All => {
+                m.insert("sources".into(), Value::from("all"));
+            }
+            Sources::List(list) => {
+                m.insert(
+                    "sources".into(),
+                    Value::Array(list.iter().map(|&u| Value::from(u)).collect()),
+                );
+            }
+        }
+        m.insert(
+            "packets_per_source".into(),
+            Value::from(self.packets_per_source),
+        );
+        m.insert("start".into(), Value::from(self.start));
+        m.insert("interval".into(), Value::from(self.interval));
+        Value::Object(m)
+    }
+}
+
+// ───────────────────────── the spec ─────────────────────────
+
+/// A complete declarative scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in result rows).
+    pub name: String,
+    /// The protocol to drive.
+    pub protocol: ProtocolKind,
+    /// The communication graph.
+    pub topology: TopologySpec,
+    /// Link timing defaults and per-link overrides.
+    pub links: LinksSpec,
+    /// The timed churn schedule (kept in `at` order).
+    pub churn: Vec<ChurnEvent>,
+    /// The traffic workload (`None` for convergence-only scenarios).
+    pub traffic: Option<TrafficSpec>,
+    /// Trials per seed (each trial derives a distinct run seed).
+    pub trials: usize,
+    /// Base seeds of the sweep.
+    pub seeds: Vec<u64>,
+    /// Event budget per settle phase (a run errors when one phase
+    /// delivers more events — the guard against runaway scenarios).
+    pub max_events: u64,
+    /// Settle window in virtual ticks: after each churn event (and at
+    /// the start and end of the run) the engine waits at most this long
+    /// for quiescence. A phase that does not quiesce is recorded with
+    /// `quiesced = false` — Partial Reversal in a component cut off
+    /// from the destination reverses forever, and a bounded window
+    /// turns that livelock into a measurement instead of a hang.
+    pub settle: u64,
+}
+
+/// Default event budget per settle phase.
+pub const DEFAULT_MAX_EVENTS: u64 = 10_000_000;
+
+/// Default settle window in virtual ticks.
+pub const DEFAULT_SETTLE_TICKS: u64 = 10_000;
+
+/// Hard ceiling on `traffic.packets_per_source` (waves are
+/// materialized as timeline entries).
+pub const MAX_TRAFFIC_WAVES: u64 = 100_000;
+
+impl ScenarioSpec {
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] naming the JSON path for malformed JSON,
+    /// unknown keys, wrong types, or out-of-range values.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| SpecError::new("(json)", format!("malformed JSON: {e}")))?;
+        Self::from_value(&value)
+    }
+
+    /// Parses a spec from an already-parsed [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ScenarioSpec::from_json`].
+    pub fn from_value(value: &Value) -> Result<Self, SpecError> {
+        let obj = want_object(value, "(root)")?;
+        reject_unknown_keys(
+            obj,
+            &[
+                "name",
+                "protocol",
+                "topology",
+                "links",
+                "churn",
+                "traffic",
+                "trials",
+                "seeds",
+                "max_events",
+                "settle",
+            ],
+            "(root)",
+        )?;
+        let name = match obj.get("name") {
+            Some(v) => want_str(v, "name")?.to_string(),
+            None => return Err(SpecError::new("name", "missing scenario name")),
+        };
+        if name.is_empty() {
+            return Err(SpecError::new("name", "must be non-empty"));
+        }
+        let protocol = match obj.get("protocol") {
+            Some(v) => ProtocolKind::parse(want_str(v, "protocol")?, "protocol")?,
+            None => ProtocolKind::Routing,
+        };
+        let topology = match obj.get("topology") {
+            Some(v) => TopologySpec::parse(v, "topology")?,
+            None => return Err(SpecError::new("topology", "missing topology section")),
+        };
+        let links = match obj.get("links") {
+            Some(v) => LinksSpec::parse(v, "links")?,
+            None => LinksSpec::default(),
+        };
+        let mut churn = Vec::new();
+        if let Some(v) = obj.get("churn") {
+            for (i, item) in want_array(v, "churn")?.iter().enumerate() {
+                churn.push(ChurnEvent::parse(item, &format!("churn[{i}]"))?);
+            }
+        }
+        if let Some(w) = churn.windows(2).find(|w| w[0].at > w[1].at) {
+            return Err(SpecError::new(
+                "churn",
+                format!(
+                    "events must be sorted by time (found at = {} after at = {})",
+                    w[1].at, w[0].at
+                ),
+            ));
+        }
+        let traffic = match obj.get("traffic") {
+            Some(v) => Some(TrafficSpec::parse(v, "traffic")?),
+            // Traffic-driven protocols get the default workload; the
+            // convergence-only ones get none.
+            None => match protocol {
+                ProtocolKind::Routing | ProtocolKind::Tora | ProtocolKind::Mutex => {
+                    Some(TrafficSpec::default())
+                }
+                ProtocolKind::Reversal | ProtocolKind::Election => None,
+            },
+        };
+        let trials = match obj.get("trials") {
+            Some(v) => {
+                let t = want_usize(v, "trials")?;
+                if t == 0 {
+                    return Err(SpecError::new("trials", "must be at least 1"));
+                }
+                t
+            }
+            None => 1,
+        };
+        let seeds = match obj.get("seeds") {
+            Some(v) => {
+                let list = want_array(v, "seeds")?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| want_u64(s, &format!("seeds[{i}]")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if list.is_empty() {
+                    return Err(SpecError::new("seeds", "must contain at least one seed"));
+                }
+                list
+            }
+            None => vec![0],
+        };
+        let max_events = match obj.get("max_events") {
+            Some(v) => {
+                let m = want_u64(v, "max_events")?;
+                if m == 0 {
+                    return Err(SpecError::new("max_events", "must be at least 1"));
+                }
+                m
+            }
+            None => DEFAULT_MAX_EVENTS,
+        };
+        let settle = match obj.get("settle") {
+            Some(v) => {
+                let s = want_u64(v, "settle")?;
+                if s == 0 {
+                    return Err(SpecError::new("settle", "must be at least 1 tick"));
+                }
+                s
+            }
+            None => DEFAULT_SETTLE_TICKS,
+        };
+        let spec = ScenarioSpec {
+            name,
+            protocol,
+            topology,
+            links,
+            churn,
+            traffic,
+            trials,
+            seeds,
+            max_events,
+            settle,
+        };
+        spec.check_protocol_constraints()?;
+        Ok(spec)
+    }
+
+    /// Protocol-specific structural rules, checked at parse time so
+    /// `validate` and `run` can rely on them.
+    fn check_protocol_constraints(&self) -> Result<(), SpecError> {
+        let crash_events = self
+            .churn
+            .iter()
+            .filter(|e| matches!(e.kind, ChurnKind::CrashLeader))
+            .count();
+        if crash_events > 0 && self.protocol != ProtocolKind::Election {
+            return Err(SpecError::new(
+                "churn",
+                format!(
+                    "crash_leader events require protocol \"election\", not {:?}",
+                    self.protocol.name()
+                ),
+            ));
+        }
+        if crash_events > 1 {
+            return Err(SpecError::new(
+                "churn",
+                "at most one crash_leader event per scenario (the harness crashes the \
+                 initial leader exactly once)",
+            ));
+        }
+        match self.protocol {
+            ProtocolKind::Mutex if !self.churn.is_empty() => Err(SpecError::new(
+                "churn",
+                "mutex scenarios do not support churn: Raymond's algorithm runs on a static \
+                 spanning tree (fail a tree link and the token can never cross it)",
+            )),
+            ProtocolKind::Election if self.traffic.is_some() => Err(SpecError::new(
+                "traffic",
+                "election scenarios take no traffic workload; drive them with crash_leader \
+                 churn events",
+            )),
+            ProtocolKind::Election
+                if self
+                    .churn
+                    .iter()
+                    .any(|e| !matches!(e.kind, ChurnKind::CrashLeader)) =>
+            {
+                Err(SpecError::new(
+                    "churn",
+                    "election scenarios support only crash_leader churn events",
+                ))
+            }
+            ProtocolKind::Reversal if self.traffic.is_some() => Err(SpecError::new(
+                "traffic",
+                "reversal scenarios are convergence-only and take no traffic workload",
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// The canonical [`Value`] form: every resolved default
+    /// materialized, keys sorted. `parse(to_value(s)) == s` for every
+    /// valid spec.
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("name".into(), Value::from(self.name.as_str()));
+        m.insert("protocol".into(), Value::from(self.protocol.name()));
+        m.insert("topology".into(), self.topology.to_value());
+        m.insert("links".into(), self.links.to_value());
+        if !self.churn.is_empty() {
+            m.insert(
+                "churn".into(),
+                Value::Array(self.churn.iter().map(ChurnEvent::to_value).collect()),
+            );
+        }
+        if let Some(t) = &self.traffic {
+            m.insert("traffic".into(), t.to_value());
+        }
+        m.insert("trials".into(), Value::from(self.trials));
+        m.insert(
+            "seeds".into(),
+            Value::Array(self.seeds.iter().map(|&s| Value::from(s)).collect()),
+        );
+        m.insert("max_events".into(), Value::from(self.max_events));
+        m.insert("settle".into(), Value::from(self.settle));
+        Value::Object(m)
+    }
+
+    /// Canonical pretty JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("spec values serialize")
+    }
+
+    /// Whether the built topology depends on the run seed (a random
+    /// family with no pinned topology seed).
+    fn topology_varies_per_run(&self) -> bool {
+        matches!(
+            self.topology,
+            TopologySpec::Random { seed: None, .. }
+                | TopologySpec::Bipartite { seed: None, .. }
+                | TopologySpec::Layered { seed: None, .. }
+        )
+    }
+
+    /// Full validation: parse-level rules plus the cross-checks that
+    /// need the topology (override/churn edges exist, sources are
+    /// nodes). Seedless random topologies differ per run, so those are
+    /// checked for every `(seed, trial)` of the sweep; deterministic
+    /// topologies are built and checked once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing path.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if !self.topology_varies_per_run() {
+            let seed = self.seeds[0];
+            let inst = crate::topology::build_instance(&self.topology, derive_run_seed(seed, 0))?;
+            return self.validate_against(&inst, seed, 0);
+        }
+        for &seed in &self.seeds {
+            for trial in 0..self.trials {
+                let run_seed = derive_run_seed(seed, trial);
+                let inst = crate::topology::build_instance(&self.topology, run_seed)?;
+                self.validate_against(&inst, seed, trial)?;
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn validate_against(
+        &self,
+        inst: &lr_graph::ReversalInstance,
+        seed: u64,
+        trial: usize,
+    ) -> Result<(), SpecError> {
+        let ctx = |path: &str| format!("{path} (seed {seed}, trial {trial})");
+        let node_ok = |id: u32| inst.graph.contains_node(lr_graph::NodeId::new(id));
+        let edge_ok = |u: u32, v: u32| {
+            inst.graph
+                .contains_edge(lr_graph::NodeId::new(u), lr_graph::NodeId::new(v))
+        };
+        for (i, o) in self.links.overrides.iter().enumerate() {
+            if !edge_ok(o.u, o.v) {
+                return Err(SpecError::new(
+                    ctx(&format!("links.overrides[{i}]")),
+                    format!("no link {}-{} in the topology", o.u, o.v),
+                ));
+            }
+        }
+        for (i, event) in self.churn.iter().enumerate() {
+            let path = format!("churn[{i}]");
+            match &event.kind {
+                ChurnKind::Fail(edges) | ChurnKind::Heal(edges) => {
+                    for &(u, v) in edges {
+                        if !edge_ok(u, v) {
+                            return Err(SpecError::new(
+                                ctx(&path),
+                                format!("no link {u}-{v} in the topology"),
+                            ));
+                        }
+                    }
+                }
+                ChurnKind::Partition(side) => {
+                    for &u in side {
+                        if !node_ok(u) {
+                            return Err(SpecError::new(
+                                ctx(&path),
+                                format!("partition names node {u}, which is not in the topology"),
+                            ));
+                        }
+                    }
+                    let all: BTreeSet<u32> = inst.graph.nodes().map(|n| n.raw()).collect();
+                    let side_set: BTreeSet<u32> = side.iter().copied().collect();
+                    if side_set.len() == all.len() {
+                        return Err(SpecError::new(
+                            ctx(&path),
+                            "partition side contains every node; nothing to cut",
+                        ));
+                    }
+                }
+                ChurnKind::Random { .. } | ChurnKind::CrashLeader => {}
+            }
+        }
+        if let Some(traffic) = &self.traffic {
+            if let Sources::List(list) = &traffic.sources {
+                for &u in list {
+                    if !node_ok(u) {
+                        return Err(SpecError::new(
+                            ctx("traffic.sources"),
+                            format!("source {u} is not a node of the topology"),
+                        ));
+                    }
+                    if u32::from(inst.dest) == u && self.protocol != ProtocolKind::Mutex {
+                        return Err(SpecError::new(
+                            ctx("traffic.sources"),
+                            format!("source {u} is the destination; it has nothing to send"),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Derives the per-run seed from a base seed and trial index
+/// (trial 0 keeps the base seed so single-trial sweeps read naturally).
+pub fn derive_run_seed(seed: u64, trial: usize) -> u64 {
+    seed ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

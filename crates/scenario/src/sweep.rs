@@ -1,0 +1,98 @@
+//! The sweep runner: `seeds × trials` deterministic executions of one
+//! spec, structured rows out.
+
+use lr_bench::trajectory::ScenarioRecord;
+
+use crate::engine::{run_scenario, RunOutcome, ScenarioError};
+use crate::spec::ScenarioSpec;
+
+/// Sweep execution options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// Smoke mode: run only the first seed's first trial and mark every
+    /// row `smoke` — the CI gate that keeps scenarios executing without
+    /// paying for the full sweep.
+    pub smoke: bool,
+}
+
+/// The outcome of a full sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Every run's rows, in `(seed, trial)` order.
+    pub records: Vec<ScenarioRecord>,
+    /// Per-run outcomes (same order), for callers that want the raw
+    /// simulator stats.
+    pub runs: Vec<RunOutcome>,
+}
+
+/// Runs the whole sweep declared by `spec`.
+///
+/// # Errors
+///
+/// Propagates the first [`ScenarioError`] (invalid spec for some seed,
+/// or a network that refused to quiesce).
+pub fn run_sweep(
+    spec: &ScenarioSpec,
+    options: SweepOptions,
+) -> Result<SweepOutcome, ScenarioError> {
+    // Smoke is an explicit caller decision (the CLI's --smoke flag);
+    // the library deliberately ignores LR_BENCH_SMOKE so sweeps never
+    // shrink because of ambient environment.
+    let smoke = options.smoke;
+    let seeds: &[u64] = if smoke { &spec.seeds[..1] } else { &spec.seeds };
+    let trials = if smoke { 1 } else { spec.trials };
+    let mut records = Vec::new();
+    let mut runs = Vec::new();
+    for &seed in seeds {
+        for trial in 0..trials {
+            let outcome = run_scenario(spec, seed, trial, smoke)?;
+            records.extend(outcome.records.iter().cloned());
+            runs.push(outcome);
+        }
+    }
+    Ok(SweepOutcome { records, runs })
+}
+
+/// Renders sweep rows as a fixed-width text table (the CLI's stdout
+/// artifact; the JSON rows are the machine-readable one).
+pub fn render_table(records: &[ScenarioRecord]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let header = [
+        "seed", "trial", "event", "at", "conv", "inj", "dlv", "rate", "hops", "stretch", "msgs",
+        "revs", "acyclic",
+    ];
+    let widths = [6usize, 5, 22, 8, 8, 6, 6, 6, 6, 7, 9, 7, 7];
+    for (w, h) in widths.iter().zip(header) {
+        let _ = write!(out, "{h:>w$} ", w = w);
+    }
+    out.truncate(out.trim_end().len());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in records {
+        let cells = [
+            r.seed.to_string(),
+            r.trial.to_string(),
+            format!("[{}] {}", r.event_index, r.event),
+            r.at.to_string(),
+            r.convergence_ticks.to_string(),
+            r.injected.to_string(),
+            r.delivered.to_string(),
+            format!("{:.2}", r.delivery_rate),
+            format!("{:.1}", r.mean_hops),
+            format!("{:.2}", r.stretch),
+            r.messages.to_string(),
+            r.total_reversals.to_string(),
+            r.acyclic.to_string(),
+        ];
+        for (w, c) in widths.iter().zip(cells) {
+            let _ = write!(out, "{c:>w$} ", w = w);
+        }
+        out.truncate(out.trim_end().len());
+        out.push('\n');
+    }
+    out
+}

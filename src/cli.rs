@@ -10,6 +10,8 @@
 //! lr trace NewPR < instance.txt       # step-by-step trace
 //! lr check < instance.txt             # invariants along executions
 //! lr dot < instance.txt               # Graphviz of the initial DAG
+//! lr scenario validate spec.json      # check a scenario spec
+//! lr scenario run spec.json           # run a scenario sweep
 //! ```
 
 use std::fmt::Write as _;
@@ -54,6 +56,10 @@ USAGE:
     lr check                          verify the paper's invariants along
                                       PR and NewPR executions on the instance
     lr dot                            Graphviz DOT of the initial orientation
+    lr scenario validate <spec>...    parse + validate scenario spec files
+    lr scenario run <spec>...         run scenario sweeps; rows append to
+                                      BENCH_pr4.json (--smoke: first seed/trial
+                                      only; --no-append: skip the trajectory)
 ";
 
 fn parse_alg(s: &str) -> Result<AlgorithmKind, CliError> {
@@ -102,6 +108,7 @@ pub fn run_cli(args: &[&str], stdin: &str) -> Result<String, CliError> {
         ["trace", rest @ ..] => cmd_trace(rest, stdin),
         ["check"] => cmd_check(stdin),
         ["dot"] => cmd_dot(stdin),
+        ["scenario", rest @ ..] => cmd_scenario(rest),
         [other, ..] => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
@@ -234,6 +241,106 @@ fn cmd_check(stdin: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_scenario(args: &[&str]) -> Result<String, CliError> {
+    use lr_bench::trajectory::{
+        append_records_to, load_records_from, trajectory_path_named, ScenarioRecord,
+        SCENARIO_TRAJECTORY,
+    };
+    use lr_scenario::spec::ScenarioSpec;
+    use lr_scenario::sweep::{render_table, run_sweep, SweepOptions};
+
+    let (sub, rest) = args.split_first().ok_or_else(|| {
+        err(format!(
+            "scenario needs a subcommand (run | validate)\n\n{USAGE}"
+        ))
+    })?;
+    let (flags, paths): (Vec<&str>, Vec<&str>) = rest.iter().partition(|a| a.starts_with("--"));
+    let allowed_flags: &[&str] = match *sub {
+        "run" => &["--smoke", "--no-append"],
+        "validate" => &[],
+        other => {
+            return Err(err(format!(
+                "unknown scenario subcommand {other:?} (expected run or validate)"
+            )))
+        }
+    };
+    if let Some(flag) = flags.iter().find(|f| !allowed_flags.contains(*f)) {
+        return Err(err(format!(
+            "unknown flag {flag:?} for `lr scenario {sub}`"
+        )));
+    }
+    if paths.is_empty() {
+        return Err(err(format!("scenario {sub} needs at least one spec file")));
+    }
+    // `validate` cross-checks the topology here; `run` leaves that to
+    // run_scenario, which validates each (seed, trial) instance anyway
+    // — doing both would build every topology twice.
+    let load = |path: &str, cross_validate: bool| -> Result<ScenarioSpec, CliError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+        let spec = ScenarioSpec::from_json(&text).map_err(|e| err(format!("{path}: {e}")))?;
+        if cross_validate {
+            spec.validate().map_err(|e| err(format!("{path}: {e}")))?;
+        }
+        Ok(spec)
+    };
+    let mut out = String::new();
+    match *sub {
+        "validate" => {
+            for path in &paths {
+                let spec = load(path, true)?;
+                let _ = writeln!(
+                    out,
+                    "{path}: OK — scenario {:?} ({} on {}, {} churn event(s), {} seed(s) × {} \
+                     trial(s))",
+                    spec.name,
+                    spec.protocol.name(),
+                    spec.topology.family_name(),
+                    spec.churn.len(),
+                    spec.seeds.len(),
+                    spec.trials,
+                );
+            }
+        }
+        "run" => {
+            let options = SweepOptions {
+                smoke: flags.contains(&"--smoke"),
+            };
+            let append = !flags.contains(&"--no-append");
+            let trajectory = trajectory_path_named(SCENARIO_TRAJECTORY);
+            let mut all_rows = 0usize;
+            for path in &paths {
+                let spec = load(path, false)?;
+                let outcome = run_sweep(&spec, options).map_err(|e| err(format!("{path}: {e}")))?;
+                let _ = writeln!(out, "scenario {:?} ({path})", spec.name);
+                out.push_str(&render_table(&outcome.records));
+                out.push('\n');
+                all_rows += outcome.records.len();
+                if append {
+                    append_records_to(&trajectory, &outcome.records)
+                        .map_err(|e| err(format!("{path}: {e}")))?;
+                }
+            }
+            if append {
+                // The parse gate the CI smoke step relies on: whatever
+                // was just appended must still read back.
+                let total = load_records_from::<ScenarioRecord>(&trajectory)
+                    .map_err(|e| err(format!("trajectory re-parse failed: {e}")))?
+                    .len();
+                let _ = writeln!(
+                    out,
+                    "{all_rows} row(s) appended to {} ({total} total, re-parsed OK)",
+                    trajectory.display()
+                );
+            } else {
+                let _ = writeln!(out, "{all_rows} row(s) (append skipped)");
+            }
+        }
+        _ => unreachable!("subcommand checked above"),
+    }
+    Ok(out)
+}
+
 fn cmd_dot(stdin: &str) -> Result<String, CliError> {
     let inst = parse_stdin_instance(stdin)?;
     Ok(dot::to_dot(
@@ -328,6 +435,54 @@ mod tests {
     fn check_rejects_garbage() {
         let e = run_cli(&["check"], "this is not an instance").unwrap_err();
         assert!(e.0.contains("invalid instance"));
+    }
+
+    fn example_spec(name: &str) -> String {
+        format!("{}/examples/scenarios/{name}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn scenario_validate_accepts_the_shipped_examples() {
+        for spec in [
+            "churn_waves.json",
+            "partition_heal.json",
+            "lossy_reversal.json",
+        ] {
+            let path = example_spec(spec);
+            let out = run_cli(&["scenario", "validate", &path], "").unwrap();
+            assert!(out.contains("OK"), "{spec}: {out}");
+        }
+    }
+
+    #[test]
+    fn scenario_run_smoke_produces_rows_without_appending() {
+        let path = example_spec("partition_heal.json");
+        let out = run_cli(&["scenario", "run", "--smoke", "--no-append", &path], "").unwrap();
+        assert!(out.contains("partition-heal"), "{out}");
+        assert!(out.contains("[0] start"), "{out}");
+        assert!(out.contains("summary"), "{out}");
+        assert!(out.contains("append skipped"), "{out}");
+    }
+
+    #[test]
+    fn scenario_rejects_bad_usage() {
+        assert!(run_cli(&["scenario"], "").is_err());
+        assert!(run_cli(&["scenario", "frobnicate", "x.json"], "").is_err());
+        assert!(run_cli(&["scenario", "validate"], "").is_err());
+        assert!(run_cli(&["scenario", "validate", "--smoke", "x.json"], "").is_err());
+        let e = run_cli(&["scenario", "run", "/nonexistent/spec.json"], "").unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn scenario_errors_name_the_failing_path() {
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("lr_cli_bad_spec_{}.json", std::process::id()));
+        std::fs::write(&bad, r#"{"name": "x", "topology": {"family": "warp"}}"#).unwrap();
+        let e = run_cli(&["scenario", "validate", bad.to_str().unwrap()], "").unwrap_err();
+        assert!(e.0.contains("topology.family"), "{e}");
+        assert!(e.0.contains("unknown family"), "{e}");
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]

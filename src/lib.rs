@@ -20,6 +20,7 @@
 //! | [`core`] | `lr-core` | PR / OneStepPR / NewPR / FR / heights / BLL + invariants |
 //! | [`simrel`] | `lr-simrel` | relations R′ and R, refinement, model checking |
 //! | [`net`] | `lr-net` | network simulator, routing, election, mutex, threaded mode |
+//! | [`scenario`] | `lr-scenario` | declarative churn/link/traffic scenarios + sweep runner |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use lr_core as core;
 pub use lr_graph as graph;
 pub use lr_ioa as ioa;
 pub use lr_net as net;
+pub use lr_scenario as scenario;
 pub use lr_simrel as simrel;
 
 pub mod cli;

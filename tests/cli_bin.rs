@@ -99,6 +99,52 @@ fn trace_and_check_and_dot() {
 }
 
 #[test]
+fn scenario_validate_and_smoke_run_the_shipped_examples() {
+    let dir = format!("{}/examples/scenarios", env!("CARGO_MANIFEST_DIR"));
+    let specs: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/scenarios exists")
+        .map(|e| e.unwrap().path().display().to_string())
+        .filter(|p| p.ends_with(".json"))
+        .collect();
+    assert!(specs.len() >= 2, "at least two shipped example scenarios");
+    let mut args = vec!["scenario", "validate"];
+    args.extend(specs.iter().map(String::as_str));
+    let (out, stderr, ok) = run_with_stdin(&args, "");
+    assert!(ok, "validate failed: {stderr}");
+    assert_eq!(out.matches(": OK").count(), specs.len(), "{out}");
+
+    // Smoke run without touching the committed trajectory.
+    let mut args = vec!["scenario", "run", "--smoke", "--no-append"];
+    args.extend(specs.iter().map(String::as_str));
+    let (out, stderr, ok) = run_with_stdin(&args, "");
+    assert!(ok, "smoke run failed: {stderr}");
+    for spec in &specs {
+        assert!(
+            out.contains(spec.as_str()),
+            "missing table for {spec}: {out}"
+        );
+    }
+    assert!(out.contains("summary"));
+    assert!(out.contains("append skipped"));
+}
+
+#[test]
+fn scenario_rejects_malformed_spec_files_with_path_errors() {
+    let bad = std::env::temp_dir().join(format!("lr_bin_bad_spec_{}.json", std::process::id()));
+    std::fs::write(
+        &bad,
+        r#"{"name": "x", "topology": {"family": "chain-away", "n": 4},
+            "churn": [{"at": 5, "fail": [[0, 3]]}]}"#,
+    )
+    .unwrap();
+    let (_, stderr, ok) = run_with_stdin(&["scenario", "run", bad.to_str().unwrap()], "");
+    assert!(!ok, "dangling churn edge must fail");
+    assert!(stderr.contains("churn[0]"), "{stderr}");
+    assert!(stderr.contains("no link 0-3"), "{stderr}");
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
 fn bad_input_fails_with_message_and_nonzero_exit() {
     let (_, stderr, ok) = run_with_stdin(&["run", "PR"], "garbage input");
     assert!(!ok);

@@ -13,7 +13,10 @@ use serde::content::Content;
 use serde::{Deserialize, Serialize};
 
 mod read;
+pub mod value;
 mod write;
+
+pub use value::{Map, Number, Value};
 
 /// A serialization or parse error, with a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]

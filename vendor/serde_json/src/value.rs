@@ -1,0 +1,412 @@
+//! A dynamically typed JSON value, mirroring `serde_json::Value`.
+//!
+//! The subset implemented here is what the workspace needs to inspect
+//! JSON whose shape is not known at compile time (the scenario engine's
+//! declarative specs): the [`Value`] enum itself, the opaque [`Number`]
+//! wrapper, the [`Map`] alias (sorted keys, like real serde_json's
+//! default `Map`), `Serialize`/`Deserialize` impls so a `Value` can sit
+//! anywhere a typed value can, the usual `as_*` accessors, and
+//! `Display` as compact JSON.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::content::Content;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// The map type used for JSON objects: sorted keys, matching real
+/// serde_json's default (non-`preserve_order`) behaviour.
+pub type Map<K = String, V = Value> = BTreeMap<K, V>;
+
+/// A JSON number: a non-negative integer, a negative integer, or a
+/// float — the same three-way split real serde_json stores internally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    /// Always `< 0`.
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// The number as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::PosInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, when it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::PosInt(n) => i64::try_from(n).ok(),
+            N::NegInt(n) => Some(n),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The number as an `f64` (always representable, like real
+    /// serde_json).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.n {
+            N::PosInt(n) => Some(n as f64),
+            N::NegInt(n) => Some(n as f64),
+            N::Float(f) => Some(f),
+        }
+    }
+
+    /// Whether the number is a non-negative integer.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.n, N::PosInt(_))
+    }
+
+    /// Whether the number is an integer representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// Whether the number is stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.n, N::Float(_))
+    }
+}
+
+impl From<u64> for Number {
+    fn from(n: u64) -> Self {
+        Number { n: N::PosInt(n) }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(n: i64) -> Self {
+        if n < 0 {
+            Number { n: N::NegInt(n) }
+        } else {
+            Number {
+                n: N::PosInt(n as u64),
+            }
+        }
+    }
+}
+
+impl From<u32> for Number {
+    fn from(n: u32) -> Self {
+        Number::from(u64::from(n))
+    }
+}
+
+impl From<usize> for Number {
+    fn from(n: usize) -> Self {
+        Number::from(n as u64)
+    }
+}
+
+impl From<f64> for Number {
+    fn from(f: f64) -> Self {
+        Number { n: N::Float(f) }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.n {
+            N::PosInt(n) => write!(f, "{n}"),
+            N::NegInt(n) => write!(f, "{n}"),
+            N::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A JSON value of unknown shape.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object (sorted keys).
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Member `key` of an object (`None` for non-objects and missing
+    /// keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short description of the value's kind, for error messages
+    /// (stub extension; real serde_json spells this differently).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(Number::from(n))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Number(Number::from(n))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(Number::from(n))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(Number::from(n))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::from(f))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Self {
+        Value::Object(m)
+    }
+}
+
+fn value_to_content(value: &Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(n) => match n.n {
+            N::PosInt(u) => Content::U64(u),
+            N::NegInt(i) => Content::I64(i),
+            N::Float(f) => Content::F64(f),
+        },
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => Content::Map(
+            map.iter()
+                .map(|(k, v)| (k.clone(), value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn content_to_value(content: Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::U64(n) => Value::Number(Number::from(n)),
+        Content::I64(n) => Value::Number(Number::from(n)),
+        Content::F64(f) => Value::Number(Number::from(f)),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(value_to_content(self))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        // Duplicate object keys collapse last-wins (the BTreeMap
+        // insert), matching real serde_json's Value behaviour.
+        Ok(content_to_value(deserializer.take_content()?))
+    }
+}
+
+impl fmt::Display for Value {
+    /// Writes the value as compact JSON, exactly like
+    /// `serde_json::to_string` would.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match crate::to_string(self) {
+            Ok(s) => f.write_str(&s),
+            Err(_) => Err(fmt::Error),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_json() {
+        let text = r#"{"b":[1,-2,2.5],"a":{"x":null,"y":true},"s":"hi"}"#;
+        let v: Value = crate::from_str(text).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        let arr = v.get("b").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_i64(), Some(-2));
+        assert_eq!(arr[2].as_f64(), Some(2.5));
+        assert!(v.get("a").unwrap().get("x").unwrap().is_null());
+        // Re-serialization is canonical (sorted keys) and stable.
+        let s1 = crate::to_string(&v).unwrap();
+        let v2: Value = crate::from_str(&s1).unwrap();
+        let s2 = crate::to_string(&v2).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v: Value = crate::from_str(r#"{ "k" : [ 1, 2 ] }"#).unwrap();
+        assert_eq!(v.to_string(), r#"{"k":[1,2]}"#);
+    }
+
+    #[test]
+    fn accessors_reject_wrong_kinds() {
+        let v = Value::from("text");
+        assert_eq!(v.as_u64(), None);
+        assert_eq!(v.as_bool(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.kind(), "string");
+        assert_eq!(Value::Null.kind(), "null");
+    }
+
+    #[test]
+    fn number_conversions() {
+        let n = Number::from(7u64);
+        assert!(n.is_u64() && n.is_i64() && !n.is_f64());
+        assert_eq!(n.as_f64(), Some(7.0));
+        let m = Number::from(-3i64);
+        assert!(!m.is_u64());
+        assert_eq!(m.as_i64(), Some(-3));
+        let f = Number::from(0.5);
+        assert_eq!(f.as_i64(), None);
+        assert_eq!(f.as_f64(), Some(0.5));
+        // Non-negative i64s normalize to the PosInt repr, like real
+        // serde_json.
+        assert!(Number::from(5i64).is_u64());
+    }
+
+    #[test]
+    fn value_nests_inside_typed_containers() {
+        let v: Vec<Value> = crate::from_str(r#"[null, 3, "x"]"#).unwrap();
+        assert_eq!(v.len(), 3);
+        let json = crate::to_string(&v).unwrap();
+        assert_eq!(json, r#"[null,3,"x"]"#);
+    }
+}
