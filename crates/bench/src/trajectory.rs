@@ -4,14 +4,18 @@
 //! CI gate and future sessions can parse with the vendored `serde_json`
 //! alone.
 //!
-//! Two trajectories exist today, each a JSON array of one record type:
+//! Three trajectories exist today, each a JSON array of one record
+//! type:
 //!
 //! * `BENCH_pr3.json` — [`BenchRecord`] throughput rows from the step
 //!   pipeline experiments (PR 3);
 //! * `BENCH_pr4.json` ([`SCENARIO_TRAJECTORY`]) — [`ScenarioRecord`]
 //!   rows emitted by the `lr-scenario` sweep runner (PR 4): convergence
 //!   after churn, delivery rate, message counts, route stretch, and
-//!   per-node work distribution.
+//!   per-node work distribution;
+//! * `BENCH_pr5.json` ([`SWEEP_TRAJECTORY`]) — [`SweepRecord`] rows
+//!   from the parallel matrix-sweep executor (PR 5): one streaming
+//!   summary per matrix point plus a whole-sweep roll-up.
 //!
 //! The file name is caller-chosen ([`trajectory_path_named`],
 //! [`append_records_to`], [`load_records_from`]); the original
@@ -156,8 +160,90 @@ pub struct ScenarioRecord {
     pub smoke: bool,
 }
 
+/// One streaming summary row from the matrix-sweep executor (PR 5):
+/// either one matrix point's aggregate over its `seeds × trials` cells
+/// (`row = "point"`) or the whole sweep's roll-up (`row = "sweep"`).
+/// Appended to [`SWEEP_TRAJECTORY`].
+///
+/// Deliberately **no thread-count field**: the executor's contract is
+/// that a sweep's merged rows are bit-identical at every `--threads`
+/// value, and the rows are what the equivalence suite compares
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Sweep name (the base spec's `name`).
+    pub sweep: String,
+    /// Row kind: `"point"` per matrix point, `"sweep"` for the roll-up.
+    pub row: String,
+    /// Canonical matrix index of the point (row-major over the axes;
+    /// the point count for the `"sweep"` row).
+    pub point_index: usize,
+    /// Human-readable point label
+    /// (`routing|random(n=16,extra=10)|d1j0l0.05|x2`; `"sweep"` for the
+    /// roll-up).
+    pub label: String,
+    /// Protocol of the point (`"*"` for the roll-up).
+    pub protocol: String,
+    /// Topology family of the point (`"*"` for the roll-up).
+    pub family: String,
+    /// Global default link delay of the point (0 for the roll-up).
+    pub delay: u64,
+    /// Global default link jitter of the point (0 for the roll-up).
+    pub jitter: u64,
+    /// Global default link loss of the point (0 for the roll-up).
+    pub loss: f64,
+    /// Random-churn intensity multiplier of the point (0 for the
+    /// roll-up).
+    pub churn_scale: u64,
+    /// Cells folded into this row (`seeds × trials` per point).
+    pub cells: usize,
+    /// Seeds swept (after smoke shrinking).
+    pub seeds: usize,
+    /// Trials per seed (after smoke shrinking).
+    pub trials: usize,
+    /// Convergence observations (one per event row of every cell).
+    pub conv_count: u64,
+    /// Mean convergence ticks.
+    pub conv_mean: f64,
+    /// Population std-dev of convergence ticks.
+    pub conv_std: f64,
+    /// Median convergence ticks (fixed-grid sketch estimate).
+    pub conv_p50: f64,
+    /// 90th-percentile convergence ticks (sketch estimate).
+    pub conv_p90: f64,
+    /// Largest convergence observation.
+    pub conv_max: f64,
+    /// Mean route stretch over cells that delivered at least one
+    /// priced packet (0 when none did — the sentinel `stretch = 0.0`
+    /// of empty or trafficless cells is excluded, since real stretch
+    /// is never below 1).
+    pub stretch_mean: f64,
+    /// 90th-percentile route stretch (sketch estimate, same gating).
+    pub stretch_p90: f64,
+    /// Mean delivery rate over *traffic-carrying* cells
+    /// (`injected > 0`; 0 when the point carries no traffic —
+    /// convergence-only cells' sentinel rate of 1.0 is excluded).
+    pub delivery_mean: f64,
+    /// Worst traffic-carrying cell's delivery rate (same gating).
+    pub delivery_min: f64,
+    /// Total protocol messages across cells.
+    pub messages: u64,
+    /// Total reversals across cells.
+    pub total_reversals: u64,
+    /// Whether every settle phase of every cell quiesced.
+    pub quiesced_all: bool,
+    /// Whether the structural acyclicity invariant held on every row of
+    /// every cell.
+    pub acyclic_all: bool,
+    /// Whether the rows were produced in smoke mode.
+    pub smoke: bool,
+}
+
 /// File name of the scenario trajectory at the repository root.
 pub const SCENARIO_TRAJECTORY: &str = "BENCH_pr4.json";
+
+/// File name of the matrix-sweep trajectory at the repository root.
+pub const SWEEP_TRAJECTORY: &str = "BENCH_pr5.json";
 
 /// Path of a caller-named trajectory file at the repository root
 /// (resolved from this crate's manifest directory, so it is stable no
@@ -320,6 +406,43 @@ mod tests {
             acyclic: true,
             smoke: true,
         }
+    }
+
+    #[test]
+    fn sweep_records_round_trip_through_vendored_serde_json() {
+        let rows = vec![SweepRecord {
+            sweep: "matrix-sweep".into(),
+            row: "point".into(),
+            point_index: 3,
+            label: "routing|random(n=16,extra=10)|d1j0l0.05|x2".into(),
+            protocol: "routing".into(),
+            family: "random".into(),
+            delay: 1,
+            jitter: 0,
+            loss: 0.05,
+            churn_scale: 2,
+            cells: 4,
+            seeds: 2,
+            trials: 2,
+            conv_count: 16,
+            conv_mean: 37.5,
+            conv_std: 4.25,
+            conv_p50: 36.0,
+            conv_p90: 44.0,
+            conv_max: 51.0,
+            stretch_mean: 1.12,
+            stretch_p90: 1.3,
+            delivery_mean: 0.97,
+            delivery_min: 0.9,
+            messages: 4096,
+            total_reversals: 321,
+            quiesced_all: true,
+            acyclic_all: true,
+            smoke: false,
+        }];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<SweepRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows);
     }
 
     #[test]

@@ -33,7 +33,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::spec::{
-    derive_run_seed, ChurnKind, LinkSpec, ProtocolKind, ScenarioSpec, Sources, SpecError,
+    derive_churn_seed, derive_run_seed, ChurnKind, LinkSpec, ProtocolKind, ScenarioSpec, Sources,
+    SpecError,
 };
 use crate::topology::build_instance;
 
@@ -860,7 +861,7 @@ pub fn run_scenario(
         .map_err(|e| ScenarioError(format!("invalid scenario: {e}")))?;
     let link = spec_link_config(&spec.links.default);
     let mut driver = make_driver(spec, &inst, link, run_seed);
-    let mut churn_rng = SmallRng::seed_from_u64(run_seed ^ 0xC4E1_15C0_0B5E_55ED);
+    let mut churn_rng = SmallRng::seed_from_u64(derive_churn_seed(run_seed));
     let mut ledger = LinkLedger::new(&inst.graph);
     let sources = resolve_sources(spec, &inst);
     let mut records: Vec<ScenarioRecord> = Vec::new();

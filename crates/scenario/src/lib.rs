@@ -26,6 +26,15 @@
 //! emits [`lr_bench::trajectory::ScenarioRecord`] rows for the
 //! persisted `BENCH_pr4.json` trajectory.
 //!
+//! Specs may also declare a `matrix` section — a grid over protocols,
+//! topologies, link configurations, and churn intensities
+//! ([`spec::MatrixSpec`]). [`sweep::run_matrix_sweep`] expands the grid
+//! into independent cells (`points × seeds × trials`), fans them out
+//! over crossbeam-scoped worker threads, and folds results through the
+//! mergeable [`stats`] accumulators in canonical order, so a parallel
+//! sweep is bit-identical to a serial one. Summaries persist to
+//! `BENCH_pr5.json` as [`lr_bench::trajectory::SweepRecord`] rows.
+//!
 //! ```
 //! use lr_scenario::spec::ScenarioSpec;
 //! use lr_scenario::sweep::{run_sweep, SweepOptions};
@@ -50,9 +59,13 @@
 
 pub mod engine;
 pub mod spec;
+pub mod stats;
 pub mod sweep;
 pub mod topology;
 
 pub use engine::{run_scenario, RunOutcome, ScenarioError};
-pub use spec::{ScenarioSpec, SpecError};
-pub use sweep::{render_table, run_sweep, SweepOptions, SweepOutcome};
+pub use spec::{MatrixPoint, MatrixSpec, ScenarioSpec, SpecError};
+pub use sweep::{
+    render_matrix_table, render_table, run_matrix_sweep, run_sweep, MatrixOptions, MatrixOutcome,
+    SweepOptions, SweepOutcome,
+};

@@ -1,12 +1,49 @@
-//! The sweep runner: `seeds × trials` deterministic executions of one
-//! spec, structured rows out.
+//! The sweep executors: the serial `seeds × trials` runner behind
+//! `lr scenario run`, and the **parallel matrix-sweep executor** behind
+//! `lr scenario sweep`.
+//!
+//! ## The parallel executor
+//!
+//! [`run_matrix_sweep`] expands a spec's `matrix` section into its
+//! [`MatrixPoint`]s ([`ScenarioSpec::expand_matrix`]), turns
+//! `points × seeds × trials` into a flat work queue of independent
+//! **cells**, and fans the cells out over crossbeam-scoped workers
+//! pulling from a shared atomic cursor. Each cell is one
+//! [`run_scenario`] call — a pure function of `(spec, seed, trial)` —
+//! so workers share nothing but the queue.
+//!
+//! ## Determinism
+//!
+//! Completion order is scheduler-dependent; the *merge* is not. Every
+//! cell carries its canonical index (matrix index ≻ seed ≻ trial), and
+//! an in-order reorder-buffer folder merges cell summaries into the
+//! streaming statistics ([`crate::stats::PointStats`]) strictly in
+//! canonical index order — the serial and parallel paths execute the
+//! exact same reduce-and-merge operations in the exact same order.
+//! Errors follow the same rule: the reported failure is the one from
+//! the lowest-indexed failing cell. A sweep at `--threads 8` is
+//! therefore **bit-identical** — merged rows, summary JSON, and error
+//! — to the same sweep at `--threads 1` (enforced per protocol by
+//! `tests/equivalence.rs`).
+//!
+//! Memory stays O(metrics): each finished cell is reduced to a
+//! fixed-size summary *in the worker* (its record rows are dropped on
+//! the spot) and parked in the reorder buffer only until its canonical
+//! turn. A backpressure window keeps workers from running more than
+//! O(threads) cells ahead of the fold cursor, so the buffer is bounded
+//! and peak memory is O(points + threads), never O(cells × rows).
 
-use lr_bench::trajectory::ScenarioRecord;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use lr_bench::trajectory::{ScenarioRecord, SweepRecord};
 
 use crate::engine::{run_scenario, RunOutcome, ScenarioError};
-use crate::spec::ScenarioSpec;
+use crate::spec::{MatrixPoint, ScenarioSpec};
+use crate::stats::PointStats;
 
-/// Sweep execution options.
+/// Sweep execution options (the serial runner).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SweepOptions {
     /// Smoke mode: run only the first seed's first trial and mark every
@@ -15,7 +52,7 @@ pub struct SweepOptions {
     pub smoke: bool,
 }
 
-/// The outcome of a full sweep.
+/// The outcome of a full serial sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepOutcome {
     /// Every run's rows, in `(seed, trial)` order.
@@ -25,33 +62,359 @@ pub struct SweepOutcome {
     pub runs: Vec<RunOutcome>,
 }
 
-/// Runs the whole sweep declared by `spec`.
+/// Runs the whole `seeds × trials` sweep declared by `spec`, serially,
+/// retaining every row (the `lr scenario run` path — per-event rows are
+/// the product). Matrix expansion is [`run_matrix_sweep`]'s job.
 ///
 /// # Errors
 ///
 /// Propagates the first [`ScenarioError`] (invalid spec for some seed,
-/// or a network that refused to quiesce).
+/// or a network that refused to quiesce). A spec that declares a
+/// `matrix` is rejected outright — silently running only its base
+/// point would hand back rows the caller believes cover the grid.
 pub fn run_sweep(
     spec: &ScenarioSpec,
     options: SweepOptions,
 ) -> Result<SweepOutcome, ScenarioError> {
+    if spec.matrix.is_some() {
+        return Err(ScenarioError(
+            "spec declares a matrix; run it with run_matrix_sweep (CLI: `lr scenario sweep`)"
+                .into(),
+        ));
+    }
     // Smoke is an explicit caller decision (the CLI's --smoke flag);
     // the library deliberately ignores LR_BENCH_SMOKE so sweeps never
     // shrink because of ambient environment.
     let smoke = options.smoke;
-    let seeds: &[u64] = if smoke { &spec.seeds[..1] } else { &spec.seeds };
-    let trials = if smoke { 1 } else { spec.trials };
     let mut records = Vec::new();
     let mut runs = Vec::new();
-    for &seed in seeds {
-        for trial in 0..trials {
-            let outcome = run_scenario(spec, seed, trial, smoke)?;
-            records.extend(outcome.records.iter().cloned());
-            runs.push(outcome);
-        }
+    for &(seed, trial) in &spec.sweep_runs(smoke) {
+        let outcome = run_scenario(spec, seed, trial, smoke)?;
+        records.extend(outcome.records.iter().cloned());
+        runs.push(outcome);
     }
     Ok(SweepOutcome { records, runs })
 }
+
+// ───────────────────────── matrix sweep ─────────────────────────
+
+/// Matrix-sweep execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixOptions {
+    /// Worker threads pulling cells from the queue. 1 = run every cell
+    /// on the caller's thread (the serial reference the equivalence
+    /// suite compares against).
+    pub threads: usize,
+    /// Smoke mode: one cell (first seed, first trial) per matrix point.
+    pub smoke: bool,
+}
+
+impl Default for MatrixOptions {
+    fn default() -> Self {
+        MatrixOptions {
+            threads: 1,
+            smoke: false,
+        }
+    }
+}
+
+/// The outcome of a matrix sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixOutcome {
+    /// The expanded grid, in canonical order.
+    pub points: Vec<MatrixPoint>,
+    /// Cells executed (`points × seeds × trials`, smoke-shrunk).
+    pub cells: usize,
+    /// One streaming-summary row per matrix point plus the final
+    /// whole-sweep roll-up row — the `BENCH_pr5.json` payload.
+    pub records: Vec<SweepRecord>,
+}
+
+/// One unit of sweep work: a `(matrix point, seed, trial)` cell. The
+/// position in the cell vector is its canonical merge index.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    point: usize,
+    seed: u64,
+    trial: usize,
+}
+
+/// Expands the matrix and runs every cell, fanning out over
+/// `options.threads` crossbeam-scoped workers, then folds results in
+/// canonical order into per-point and whole-sweep streaming summaries.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing cell (deterministic
+/// across thread counts), or the expansion error for an invalid matrix.
+pub fn run_matrix_sweep(
+    spec: &ScenarioSpec,
+    options: MatrixOptions,
+) -> Result<MatrixOutcome, ScenarioError> {
+    let smoke = options.smoke;
+    let points = spec.expand_matrix()?;
+    let cells: Vec<Cell> = points
+        .iter()
+        .flat_map(|p| {
+            p.spec
+                .sweep_runs(smoke)
+                .into_iter()
+                .map(move |(seed, trial)| Cell {
+                    point: p.index,
+                    seed,
+                    trial,
+                })
+        })
+        .collect();
+
+    let point_stats = run_and_fold(&points, &cells, spec.settle, options.threads.max(1), smoke)?;
+
+    // Row metadata mirrors the smoke shrink of `sweep_runs` (first
+    // seed, first trial); counting the runs themselves would misreport
+    // under duplicate seeds.
+    let (seeds, trials) = if smoke {
+        (1, 1)
+    } else {
+        (spec.seeds.len(), spec.trials)
+    };
+    let mut sweep_total = PointStats::new(spec.settle);
+    let mut records = Vec::with_capacity(points.len() + 1);
+    for (point, stats) in points.iter().zip(&point_stats) {
+        sweep_total.merge(stats);
+        let link = point.spec.links.default;
+        records.push(summary_record(
+            spec,
+            stats,
+            SummaryIdent {
+                row: "point",
+                point_index: point.index,
+                label: &point.label,
+                protocol: point.spec.protocol.name(),
+                family: point.spec.topology.family_name(),
+                delay: link.delay,
+                jitter: link.jitter,
+                loss: link.loss,
+                churn_scale: point.churn_scale,
+                seeds,
+                trials,
+            },
+            smoke,
+        ));
+    }
+    records.push(summary_record(
+        spec,
+        &sweep_total,
+        SummaryIdent {
+            row: "sweep",
+            point_index: points.len(),
+            label: "sweep",
+            protocol: "*",
+            family: "*",
+            delay: 0,
+            jitter: 0,
+            loss: 0.0,
+            churn_scale: 0,
+            seeds,
+            trials,
+        },
+        smoke,
+    ));
+    Ok(MatrixOutcome {
+        cells: cells.len(),
+        points,
+        records,
+    })
+}
+
+/// Reduces one finished cell to its fixed-size streaming summary. The
+/// full record rows are dropped right here, in the worker — this is
+/// what keeps sweep memory bounded by summaries instead of rows.
+fn reduce_cell(settle: u64, outcome: &RunOutcome) -> PointStats {
+    let mut stats = PointStats::new(settle);
+    stats.absorb_cell(&outcome.records);
+    stats
+}
+
+/// The in-order streaming folder: cell summaries merge into their
+/// point's accumulator strictly in canonical index order, no matter
+/// which worker finishes first. Early arrivals park in a reorder
+/// buffer — bounded at O(threads) entries by the workers'
+/// backpressure window, each a fixed-size summary — until the gap
+/// fills. The drain is sequential, so the first error it meets is the
+/// lowest-indexed failing cell's.
+struct Folder {
+    /// Next cell index to fold.
+    next: usize,
+    /// Finished-but-out-of-order cells.
+    parked: BTreeMap<usize, Result<PointStats, ScenarioError>>,
+    /// Cell index → matrix point index.
+    cell_points: Vec<usize>,
+    /// Per-point accumulators (the fold target).
+    points: Vec<PointStats>,
+    /// The lowest-indexed cell error, if any.
+    error: Option<ScenarioError>,
+}
+
+impl Folder {
+    fn new(settle: u64, point_count: usize, cell_points: Vec<usize>) -> Self {
+        Folder {
+            next: 0,
+            parked: BTreeMap::new(),
+            cell_points,
+            points: (0..point_count).map(|_| PointStats::new(settle)).collect(),
+            error: None,
+        }
+    }
+
+    fn submit(&mut self, index: usize, result: Result<PointStats, ScenarioError>) {
+        self.parked.insert(index, result);
+        while let Some(result) = self.parked.remove(&self.next) {
+            match result {
+                Ok(stats) => self.points[self.cell_points[self.next]].merge(&stats),
+                Err(e) => {
+                    if self.error.is_none() {
+                        self.error = Some(e);
+                    }
+                }
+            }
+            self.next += 1;
+        }
+    }
+}
+
+/// Runs every cell and streams the results through the canonical-order
+/// [`Folder`]. With one thread the cells run inline on the caller's
+/// thread (a genuinely serial execution that stops at the first error);
+/// otherwise workers pull from a shared atomic cursor, reduce each cell
+/// on the spot, and submit the summary to the shared folder.
+fn run_and_fold(
+    points: &[MatrixPoint],
+    cells: &[Cell],
+    settle: u64,
+    threads: usize,
+    smoke: bool,
+) -> Result<Vec<PointStats>, ScenarioError> {
+    let run_cell = |c: &Cell| {
+        run_scenario(&points[c.point].spec, c.seed, c.trial, smoke)
+            .map(|outcome| reduce_cell(settle, &outcome))
+    };
+    let cell_points: Vec<usize> = cells.iter().map(|c| c.point).collect();
+    let mut folder = Mutex::new(Folder::new(settle, points.len(), cell_points));
+    if threads == 1 {
+        let folder = folder.get_mut().expect("unshared folder");
+        for (i, cell) in cells.iter().enumerate() {
+            folder.submit(i, run_cell(cell));
+            if folder.error.is_some() {
+                break;
+            }
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        // A worker never runs a cell more than this far ahead of the
+        // fold cursor; without the bound, one straggler cell would let
+        // the other workers park O(cells) summaries in the reorder
+        // buffer. The worker holding the cursor's own cell is always
+        // within the window, so the fold can never deadlock. Waiters
+        // block on the condvar (cells are whole simulations — spinning
+        // would burn a core for seconds) and are woken by every
+        // submit. An error recorded by the folder also wakes and
+        // releases them — mirroring the serial early break; error
+        // determinism is unaffected, because the in-order drain can
+        // only record an error after every lower-indexed cell has
+        // been folded.
+        let window = threads * 4;
+        let ready = Condvar::new();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    {
+                        let guard = folder.lock().expect("no poisoned workers");
+                        let guard = ready
+                            .wait_while(guard, |f| f.error.is_none() && i > f.next + window)
+                            .expect("no poisoned waiters");
+                        if guard.error.is_some() {
+                            break;
+                        }
+                    }
+                    // Run and reduce outside the lock; the fold itself
+                    // is cheap (three sketch merges).
+                    let reduced = run_cell(&cells[i]);
+                    folder
+                        .lock()
+                        .expect("no poisoned workers")
+                        .submit(i, reduced);
+                    ready.notify_all();
+                });
+            }
+        })
+        .expect("scoped sweep workers run");
+    }
+    let folder = folder.into_inner().expect("workers joined");
+    match folder.error {
+        Some(e) => Err(e),
+        None => Ok(folder.points),
+    }
+}
+
+/// Identification half of a summary row (the stats half comes from
+/// [`PointStats`]).
+struct SummaryIdent<'a> {
+    row: &'a str,
+    point_index: usize,
+    label: &'a str,
+    protocol: &'a str,
+    family: &'a str,
+    delay: u64,
+    jitter: u64,
+    loss: f64,
+    churn_scale: u64,
+    seeds: usize,
+    trials: usize,
+}
+
+fn summary_record(
+    spec: &ScenarioSpec,
+    stats: &PointStats,
+    ident: SummaryIdent<'_>,
+    smoke: bool,
+) -> SweepRecord {
+    SweepRecord {
+        sweep: spec.name.clone(),
+        row: ident.row.to_string(),
+        point_index: ident.point_index,
+        label: ident.label.to_string(),
+        protocol: ident.protocol.to_string(),
+        family: ident.family.to_string(),
+        delay: ident.delay,
+        jitter: ident.jitter,
+        loss: ident.loss,
+        churn_scale: ident.churn_scale,
+        cells: stats.cells,
+        seeds: ident.seeds,
+        trials: ident.trials,
+        conv_count: stats.convergence.moments.count(),
+        conv_mean: stats.convergence.moments.mean(),
+        conv_std: stats.convergence.moments.std_dev(),
+        conv_p50: stats.convergence.quantile(0.5),
+        conv_p90: stats.convergence.quantile(0.9),
+        conv_max: stats.convergence.moments.max(),
+        stretch_mean: stats.stretch.moments.mean(),
+        stretch_p90: stats.stretch.quantile(0.9),
+        delivery_mean: stats.delivery.moments.mean(),
+        delivery_min: stats.delivery.moments.min(),
+        messages: stats.messages,
+        total_reversals: stats.total_reversals,
+        quiesced_all: stats.quiesced_all,
+        acyclic_all: stats.acyclic_all,
+        smoke,
+    }
+}
+
+// ───────────────────────── rendering ─────────────────────────
 
 /// Renders sweep rows as a fixed-width text table (the CLI's stdout
 /// artifact; the JSON rows are the machine-readable one).
@@ -87,6 +450,52 @@ pub fn render_table(records: &[ScenarioRecord]) -> String {
             r.messages.to_string(),
             r.total_reversals.to_string(),
             r.acyclic.to_string(),
+        ];
+        for (w, c) in widths.iter().zip(cells) {
+            let _ = write!(out, "{c:>w$} ", w = w);
+        }
+        out.truncate(out.trim_end().len());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders matrix-sweep summary rows as a fixed-width text table.
+pub fn render_matrix_table(records: &[SweepRecord]) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let header = [
+        "idx",
+        "label",
+        "cells",
+        "conv.mean",
+        "conv.p90",
+        "stretch",
+        "dlv.mean",
+        "quiet",
+        "acyclic",
+    ];
+    let widths = [4usize, 52, 6, 10, 9, 8, 9, 6, 7];
+    for (w, h) in widths.iter().zip(header) {
+        let _ = write!(out, "{h:>w$} ", w = w);
+    }
+    out.truncate(out.trim_end().len());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for r in records {
+        let cells = [
+            r.point_index.to_string(),
+            r.label.clone(),
+            r.cells.to_string(),
+            format!("{:.1}", r.conv_mean),
+            format!("{:.1}", r.conv_p90),
+            format!("{:.2}", r.stretch_mean),
+            format!("{:.2}", r.delivery_mean),
+            r.quiesced_all.to_string(),
+            r.acyclic_all.to_string(),
         ];
         for (w, c) in widths.iter().zip(cells) {
             let _ = write!(out, "{c:>w$} ", w = w);

@@ -3,8 +3,8 @@
 //! actionable [`SpecError`]s — never panics.
 
 use lr_scenario::spec::{
-    ChurnEvent, ChurnKind, LinkOverride, LinkSpec, LinksSpec, ProtocolKind, ScenarioSpec, Sources,
-    SpecError, TopologySpec, TrafficSpec,
+    ChurnEvent, ChurnKind, LinkOverride, LinkSpec, LinksSpec, MatrixSpec, ProtocolKind,
+    ScenarioSpec, Sources, SpecError, TopologySpec, TrafficSpec,
 };
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -98,6 +98,36 @@ fn spec_from_entropy(e: (u64, u64, u64, u64, u64)) -> ScenarioSpec {
             },
         }]
     };
+    // Roughly half the specs carry a matrix section, so the round-trip
+    // property covers every axis of the grid grammar too. Axis entries
+    // are kept protocol-compatible with the base churn/traffic (random
+    // churn + routing/reversal work with everything above except the
+    // mutex base, which has no churn).
+    let matrix = if f % 2 == 0 {
+        None
+    } else {
+        Some(MatrixSpec {
+            protocols: if protocol == ProtocolKind::Mutex || churn.is_empty() {
+                Vec::new()
+            } else {
+                vec![ProtocolKind::Routing, ProtocolKind::Reversal]
+            },
+            topologies: if f % 4 == 1 {
+                vec![
+                    TopologySpec::ChainAway { n: 4 },
+                    TopologySpec::Grid { rows: 2, cols: 3 },
+                ]
+            } else {
+                Vec::new()
+            },
+            links: vec![LinkSpec {
+                delay: 1 + f % 4,
+                jitter: f % 3,
+                loss: (f % 4) as f64 / 20.0,
+            }],
+            churn_scales: if f % 4 == 3 { vec![1, 2] } else { Vec::new() },
+        })
+    };
     ScenarioSpec {
         name: format!("prop-{}", a % 1000),
         protocol,
@@ -116,6 +146,7 @@ fn spec_from_entropy(e: (u64, u64, u64, u64, u64)) -> ScenarioSpec {
         seeds: vec![b % 100, 1000 + c % 100],
         max_events: 1_000_000,
         settle: 100 + f % 1000,
+        matrix,
     }
 }
 

@@ -1,0 +1,181 @@
+//! Property tests for the streaming-statistics merge: folding cell
+//! accumulators in *any* order agrees with a single sequential pass —
+//! exactly for integer state (counts, quantile bins) and min/max, to
+//! tight floating-point tolerance for mean/M2 — plus the empty and
+//! singleton identities the sweep executor's canonical fold relies on.
+
+use lr_scenario::stats::{FixedGridQuantiles, MetricSketch, Moments};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic sample vector from entropy: values spread across (and
+/// beyond) the quantile grid used below.
+fn samples(seed: u64, len: usize) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| (rng.gen_range(0u64..2_000_000) as f64) / 1000.0 - 200.0)
+        .collect()
+}
+
+/// Deterministic permutation of `0..n` (Fisher–Yates over the vendored
+/// RNG; the vendored proptest has no `prop_shuffle`).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Splits `xs` into `chunks` contiguous chunks (possibly empty — empty
+/// cells must merge as identities).
+fn chunked(xs: &[f64], chunks: usize) -> Vec<&[f64]> {
+    let chunks = chunks.max(1);
+    let per = xs.len().div_ceil(chunks).max(1);
+    let mut out: Vec<&[f64]> = xs.chunks(per).collect();
+    while out.len() < chunks {
+        out.push(&[]);
+    }
+    out
+}
+
+const GRID_LO: f64 = 0.0;
+const GRID_HI: f64 = 1000.0;
+
+fn sketch_of(xs: &[f64]) -> MetricSketch {
+    let mut s = MetricSketch::new(GRID_LO, GRID_HI);
+    for &x in xs {
+        s.push(x);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Folding per-chunk accumulators in a shuffled order reproduces
+    /// the single-pass result: exactly for count/min/max and every
+    /// quantile bin, to 1e-9 relative tolerance for mean/std (f64
+    /// addition is not associative, which is exactly why the sweep
+    /// executor folds in canonical order).
+    #[test]
+    fn shuffled_merge_agrees_with_single_pass(
+        seed in any::<u64>(),
+        len in 1usize..400,
+        chunks in 1usize..12,
+        order_seed in any::<u64>(),
+    ) {
+        let xs = samples(seed, len);
+        let single = sketch_of(&xs);
+        let parts: Vec<MetricSketch> = chunked(&xs, chunks).iter().map(|c| sketch_of(c)).collect();
+        let mut folded = MetricSketch::new(GRID_LO, GRID_HI);
+        for &i in &permutation(parts.len(), order_seed) {
+            folded.merge(&parts[i]);
+        }
+        // Integer state merges exactly, in any order.
+        prop_assert_eq!(folded.moments.count(), single.moments.count());
+        prop_assert_eq!(folded.quantiles.clone(), single.quantiles.clone());
+        prop_assert_eq!(folded.moments.min(), single.moments.min());
+        prop_assert_eq!(folded.moments.max(), single.moments.max());
+        // Floating-point moments merge up to rounding.
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()));
+        prop_assert!(
+            close(folded.moments.mean(), single.moments.mean()),
+            "mean {} vs {}", folded.moments.mean(), single.moments.mean()
+        );
+        prop_assert!(
+            close(folded.moments.std_dev(), single.moments.std_dev()),
+            "std {} vs {}", folded.moments.std_dev(), single.moments.std_dev()
+        );
+        // Quantiles derive from bins alone, so they agree exactly.
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            prop_assert_eq!(folded.quantiles.quantile(q), single.quantiles.quantile(q));
+        }
+    }
+
+    /// Associativity to the same tolerances: (a ∪ b) ∪ c = a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(seed in any::<u64>(), len in 3usize..300) {
+        let xs = samples(seed, len);
+        let third = len / 3;
+        let (a, b, c) = (
+            sketch_of(&xs[..third]),
+            sketch_of(&xs[third..2 * third]),
+            sketch_of(&xs[2 * third..]),
+        );
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.moments.count(), right.moments.count());
+        prop_assert_eq!(left.moments.min(), right.moments.min());
+        prop_assert_eq!(left.moments.max(), right.moments.max());
+        prop_assert_eq!(left.quantiles, right.quantiles);
+        let close = |x: f64, y: f64| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()));
+        prop_assert!(close(left.moments.mean(), right.moments.mean()));
+        prop_assert!(close(left.moments.variance(), right.moments.variance()));
+    }
+
+    /// The empty accumulator is a two-sided identity, bit-for-bit.
+    #[test]
+    fn empty_is_a_merge_identity(seed in any::<u64>(), len in 0usize..200) {
+        let xs = samples(seed, len);
+        let acc = sketch_of(&xs);
+        let mut right = acc.clone();
+        right.merge(&MetricSketch::new(GRID_LO, GRID_HI));
+        prop_assert_eq!(&right, &acc, "acc ∪ ∅ = acc");
+        let mut left = MetricSketch::new(GRID_LO, GRID_HI);
+        left.merge(&acc);
+        prop_assert_eq!(&left, &acc, "∅ ∪ acc = acc");
+    }
+
+    /// Folding singletons in sample order is *bit-identical* to
+    /// pushing: `push` is defined as the singleton merge, so the serial
+    /// pass and a one-cell-at-a-time canonical fold cannot diverge.
+    #[test]
+    fn singleton_folds_match_pushes_exactly(seed in any::<u64>(), len in 0usize..200) {
+        let xs = samples(seed, len);
+        let pushed = sketch_of(&xs);
+        let mut folded = MetricSketch::new(GRID_LO, GRID_HI);
+        for &x in &xs {
+            let mut one = Moments::new();
+            one.push(x);
+            prop_assert_eq!(one, Moments::of(x), "push on empty = singleton");
+            let single = sketch_of(&[x]);
+            folded.merge(&single);
+        }
+        prop_assert_eq!(folded, pushed);
+    }
+
+    /// Quantile estimates are sound: within one bin width of the exact
+    /// empirical quantile for in-range samples.
+    #[test]
+    fn quantile_estimates_stay_within_one_bin(seed in any::<u64>(), len in 1usize..300) {
+        let xs: Vec<f64> = samples(seed, len)
+            .into_iter()
+            .map(|x| x.clamp(GRID_LO, GRID_HI))
+            .collect();
+        let mut q = FixedGridQuantiles::new(GRID_LO, GRID_HI);
+        for &x in &xs {
+            q.push(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let bin_width = (GRID_HI - GRID_LO) / 64.0;
+        for target in [0.1, 0.5, 0.9] {
+            let rank = ((target * len as f64).ceil() as usize).max(1) - 1;
+            let exact = sorted[rank.min(len - 1)];
+            let est = q.quantile(target);
+            prop_assert!(
+                (est - exact).abs() <= bin_width + 1e-9,
+                "q{target}: estimate {est} vs exact {exact} (±{bin_width})"
+            );
+        }
+    }
+}

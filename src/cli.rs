@@ -60,6 +60,12 @@ USAGE:
     lr scenario run <spec>...         run scenario sweeps; rows append to
                                       BENCH_pr4.json (--smoke: first seed/trial
                                       only; --no-append: skip the trajectory)
+    lr scenario sweep <spec>...       expand the spec's matrix grid and run
+                                      every point x seeds x trials cell
+                                      (--threads N: parallel workers, merged
+                                      rows bit-identical at any N; --smoke;
+                                      --no-append); summaries append to
+                                      BENCH_pr5.json
 ";
 
 fn parse_alg(s: &str) -> Result<AlgorithmKind, CliError> {
@@ -241,37 +247,112 @@ fn cmd_check(stdin: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_scenario(args: &[&str]) -> Result<String, CliError> {
-    use lr_bench::trajectory::{
-        append_records_to, load_records_from, trajectory_path_named, ScenarioRecord,
-        SCENARIO_TRAJECTORY,
-    };
-    use lr_scenario::spec::ScenarioSpec;
-    use lr_scenario::sweep::{render_table, run_sweep, SweepOptions};
+/// Parsed flags of a `lr scenario <sub>` invocation.
+struct ScenarioFlags {
+    smoke: bool,
+    append: bool,
+    threads: usize,
+    paths: Vec<String>,
+}
 
-    let (sub, rest) = args.split_first().ok_or_else(|| {
-        err(format!(
-            "scenario needs a subcommand (run | validate)\n\n{USAGE}"
-        ))
-    })?;
-    let (flags, paths): (Vec<&str>, Vec<&str>) = rest.iter().partition(|a| a.starts_with("--"));
-    let allowed_flags: &[&str] = match *sub {
-        "run" => &["--smoke", "--no-append"],
-        "validate" => &[],
-        other => {
-            return Err(err(format!(
-                "unknown scenario subcommand {other:?} (expected run or validate)"
+/// Parses scenario flags against the subcommand's allowlist.
+/// `--threads` (sweep only) takes a value, either as the next argument
+/// or as `--threads=N`.
+fn parse_scenario_flags(
+    sub: &str,
+    rest: &[&str],
+    allowed: &[&str],
+) -> Result<ScenarioFlags, CliError> {
+    let mut flags = ScenarioFlags {
+        smoke: false,
+        append: true,
+        threads: 1,
+        paths: Vec::new(),
+    };
+    let reject = |flag: &str| -> Result<(), CliError> {
+        if allowed.contains(&flag) {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "unknown flag {flag:?} for `lr scenario {sub}`"
             )))
         }
     };
-    if let Some(flag) = flags.iter().find(|f| !allowed_flags.contains(*f)) {
-        return Err(err(format!(
-            "unknown flag {flag:?} for `lr scenario {sub}`"
-        )));
+    let parse_threads = |value: &str| -> Result<usize, CliError> {
+        let n: usize = value
+            .parse()
+            .map_err(|_| err(format!("--threads needs a positive integer, got {value:?}")))?;
+        if n == 0 {
+            return Err(err("--threads must be at least 1"));
+        }
+        Ok(n)
+    };
+    let mut it = rest.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--smoke" => {
+                reject("--smoke")?;
+                flags.smoke = true;
+            }
+            "--no-append" => {
+                reject("--no-append")?;
+                flags.append = false;
+            }
+            "--threads" => {
+                reject("--threads")?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| err("--threads needs a value (worker thread count)"))?;
+                flags.threads = parse_threads(value)?;
+            }
+            a => {
+                if let Some(value) = a.strip_prefix("--threads=") {
+                    if !allowed.contains(&"--threads") {
+                        // Echo the flag as the user typed it, = and all.
+                        return Err(err(format!("unknown flag {a:?} for `lr scenario {sub}`")));
+                    }
+                    flags.threads = parse_threads(value)?;
+                } else if a.starts_with("--") {
+                    reject(a)?;
+                } else {
+                    flags.paths.push(a.to_string());
+                }
+            }
+        }
     }
-    if paths.is_empty() {
+    if flags.paths.is_empty() {
         return Err(err(format!("scenario {sub} needs at least one spec file")));
     }
+    Ok(flags)
+}
+
+fn cmd_scenario(args: &[&str]) -> Result<String, CliError> {
+    use lr_bench::trajectory::{
+        append_records_to, load_records_from, trajectory_path_named, ScenarioRecord, SweepRecord,
+        SCENARIO_TRAJECTORY, SWEEP_TRAJECTORY,
+    };
+    use lr_scenario::spec::ScenarioSpec;
+    use lr_scenario::sweep::{
+        render_matrix_table, render_table, run_matrix_sweep, run_sweep, MatrixOptions, SweepOptions,
+    };
+
+    let (sub, rest) = args.split_first().ok_or_else(|| {
+        err(format!(
+            "scenario needs a subcommand (run | sweep | validate)\n\n{USAGE}"
+        ))
+    })?;
+    let allowed_flags: &[&str] = match *sub {
+        "run" => &["--smoke", "--no-append"],
+        "sweep" => &["--smoke", "--no-append", "--threads"],
+        "validate" => &[],
+        other => {
+            return Err(err(format!(
+                "unknown scenario subcommand {other:?} (expected run, sweep, or validate)"
+            )))
+        }
+    };
+    let flags = parse_scenario_flags(sub, rest, allowed_flags)?;
+    let paths: Vec<&str> = flags.paths.iter().map(String::as_str).collect();
     // `validate` cross-checks the topology here; `run` leaves that to
     // run_scenario, which validates each (seed, trial) instance anyway
     // — doing both would build every topology twice.
@@ -284,15 +365,46 @@ fn cmd_scenario(args: &[&str]) -> Result<String, CliError> {
         }
         Ok(spec)
     };
+    // Shared tail of `run` and `sweep`: the re-parse gate the CI smoke
+    // steps rely on — whatever was just appended must still read back.
+    // `reparse` supplies the record-type-specific load (serde is not a
+    // direct dependency of this crate, so the type stays at the call
+    // site).
+    fn report_trajectory(
+        out: &mut String,
+        trajectory: &std::path::Path,
+        all_rows: usize,
+        append: bool,
+        noun: &str,
+        reparse: impl Fn(&std::path::Path) -> Result<usize, String>,
+    ) -> Result<(), CliError> {
+        if append {
+            let total =
+                reparse(trajectory).map_err(|e| err(format!("trajectory re-parse failed: {e}")))?;
+            let _ = writeln!(
+                out,
+                "{all_rows} {noun}(s) appended to {} ({total} total, re-parsed OK)",
+                trajectory.display()
+            );
+        } else {
+            let _ = writeln!(out, "{all_rows} {noun}(s) (append skipped)");
+        }
+        Ok(())
+    }
+
     let mut out = String::new();
     match *sub {
         "validate" => {
             for path in &paths {
                 let spec = load(path, true)?;
+                let matrix_note = match &spec.matrix {
+                    Some(m) => format!(", matrix of {} point(s)", m.point_count()),
+                    None => String::new(),
+                };
                 let _ = writeln!(
                     out,
                     "{path}: OK — scenario {:?} ({} on {}, {} churn event(s), {} seed(s) × {} \
-                     trial(s))",
+                     trial(s){matrix_note})",
                     spec.name,
                     spec.protocol.name(),
                     spec.topology.family_name(),
@@ -303,38 +415,66 @@ fn cmd_scenario(args: &[&str]) -> Result<String, CliError> {
             }
         }
         "run" => {
-            let options = SweepOptions {
-                smoke: flags.contains(&"--smoke"),
-            };
-            let append = !flags.contains(&"--no-append");
+            let options = SweepOptions { smoke: flags.smoke };
             let trajectory = trajectory_path_named(SCENARIO_TRAJECTORY);
             let mut all_rows = 0usize;
             for path in &paths {
                 let spec = load(path, false)?;
+                if spec.matrix.is_some() {
+                    return Err(err(format!(
+                        "{path}: spec declares a matrix; use `lr scenario sweep`"
+                    )));
+                }
                 let outcome = run_sweep(&spec, options).map_err(|e| err(format!("{path}: {e}")))?;
                 let _ = writeln!(out, "scenario {:?} ({path})", spec.name);
                 out.push_str(&render_table(&outcome.records));
                 out.push('\n');
                 all_rows += outcome.records.len();
-                if append {
+                if flags.append {
                     append_records_to(&trajectory, &outcome.records)
                         .map_err(|e| err(format!("{path}: {e}")))?;
                 }
             }
-            if append {
-                // The parse gate the CI smoke step relies on: whatever
-                // was just appended must still read back.
-                let total = load_records_from::<ScenarioRecord>(&trajectory)
-                    .map_err(|e| err(format!("trajectory re-parse failed: {e}")))?
-                    .len();
+            report_trajectory(&mut out, &trajectory, all_rows, flags.append, "row", |p| {
+                load_records_from::<ScenarioRecord>(p).map(|v| v.len())
+            })?;
+        }
+        "sweep" => {
+            let options = MatrixOptions {
+                threads: flags.threads,
+                smoke: flags.smoke,
+            };
+            let trajectory = trajectory_path_named(SWEEP_TRAJECTORY);
+            let mut all_rows = 0usize;
+            for path in &paths {
+                let spec = load(path, false)?;
+                let outcome =
+                    run_matrix_sweep(&spec, options).map_err(|e| err(format!("{path}: {e}")))?;
                 let _ = writeln!(
                     out,
-                    "{all_rows} row(s) appended to {} ({total} total, re-parsed OK)",
-                    trajectory.display()
+                    "sweep {:?} ({path}): matrix expanded to {} point(s) = {} cell(s), \
+                     {} thread(s)",
+                    spec.name,
+                    outcome.points.len(),
+                    outcome.cells,
+                    flags.threads,
                 );
-            } else {
-                let _ = writeln!(out, "{all_rows} row(s) (append skipped)");
+                out.push_str(&render_matrix_table(&outcome.records));
+                out.push('\n');
+                all_rows += outcome.records.len();
+                if flags.append {
+                    append_records_to(&trajectory, &outcome.records)
+                        .map_err(|e| err(format!("{path}: {e}")))?;
+                }
             }
+            report_trajectory(
+                &mut out,
+                &trajectory,
+                all_rows,
+                flags.append,
+                "summary row",
+                |p| load_records_from::<SweepRecord>(p).map(|v| v.len()),
+            )?;
         }
         _ => unreachable!("subcommand checked above"),
     }
@@ -472,6 +612,67 @@ mod tests {
         assert!(run_cli(&["scenario", "validate", "--smoke", "x.json"], "").is_err());
         let e = run_cli(&["scenario", "run", "/nonexistent/spec.json"], "").unwrap_err();
         assert!(e.0.contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn scenario_sweep_smoke_runs_the_matrix_example() {
+        let path = example_spec("matrix_sweep.json");
+        for threads_args in [&["--threads", "2"][..], &["--threads=2"][..]] {
+            let mut args = vec!["scenario", "sweep", "--smoke", "--no-append"];
+            args.extend_from_slice(threads_args);
+            args.push(&path);
+            let out = run_cli(&args, "").unwrap();
+            assert!(
+                out.contains("matrix expanded to 24 point(s) = 24 cell(s)"),
+                "{out}"
+            );
+            assert!(out.contains("2 thread(s)"), "{out}");
+            assert!(out.contains("append skipped"), "{out}");
+            // One (right-aligned, hence indented) table row per point
+            // plus the whole-sweep roll-up.
+            let data_rows = out
+                .lines()
+                .filter(|l| {
+                    l.starts_with(' ')
+                        && l.trim_start()
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_ascii_digit())
+                })
+                .count();
+            assert_eq!(data_rows, 25, "24 points + 1 sweep roll-up:\n{out}");
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_rejects_bad_threads() {
+        let path = example_spec("matrix_sweep.json");
+        let e = run_cli(&["scenario", "sweep", "--threads", "0", &path], "").unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        let e = run_cli(&["scenario", "sweep", "--threads", "nope", &path], "").unwrap_err();
+        assert!(e.0.contains("positive integer"), "{e}");
+        let e = run_cli(&["scenario", "sweep", &path, "--threads"], "").unwrap_err();
+        assert!(e.0.contains("needs a value"), "{e}");
+        // --threads belongs to sweep, not run — both spellings, echoed
+        // as typed.
+        let e = run_cli(&["scenario", "run", "--threads", "2", &path], "").unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
+        let e = run_cli(&["scenario", "run", "--threads=2", &path], "").unwrap_err();
+        assert!(e.0.contains("\"--threads=2\""), "{e}");
+    }
+
+    #[test]
+    fn scenario_run_redirects_matrix_specs_to_sweep() {
+        let path = example_spec("matrix_sweep.json");
+        let e = run_cli(&["scenario", "run", "--smoke", "--no-append", &path], "").unwrap_err();
+        assert!(e.0.contains("use `lr scenario sweep`"), "{e}");
+    }
+
+    #[test]
+    fn scenario_validate_reports_the_matrix_point_count() {
+        let path = example_spec("matrix_sweep.json");
+        let out = run_cli(&["scenario", "validate", &path], "").unwrap();
+        assert!(out.contains("matrix of 24 point(s)"), "{out}");
     }
 
     #[test]

@@ -113,12 +113,25 @@ fn scenario_validate_and_smoke_run_the_shipped_examples() {
     assert!(ok, "validate failed: {stderr}");
     assert_eq!(out.matches(": OK").count(), specs.len(), "{out}");
 
-    // Smoke run without touching the committed trajectory.
+    // Smoke run without touching the committed trajectory. Specs with
+    // a matrix section go through `scenario sweep` instead (and `run`
+    // refuses them, tested elsewhere). Classified structurally —
+    // parsed, not substring-matched — so a spec merely *named*
+    // "matrix" would still be routed to `run`.
+    let (matrix_specs, run_specs): (Vec<&String>, Vec<&String>) = specs.iter().partition(|p| {
+        let text = std::fs::read_to_string(p.as_str()).expect("spec readable");
+        lr_scenario::ScenarioSpec::from_json(&text)
+            .expect("shipped spec parses")
+            .matrix
+            .is_some()
+    });
+    assert!(!run_specs.is_empty(), "plain example scenarios shipped");
+    assert!(!matrix_specs.is_empty(), "a matrix example is shipped");
     let mut args = vec!["scenario", "run", "--smoke", "--no-append"];
-    args.extend(specs.iter().map(String::as_str));
+    args.extend(run_specs.iter().map(|s| s.as_str()));
     let (out, stderr, ok) = run_with_stdin(&args, "");
     assert!(ok, "smoke run failed: {stderr}");
-    for spec in &specs {
+    for spec in &run_specs {
         assert!(
             out.contains(spec.as_str()),
             "missing table for {spec}: {out}"
@@ -126,6 +139,51 @@ fn scenario_validate_and_smoke_run_the_shipped_examples() {
     }
     assert!(out.contains("summary"));
     assert!(out.contains("append skipped"));
+}
+
+#[test]
+fn scenario_sweep_expands_the_matrix_example_to_the_expected_cells() {
+    let spec_path = format!(
+        "{}/examples/scenarios/matrix_sweep.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    // The shipped example declares protocol×2, topology×3, links×2,
+    // churn_scale×2 = 24 points; smoke mode runs one cell per point.
+    let expected_points = 2 * 3 * 2 * 2;
+    let (out, stderr, ok) = run_with_stdin(
+        &[
+            "scenario",
+            "sweep",
+            "--smoke",
+            "--no-append",
+            "--threads",
+            "2",
+            &spec_path,
+        ],
+        "",
+    );
+    assert!(ok, "sweep failed: {stderr}");
+    // Parse the emitted summary line: "... matrix expanded to K
+    // point(s) = C cell(s), N thread(s)".
+    let summary = out
+        .lines()
+        .find(|l| l.contains("matrix expanded to"))
+        .unwrap_or_else(|| panic!("no expansion summary in:\n{out}"));
+    let number_before = |marker: &str| -> usize {
+        let head = summary.split(marker).next().expect("marker present");
+        head.split_whitespace()
+            .last()
+            .expect("number before marker")
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable count in {summary:?}"))
+    };
+    assert_eq!(number_before(" point(s)"), expected_points, "{summary}");
+    assert_eq!(
+        number_before(" cell(s)"),
+        expected_points,
+        "smoke = one cell per point: {summary}"
+    );
+    assert!(out.contains("summary row(s) (append skipped)"), "{out}");
 }
 
 #[test]
