@@ -1,0 +1,147 @@
+//! E1–E6 at scale: the full model-check battery over every instance of
+//! size 3..=max_n, timed, with one [`ModelCheckRecord`] per (check, n)
+//! appended to the `BENCH_pr6.json` trajectory at the repo root.
+//!
+//! ```sh
+//! cargo run --release -p lr-bench --bin exp_model_check               # n up to 4
+//! cargo run --release -p lr-bench --bin exp_model_check -- 4 --threads 2
+//! LR_BENCH_SMOKE=1 cargo run --release -p lr-bench --bin exp_model_check
+//! ```
+//!
+//! The positional argument caps the sweep size (default 4; smoke mode
+//! caps at 3). `--threads N` fans instances out over N workers —
+//! summaries are bit-identical to serial (the differential suites
+//! enforce it), so parallelism only changes the wall-clock column.
+//! `LR_MC_THREADS` is honored when the flag is absent.
+
+use std::process::ExitCode;
+
+use lr_bench::mc::{battery_records, run_battery};
+use lr_bench::trajectory::{append_records_to, trajectory_path_named, MODEL_CHECK_TRAJECTORY};
+use lr_simrel::model_check::{CheckKind, McOptions};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    check: String,
+    n: usize,
+    instances: usize,
+    states: usize,
+    transitions: usize,
+    elapsed_ns: u64,
+    threads: usize,
+    verified: bool,
+}
+
+fn parse_args() -> Result<(usize, McOptions), String> {
+    let mut max_n: Option<usize> = None;
+    let mut opts = McOptions::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let v = args.next().ok_or("--threads needs a positive integer")?;
+            opts.threads = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .ok_or(format!("invalid --threads value: {v}"))?;
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            opts.threads = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .ok_or(format!("invalid --threads value: {v}"))?;
+        } else if max_n.is_none() && !arg.starts_with('-') {
+            max_n = Some(
+                arg.parse::<usize>()
+                    .ok()
+                    .filter(|&n| (2..=6).contains(&n))
+                    .ok_or(format!("max_n must be in 2..=6, got: {arg}"))?,
+            );
+        } else {
+            return Err(format!("unknown argument: {arg}"));
+        }
+    }
+    let default_n = if lr_bench::smoke_mode() { 3 } else { 4 };
+    Ok((max_n.unwrap_or(default_n), opts))
+}
+
+fn main() -> ExitCode {
+    let (max_n, opts) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("exp_model_check: {e}");
+            eprintln!("usage: exp_model_check [max_n] [--threads N]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "model-check battery up to n = {max_n} (threads = {}, explore_threads = {}, cpus = {})",
+        opts.threads,
+        opts.explore_threads,
+        lr_bench::trajectory::BenchRecord::available_cpus()
+    );
+    println!();
+    let widths = [28usize, 4, 10, 12, 12, 12, 10];
+    lr_bench::print_header(
+        &widths,
+        &[
+            "check",
+            "n",
+            "instances",
+            "states",
+            "transitions",
+            "ms",
+            "verified",
+        ],
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut all_verified = true;
+    let mut records = Vec::new();
+    for n in 3..=max_n {
+        let battery = run_battery(n, &CheckKind::ALL, &opts);
+        for row in &battery {
+            all_verified &= row.summary.verified();
+            lr_bench::print_row(
+                &widths,
+                &[
+                    row.kind.title().to_string(),
+                    n.to_string(),
+                    row.summary.instances.to_string(),
+                    row.summary.states_visited.to_string(),
+                    row.summary.transitions.to_string(),
+                    format!("{:.1}", row.elapsed_ns as f64 / 1e6),
+                    if row.summary.verified() { "yes" } else { "NO" }.to_string(),
+                ],
+            );
+            rows.push(Row {
+                check: row.kind.key().to_string(),
+                n,
+                instances: row.summary.instances,
+                states: row.summary.states_visited,
+                transitions: row.summary.transitions,
+                elapsed_ns: row.elapsed_ns,
+                threads: opts.threads,
+                verified: row.summary.verified(),
+            });
+        }
+        records.extend(battery_records(&battery, "exp_model_check", &opts));
+    }
+
+    let path = trajectory_path_named(MODEL_CHECK_TRAJECTORY);
+    println!();
+    println!("every row appended to {}", path.display());
+    if let Err(e) = append_records_to(&path, &records) {
+        eprintln!("warning: could not persist trajectory: {e}");
+    }
+    lr_bench::write_results("exp_model_check", &rows);
+
+    if all_verified {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("exp_model_check: at least one check did NOT verify");
+        ExitCode::FAILURE
+    }
+}

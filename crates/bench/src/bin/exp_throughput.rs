@@ -21,7 +21,8 @@ use std::time::Instant;
 
 use lr_bench::trajectory::{
     append_records, load_records, load_records_from, trajectory_path_named, BenchRecord,
-    ScenarioRecord, SweepRecord, SCENARIO_TRAJECTORY, SWEEP_TRAJECTORY,
+    ModelCheckRecord, ScenarioRecord, SweepRecord, MODEL_CHECK_TRAJECTORY, SCENARIO_TRAJECTORY,
+    SWEEP_TRAJECTORY,
 };
 use lr_core::alg::{PrEngine, ReversalEngine, TripleHeightsEngine};
 use lr_core::engine::{
@@ -110,9 +111,9 @@ fn fmt_sps(sps: f64) -> String {
 fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--verify") {
         // Parse gate over every persisted trajectory: the PR 3
-        // throughput rows, the PR 4 scenario rows, and the PR 5 sweep
-        // summaries all have to keep parsing with the vendored
-        // serde_json.
+        // throughput rows, the PR 4 scenario rows, the PR 5 sweep
+        // summaries, and the PR 6 model-check rows all have to keep
+        // parsing with the vendored serde_json.
         let mut ok = true;
         match load_records() {
             Ok(records) => println!(
@@ -143,6 +144,17 @@ fn main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("{SWEEP_TRAJECTORY} FAILED to parse: {e}");
+                ok = false;
+            }
+        }
+        let mc_path = trajectory_path_named(MODEL_CHECK_TRAJECTORY);
+        match load_records_from::<ModelCheckRecord>(&mc_path) {
+            Ok(records) => println!(
+                "{MODEL_CHECK_TRAJECTORY} OK: {} record(s) parse with the vendored serde_json",
+                records.len()
+            ),
+            Err(e) => {
+                eprintln!("{MODEL_CHECK_TRAJECTORY} FAILED to parse: {e}");
                 ok = false;
             }
         }

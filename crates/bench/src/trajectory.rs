@@ -239,8 +239,54 @@ pub struct SweepRecord {
     pub smoke: bool,
 }
 
+/// One model-checking measurement from the parallel verification sweeps
+/// (PR 6): a full `model_check_*` battery entry at size `n`, with the
+/// thread configuration it ran under. Appended to
+/// [`MODEL_CHECK_TRAJECTORY`].
+///
+/// The `threads`/`explore_threads` fields describe only *how fast* the
+/// row was produced, never *what* it contains: the parallel sweeps are
+/// bit-identical to serial (enforced by the differential suites), so
+/// rows for the same `(check, n, sampled_stride)` are comparable across
+/// thread configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCheckRecord {
+    /// Which harness produced the record (`exp_model_check`,
+    /// `lr modelcheck`, `model_check_scale`).
+    pub bench: String,
+    /// Check key (`newpr`, `onestep`, `prset`, `rprime`, `r`, `revr`,
+    /// `revrprime`, `termination`).
+    pub check: String,
+    /// Instance size: every connected graph × acyclic orientation ×
+    /// destination on `n` nodes.
+    pub n: usize,
+    /// Sampling stride over the instance enumeration (1 = exhaustive).
+    pub sampled_stride: usize,
+    /// Instances actually checked.
+    pub instances: usize,
+    /// Total distinct states (or simulation pairs) visited.
+    pub states: usize,
+    /// Total transitions traversed (or matched).
+    pub transitions: usize,
+    /// Wall-clock time of the sweep, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Outer worker threads (instance fan-out).
+    pub threads: usize,
+    /// Inner worker threads (per-instance exploration).
+    pub explore_threads: usize,
+    /// CPUs available to the process when the record was taken.
+    pub cpus: usize,
+    /// Whether the sweep verified (no violation, no truncation).
+    pub verified: bool,
+    /// Whether the row was produced in `LR_BENCH_SMOKE=1` mode.
+    pub smoke: bool,
+}
+
 /// File name of the scenario trajectory at the repository root.
 pub const SCENARIO_TRAJECTORY: &str = "BENCH_pr4.json";
+
+/// File name of the model-checking trajectory at the repository root.
+pub const MODEL_CHECK_TRAJECTORY: &str = "BENCH_pr6.json";
 
 /// File name of the matrix-sweep trajectory at the repository root.
 pub const SWEEP_TRAJECTORY: &str = "BENCH_pr5.json";
@@ -443,6 +489,31 @@ mod tests {
         let json = serde_json::to_string_pretty(&rows).unwrap();
         let back: Vec<SweepRecord> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn model_check_records_round_trip_through_vendored_serde_json() {
+        let rows = vec![ModelCheckRecord {
+            bench: "exp_model_check".into(),
+            check: "newpr".into(),
+            n: 4,
+            sampled_stride: 1,
+            instances: 3_160,
+            states: 21_000,
+            transitions: 40_000,
+            elapsed_ns: 1_500_000_000,
+            threads: 2,
+            explore_threads: 1,
+            cpus: BenchRecord::available_cpus(),
+            verified: true,
+            smoke: false,
+        }];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<ModelCheckRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows);
+        let mc = trajectory_path_named(MODEL_CHECK_TRAJECTORY);
+        assert!(mc.ends_with("BENCH_pr6.json"));
+        assert_eq!(mc.parent(), trajectory_path().parent());
     }
 
     #[test]

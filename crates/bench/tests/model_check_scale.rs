@@ -1,0 +1,76 @@
+//! Scale tests for the parallel model checker: the n = 5 sweeps that are
+//! too slow for the default test pass but are the point of the parallel
+//! explorer — run with `--ignored` (or via CI's release `--ignored`
+//! step) to regenerate the `BENCH_pr6.json` rows for n = 5.
+
+use std::time::Instant;
+
+use lr_bench::mc::BatteryRow;
+use lr_bench::trajectory::{
+    append_records_to, load_records_from, trajectory_path_named, ModelCheckRecord,
+    MODEL_CHECK_TRAJECTORY,
+};
+use lr_simrel::model_check::{model_check_newpr_sampled_opts, CheckKind, McOptions};
+
+fn timed_newpr_sampled(n: usize, stride: usize, opts: &McOptions) -> BatteryRow {
+    let start = Instant::now();
+    let summary = model_check_newpr_sampled_opts(n, stride, opts);
+    BatteryRow {
+        kind: CheckKind::NewPr,
+        n,
+        sampled_stride: stride,
+        summary,
+        elapsed_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Exhaustive NewPR at n = 5 — all 132,150 instances, ~580k states —
+/// plus a stride-100 sample, both verified and both persisted to the
+/// PR 6 trajectory (which must re-parse afterwards).
+#[test]
+#[ignore = "n = 5 sweeps take seconds; run with --ignored to regenerate BENCH_pr6.json rows"]
+fn newpr_holds_exhaustively_at_n5_and_rows_persist() {
+    let opts = McOptions::from_env();
+
+    let exhaustive = timed_newpr_sampled(5, 1, &opts);
+    assert!(
+        exhaustive.summary.verified(),
+        "violation={:?} truncated={:?}",
+        exhaustive.summary.first_violation,
+        exhaustive.summary.truncated
+    );
+    assert_eq!(exhaustive.summary.instances, 132_150);
+    assert!(exhaustive.summary.states_visited > 500_000);
+
+    let sampled = timed_newpr_sampled(5, 100, &opts);
+    assert!(sampled.summary.verified());
+    assert_eq!(sampled.summary.instances, 132_150usize.div_ceil(100));
+
+    let records = [
+        exhaustive.to_record("model_check_scale", &opts),
+        sampled.to_record("model_check_scale", &opts),
+    ];
+    let path = trajectory_path_named(MODEL_CHECK_TRAJECTORY);
+    append_records_to(&path, &records).expect("trajectory append");
+    let back: Vec<ModelCheckRecord> = load_records_from(&path).expect("trajectory re-parses");
+    assert!(
+        back.iter()
+            .any(|r| r.n == 5 && r.check == "newpr" && r.sampled_stride == 1 && r.verified),
+        "the n = 5 exhaustive row must be in the trajectory"
+    );
+}
+
+/// The sampled sweep is bit-identical across outer thread counts at
+/// n = 5 too (the n = 3/4 differential suites cover the dense sizes;
+/// this extends the guarantee to the size the parallel axis exists for).
+#[test]
+#[ignore = "n = 5 sweeps take seconds; run with --ignored"]
+fn sampled_n5_sweep_bit_identical_across_threads() {
+    let serial = model_check_newpr_sampled_opts(5, 200, &McOptions::default());
+    assert!(serial.verified());
+    for threads in [2usize, 4] {
+        let par =
+            model_check_newpr_sampled_opts(5, 200, &McOptions::default().with_threads(threads));
+        assert_eq!(serial, par, "diverged at threads={threads}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Serial/parallel differential suite: [`lr_ioa::explore::explore_parallel`]
+//! must produce a **field-for-field identical** [`ExplorationReport`] to the
+//! serial reference at every thread count, for every link-reversal automaton
+//! family — including the canonical counterexample when an invariant is
+//! deliberately falsified.
+
+use lr_core::alg::{NewPrAutomaton, OneStepPrAutomaton, PrSetAutomaton};
+use lr_core::invariants::{newpr_invariants, onestep_pr_invariants, pr_set_invariants};
+use lr_graph::enumerate::all_instances;
+use lr_ioa::explore::{explore, explore_parallel, ExplorationReport, ExploreOptions};
+use lr_ioa::{Automaton, Invariant};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_reports_identical<A: Automaton>(
+    serial: &ExplorationReport<A>,
+    parallel: &ExplorationReport<A>,
+    context: &str,
+) {
+    // Field-for-field, so a mismatch names the failing field instead of
+    // dumping two whole reports.
+    assert_eq!(
+        serial.states_visited, parallel.states_visited,
+        "states_visited diverged: {context}"
+    );
+    assert_eq!(
+        serial.transitions, parallel.transitions,
+        "transitions diverged: {context}"
+    );
+    assert_eq!(
+        serial.max_depth_reached, parallel.max_depth_reached,
+        "max_depth_reached diverged: {context}"
+    );
+    assert_eq!(
+        serial.quiescent_states, parallel.quiescent_states,
+        "quiescent_states diverged: {context}"
+    );
+    assert_eq!(
+        serial.truncated, parallel.truncated,
+        "truncated diverged: {context}"
+    );
+    assert_eq!(
+        serial.violation, parallel.violation,
+        "violation/counterexample diverged: {context}"
+    );
+    // And the blanket comparison, in case the report grows fields.
+    assert_eq!(serial, parallel, "report diverged: {context}");
+}
+
+/// Every instance of every family at n = 3, plus a spot-check at n = 4,
+/// explored serially and at each thread count: all six report fields must
+/// match exactly.
+#[test]
+fn all_families_bit_identical_across_thread_counts() {
+    let opts = ExploreOptions {
+        record_traces: false,
+        ..ExploreOptions::default()
+    };
+    let mut explored = 0usize;
+    for n in [3usize, 4] {
+        let instances = all_instances(n);
+        // n = 4 has hundreds of instances; a deterministic stride keeps the
+        // suite fast while still crossing graph shapes.
+        let stride = if n == 3 { 1 } else { 37 };
+        for inst in instances.iter().step_by(stride) {
+            let newpr = NewPrAutomaton { inst };
+            let newpr_invs = newpr_invariants(inst);
+            let onestep = OneStepPrAutomaton { inst };
+            let onestep_invs = onestep_pr_invariants(inst);
+            let prset = PrSetAutomaton { inst };
+            let prset_invs = pr_set_invariants(inst);
+
+            let s_newpr = explore(&newpr, &newpr_invs, &opts);
+            let s_onestep = explore(&onestep, &onestep_invs, &opts);
+            let s_prset = explore(&prset, &prset_invs, &opts);
+            assert!(s_newpr.verified() && s_onestep.verified() && s_prset.verified());
+
+            for threads in THREADS {
+                let ctx = |family: &str| format!("{family}, n={n}, threads={threads}");
+                assert_reports_identical(
+                    &s_newpr,
+                    &explore_parallel(&newpr, &newpr_invs, &opts, threads),
+                    &ctx("NewPR"),
+                );
+                assert_reports_identical(
+                    &s_onestep,
+                    &explore_parallel(&onestep, &onestep_invs, &opts, threads),
+                    &ctx("OneStepPR"),
+                );
+                assert_reports_identical(
+                    &s_prset,
+                    &explore_parallel(&prset, &prset_invs, &opts, threads),
+                    &ctx("PrSet"),
+                );
+            }
+            explored += 1;
+        }
+    }
+    assert!(
+        explored > 54,
+        "suite must cover all of n=3 plus n=4 samples"
+    );
+}
+
+/// A deliberately falsified invariant ("the first layer is unreachable"):
+/// every thread count must report the **same** canonical counterexample —
+/// same violating invariant, same depth, and the exact same trace states
+/// and actions, not merely *a* counterexample each.
+#[test]
+fn seeded_violation_yields_identical_canonical_counterexample() {
+    let opts = ExploreOptions::default();
+    let mut fired = 0usize;
+    for inst in all_instances(3) {
+        let aut = NewPrAutomaton { inst: &inst };
+        let initial = aut.initial_state();
+        if aut.enabled_actions(&initial).is_empty() {
+            // Already destination-oriented: no reversal ever happens, so
+            // the seeded invariant cannot fire.
+            continue;
+        }
+        let seeded = vec![Invariant::new("seeded-initial-only", {
+            let initial = initial.clone();
+            move |s: &<NewPrAutomaton<'_> as Automaton>::State| {
+                if *s == initial {
+                    Ok(())
+                } else {
+                    Err("left the initial state".to_string())
+                }
+            }
+        })];
+
+        let serial = explore(&aut, &seeded, &opts);
+        let (s_viol, s_trace) = serial.violation.clone().expect("seeded invariant fires");
+        assert_eq!(s_viol.invariant, "seeded-initial-only");
+        assert_eq!(s_viol.depth, Some(1), "fires on the first reversal");
+        let s_trace = s_trace.expect("tracing on by default");
+        assert_eq!(s_trace.len(), 1);
+        assert!(s_trace.validate(&aut).is_ok());
+
+        for threads in THREADS {
+            let parallel = explore_parallel(&aut, &seeded, &opts, threads);
+            assert_reports_identical(
+                &serial,
+                &parallel,
+                &format!("seeded violation, threads={threads}"),
+            );
+            let (p_viol, p_trace) = parallel.violation.expect("fires at every thread count");
+            assert_eq!(p_viol, s_viol);
+            let p_trace = p_trace.expect("trace at every thread count");
+            assert_eq!(
+                p_trace, s_trace,
+                "counterexample must be the canonical one, not just any"
+            );
+        }
+        fired += 1;
+    }
+    assert!(fired > 0, "some n=3 instance must exercise the seeded case");
+}
+
+/// Truncation must also be bit-identical: the max_states budget bites on
+/// the same canonical admission at every thread count.
+#[test]
+fn truncated_explorations_bit_identical() {
+    let instances = all_instances(4);
+    // Pick the instance with the biggest NewPR space so the budget bites.
+    let inst = instances
+        .iter()
+        .max_by_key(|inst| {
+            explore(
+                &NewPrAutomaton { inst },
+                &[],
+                &ExploreOptions {
+                    record_traces: false,
+                    ..ExploreOptions::default()
+                },
+            )
+            .states_visited
+        })
+        .expect("instances exist");
+    let aut = NewPrAutomaton { inst };
+    let full = explore(
+        &aut,
+        &[],
+        &ExploreOptions {
+            record_traces: false,
+            ..ExploreOptions::default()
+        },
+    )
+    .states_visited;
+    assert!(full > 3, "need a space big enough for budgets to bite");
+    for max_states in [1usize, 2, full - 1] {
+        let opts = ExploreOptions {
+            max_states,
+            record_traces: false,
+            ..ExploreOptions::default()
+        };
+        let serial = explore(&aut, &[], &opts);
+        assert!(serial.truncated, "budget {max_states} must bite");
+        assert_eq!(serial.states_visited, max_states.max(1));
+        for threads in THREADS {
+            assert_reports_identical(
+                &serial,
+                &explore_parallel(&aut, &[], &opts, threads),
+                &format!("truncated at max_states={max_states}, threads={threads}"),
+            );
+        }
+    }
+}

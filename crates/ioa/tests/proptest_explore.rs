@@ -1,0 +1,217 @@
+//! Property tests of the parallel-exploration algebra: folding shard
+//! outputs through a [`ReorderBuffer`] in *any* submission order must be
+//! indistinguishable from a single sequential pass — same admitted states,
+//! same canonical order, same dedup, same budget truncation. This mirrors
+//! the PR 5 stats-merge proptests and is the algebraic core behind the
+//! bit-identity guarantee of `explore_parallel`.
+
+use std::collections::HashSet;
+
+use lr_ioa::explore::{explore, explore_parallel, ExploreOptions, ReorderBuffer, ShardedVisited};
+use lr_ioa::{Automaton, Invariant};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference: one sequential pass over the whole batch — dedup in order,
+/// admit until the budget is exhausted.
+fn single_pass_fold(batch: &[u64], budget: usize) -> (Vec<u64>, bool) {
+    let mut seen = HashSet::new();
+    let mut admitted = Vec::new();
+    let mut truncated = false;
+    for &s in batch {
+        if !seen.insert(s) {
+            continue;
+        }
+        if admitted.len() >= budget {
+            truncated = true;
+            continue;
+        }
+        admitted.push(s);
+    }
+    (admitted, truncated)
+}
+
+/// The parallel shape: the batch split into `shards` contiguous chunks,
+/// chunk outputs submitted in an arbitrary permutation, admission running
+/// inside the reorder-buffer deliver callback against a [`ShardedVisited`]
+/// set.
+fn sharded_fold(
+    batch: &[u64],
+    budget: usize,
+    shards: usize,
+    submit_order: &[usize],
+) -> (Vec<u64>, bool) {
+    let shards = shards.clamp(1, batch.len().max(1));
+    let size = batch.len().div_ceil(shards);
+    let chunks: Vec<&[u64]> = if batch.is_empty() {
+        vec![&[]]
+    } else {
+        batch.chunks(size).collect()
+    };
+    assert_eq!(submit_order.len(), chunks.len());
+
+    let visited: ShardedVisited<u64> = ShardedVisited::new();
+    let mut buffer = ReorderBuffer::new();
+    let mut admitted = Vec::new();
+    let mut truncated = false;
+    for &i in submit_order {
+        buffer.submit(i, chunks[i], |chunk| {
+            for &s in chunk {
+                if visited.contains(&s) {
+                    continue;
+                }
+                if admitted.len() >= budget {
+                    truncated = true;
+                    continue;
+                }
+                visited.insert(s);
+                admitted.push(s);
+            }
+        });
+    }
+    assert_eq!(buffer.parked(), 0, "every chunk must be delivered");
+    assert_eq!(buffer.next_index(), chunks.len());
+    assert_eq!(
+        visited.len(),
+        admitted.len(),
+        "visited set tracks admissions"
+    );
+    (admitted, truncated)
+}
+
+/// Fisher–Yates permutation of `0..len` from a seeded generator.
+fn permutation(rng: &mut SmallRng, len: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random batches with heavy duplication, random shard counts, random
+    /// submission order: the sharded fold equals the single-pass fold in
+    /// admitted states (order included), dedup, and truncation.
+    #[test]
+    fn shuffled_shard_fold_equals_single_pass(
+        len in 0usize..200,
+        budget in 0usize..64,
+        shards in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Values from a small range so duplicates (within and across
+        // shards) are common.
+        let batch: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..50)).collect();
+
+        let (want, want_trunc) = single_pass_fold(&batch, budget);
+
+        let shards_eff = shards.clamp(1, batch.len().max(1));
+        let chunk_count = if batch.is_empty() {
+            1
+        } else {
+            batch.len().div_ceil(batch.len().div_ceil(shards_eff))
+        };
+        let order = permutation(&mut rng, chunk_count);
+        let (got, got_trunc) = sharded_fold(&batch, budget, shards, &order);
+
+        prop_assert_eq!(&got, &want, "admitted states and canonical order");
+        prop_assert_eq!(got_trunc, want_trunc, "budget truncation");
+
+        // And again in strictly reverse order — the worst case for the
+        // reorder buffer (everything parks until index 0 arrives).
+        let reverse: Vec<usize> = (0..chunk_count).rev().collect();
+        let (got_rev, rev_trunc) = sharded_fold(&batch, budget, shards, &reverse);
+        prop_assert_eq!(&got_rev, &want);
+        prop_assert_eq!(rev_trunc, want_trunc);
+    }
+
+    /// The reorder buffer delivers any permutation in index order.
+    #[test]
+    fn reorder_buffer_linearizes_any_permutation(
+        len in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let order = permutation(&mut rng, len);
+        let mut buffer = ReorderBuffer::new();
+        let mut delivered = Vec::new();
+        for &i in &order {
+            buffer.submit(i, i, |x| delivered.push(x));
+        }
+        let want: Vec<usize> = (0..len).collect();
+        prop_assert_eq!(delivered, want);
+        prop_assert_eq!(buffer.parked(), 0);
+    }
+
+    /// End-to-end on a parametric automaton: serial and parallel explore
+    /// agree for random grid shapes, random budgets, and random thread
+    /// counts — with a seeded invariant violated at a random threshold.
+    #[test]
+    fn explore_parallel_matches_serial_on_random_grids(
+        a in 0u8..12,
+        b in 0u8..12,
+        threads in 1usize..9,
+        budget in 1usize..80,
+        limit in 0u16..20,
+    ) {
+        let grid = Grid { a, b };
+        let inv = Invariant::holds("sum-below-limit", move |s: &(u8, u8)| {
+            u16::from(s.0) + u16::from(s.1) < limit
+        });
+        let opts = ExploreOptions {
+            max_states: budget,
+            ..ExploreOptions::default()
+        };
+        let serial = explore(&grid, &[inv], &opts);
+        let inv2 = Invariant::holds("sum-below-limit", move |s: &(u8, u8)| {
+            u16::from(s.0) + u16::from(s.1) < limit
+        });
+        let parallel = explore_parallel(&grid, &[inv2], &opts, threads);
+        prop_assert_eq!(serial, parallel);
+    }
+}
+
+/// Two independent counters capped at (a, b); quiesces at (a, b).
+#[derive(Debug, Clone)]
+struct Grid {
+    a: u8,
+    b: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Axis {
+    A,
+    B,
+}
+
+impl Automaton for Grid {
+    type State = (u8, u8);
+    type Action = Axis;
+
+    fn initial_state(&self) -> (u8, u8) {
+        (0, 0)
+    }
+
+    fn enabled_actions(&self, s: &(u8, u8)) -> Vec<Axis> {
+        let mut v = Vec::new();
+        if s.0 < self.a {
+            v.push(Axis::A);
+        }
+        if s.1 < self.b {
+            v.push(Axis::B);
+        }
+        v
+    }
+
+    fn apply(&self, s: &(u8, u8), action: &Axis) -> (u8, u8) {
+        match action {
+            Axis::A => (s.0 + 1, s.1),
+            Axis::B => (s.0, s.1 + 1),
+        }
+    }
+}

@@ -66,6 +66,14 @@ USAGE:
                                       rows bit-identical at any N; --smoke;
                                       --no-append); summaries append to
                                       BENCH_pr5.json
+    lr modelcheck <n>                 exhaustively model-check the paper's
+                                      theorems on every instance of size n
+                                      (--threads N: instance fan-out, summaries
+                                      bit-identical at any N, LR_MC_THREADS
+                                      honored when the flag is absent;
+                                      --checks a,b,..: subset by key;
+                                      --no-append); rows append to
+                                      BENCH_pr6.json
 ";
 
 fn parse_alg(s: &str) -> Result<AlgorithmKind, CliError> {
@@ -115,6 +123,7 @@ pub fn run_cli(args: &[&str], stdin: &str) -> Result<String, CliError> {
         ["check"] => cmd_check(stdin),
         ["dot"] => cmd_dot(stdin),
         ["scenario", rest @ ..] => cmd_scenario(rest),
+        ["modelcheck", rest @ ..] => cmd_modelcheck(rest),
         [other, ..] => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
@@ -481,6 +490,167 @@ fn cmd_scenario(args: &[&str]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Resolves the outer thread count for `lr modelcheck`: the `--threads`
+/// flag wins, then the `LR_MC_THREADS` environment value, then 1.
+fn resolve_mc_threads(flag: Option<usize>, env: Option<&str>) -> usize {
+    flag.unwrap_or_else(|| lr_simrel::model_check::parse_mc_threads(env))
+}
+
+fn cmd_modelcheck(args: &[&str]) -> Result<String, CliError> {
+    use lr_bench::mc::{battery_records, run_battery};
+    use lr_bench::trajectory::{
+        append_records_to, load_records_from, trajectory_path_named, ModelCheckRecord,
+        MODEL_CHECK_TRAJECTORY,
+    };
+    use lr_simrel::model_check::{CheckKind, McOptions};
+
+    let mut n: Option<usize> = None;
+    let mut threads_flag: Option<usize> = None;
+    let mut checks: Vec<CheckKind> = CheckKind::ALL.to_vec();
+    let mut append = true;
+    let parse_threads = |value: &str| -> Result<usize, CliError> {
+        value
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t >= 1)
+            .ok_or_else(|| err(format!("--threads needs a positive integer, got {value:?}")))
+    };
+    let parse_checks = |value: &str| -> Result<Vec<CheckKind>, CliError> {
+        let kinds: Vec<CheckKind> = value
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|key| {
+                CheckKind::from_key(key).ok_or_else(|| {
+                    let known: Vec<&str> = CheckKind::ALL.iter().map(|k| k.key()).collect();
+                    err(format!(
+                        "unknown check {key:?}; expected a comma list of {}",
+                        known.join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if kinds.is_empty() {
+            return Err(err("--checks needs at least one check key"));
+        }
+        Ok(kinds)
+    };
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--no-append" => append = false,
+            "--threads" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err("--threads needs a value (worker thread count)"))?;
+                threads_flag = Some(parse_threads(value)?);
+            }
+            "--checks" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err("--checks needs a comma-separated list of check keys"))?;
+                checks = parse_checks(value)?;
+            }
+            a => {
+                if let Some(value) = a.strip_prefix("--threads=") {
+                    threads_flag = Some(parse_threads(value)?);
+                } else if let Some(value) = a.strip_prefix("--checks=") {
+                    checks = parse_checks(value)?;
+                } else if a.starts_with("--") {
+                    return Err(err(format!("unknown flag {a:?} for `lr modelcheck`")));
+                } else if n.is_some() {
+                    return Err(err(format!("unexpected argument {a:?}")));
+                } else {
+                    n = Some(
+                        a.parse::<usize>()
+                            .ok()
+                            .filter(|&n| (2..=6).contains(&n))
+                            .ok_or_else(|| {
+                                err(format!("modelcheck needs a size n in 2..=6, got {a:?}"))
+                            })?,
+                    );
+                }
+            }
+        }
+    }
+    let n = n.ok_or_else(|| err(format!("modelcheck needs a size argument\n\n{USAGE}")))?;
+    let opts = McOptions::default().with_threads(resolve_mc_threads(
+        threads_flag,
+        std::env::var("LR_MC_THREADS").ok().as_deref(),
+    ));
+
+    let battery = run_battery(n, &checks, &opts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model check: every connected graph × acyclic orientation × destination at n = {n} \
+         ({} thread(s))",
+        opts.threads
+    );
+    let _ = writeln!(out);
+    let widths = [28usize, 10, 12, 12, 10, 9];
+    let header = [
+        "check",
+        "instances",
+        "states",
+        "transitions",
+        "ms",
+        "verified",
+    ];
+    let mut line = String::new();
+    for (w, c) in widths.iter().zip(header) {
+        let _ = write!(line, "{c:>w$} ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + widths.len())
+    );
+    for row in &battery {
+        let mut line = String::new();
+        let cells = [
+            row.kind.title().to_string(),
+            row.summary.instances.to_string(),
+            row.summary.states_visited.to_string(),
+            row.summary.transitions.to_string(),
+            format!("{:.1}", row.elapsed_ns as f64 / 1e6),
+            if row.summary.verified() { "yes" } else { "NO" }.to_string(),
+        ];
+        for (w, c) in widths.iter().zip(cells) {
+            let _ = write!(line, "{c:>w$} ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    let _ = writeln!(out);
+
+    let records = battery_records(&battery, "lr-modelcheck", &opts);
+    let trajectory = trajectory_path_named(MODEL_CHECK_TRAJECTORY);
+    if append {
+        append_records_to(&trajectory, &records).map_err(err)?;
+        let total = load_records_from::<ModelCheckRecord>(&trajectory)
+            .map_err(|e| err(format!("trajectory re-parse failed: {e}")))?
+            .len();
+        let _ = writeln!(
+            out,
+            "{} row(s) appended to {} ({total} total, re-parsed OK)",
+            records.len(),
+            trajectory.display()
+        );
+    } else {
+        let _ = writeln!(out, "{} row(s) (append skipped)", records.len());
+    }
+
+    if let Some(bad) = battery.iter().find(|r| !r.summary.verified()) {
+        return Err(err(format!(
+            "{} did NOT verify at n = {n}: violation={:?} truncated={:?}\n\n{out}",
+            bad.kind.key(),
+            bad.summary.first_violation,
+            bad.summary.truncated
+        )));
+    }
+    Ok(out)
+}
+
 fn cmd_dot(stdin: &str) -> Result<String, CliError> {
     let inst = parse_stdin_instance(stdin)?;
     Ok(dot::to_dot(
@@ -684,6 +854,58 @@ mod tests {
         assert!(e.0.contains("topology.family"), "{e}");
         assert!(e.0.contains("unknown family"), "{e}");
         let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn modelcheck_verifies_all_3_node_instances() {
+        let out = run_cli(&["modelcheck", "3", "--no-append"], "").unwrap();
+        assert!(out.contains("n = 3"), "{out}");
+        assert!(out.contains("54"), "all 54 instances: {out}");
+        assert!(out.contains("NewPR invariants"), "{out}");
+        assert!(out.contains("termination"), "{out}");
+        assert!(out.contains("yes"), "{out}");
+        assert!(!out.contains(" NO"), "{out}");
+        assert!(out.contains("append skipped"), "{out}");
+    }
+
+    #[test]
+    fn modelcheck_threads_and_checks_flags() {
+        for threads_args in [&["--threads", "2"][..], &["--threads=2"][..]] {
+            let mut args = vec!["modelcheck", "3", "--no-append", "--checks", "newpr,r"];
+            args.extend_from_slice(threads_args);
+            let out = run_cli(&args, "").unwrap();
+            assert!(out.contains("2 thread(s)"), "{out}");
+            assert!(out.contains("NewPR invariants"), "{out}");
+            assert!(out.contains("R simulation"), "{out}");
+            assert!(!out.contains("termination"), "--checks subset: {out}");
+        }
+        let out = run_cli(&["modelcheck", "3", "--no-append", "--checks=prset"], "").unwrap();
+        assert!(out.contains("set actions"), "{out}");
+    }
+
+    #[test]
+    fn modelcheck_rejects_bad_usage() {
+        assert!(run_cli(&["modelcheck"], "").is_err());
+        assert!(run_cli(&["modelcheck", "99"], "").is_err());
+        assert!(run_cli(&["modelcheck", "x"], "").is_err());
+        assert!(run_cli(&["modelcheck", "3", "3"], "").is_err());
+        let e = run_cli(&["modelcheck", "3", "--threads", "0"], "").unwrap_err();
+        assert!(e.0.contains("positive integer"), "{e}");
+        let e = run_cli(&["modelcheck", "3", "--threads"], "").unwrap_err();
+        assert!(e.0.contains("needs a value"), "{e}");
+        let e = run_cli(&["modelcheck", "3", "--checks", "bogus"], "").unwrap_err();
+        assert!(e.0.contains("unknown check"), "{e}");
+        let e = run_cli(&["modelcheck", "3", "--frob"], "").unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
+    }
+
+    #[test]
+    fn modelcheck_thread_resolution_precedence() {
+        // Flag wins over environment; environment over the default of 1.
+        assert_eq!(resolve_mc_threads(Some(4), Some("8")), 4);
+        assert_eq!(resolve_mc_threads(None, Some("8")), 8);
+        assert_eq!(resolve_mc_threads(None, Some("garbage")), 1);
+        assert_eq!(resolve_mc_threads(None, None), 1);
     }
 
     #[test]

@@ -216,3 +216,28 @@ fn bad_input_fails_with_message_and_nonzero_exit() {
     assert!(!ok);
     assert!(stderr.contains("unknown algorithm"));
 }
+
+/// `lr modelcheck` end-to-end: the full n = 3 battery verifies through a
+/// real process at 2 outer threads, and `LR_MC_THREADS` is honored when
+/// the flag is absent (both paths must report the same instance totals).
+#[test]
+fn modelcheck_battery_verifies_through_the_binary() {
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["modelcheck", "3", "--threads", "2", "--no-append"], "");
+    assert!(ok, "modelcheck failed: {stderr}");
+    assert!(stdout.contains("n = 3"), "{stdout}");
+    assert!(stdout.contains("2 thread(s)"), "{stdout}");
+    assert!(stdout.contains("append skipped"), "{stdout}");
+    assert!(!stdout.contains(" NO"), "{stdout}");
+
+    let mut child = lr();
+    child.env("LR_MC_THREADS", "2");
+    let out = child
+        .args(["modelcheck", "3", "--checks", "newpr", "--no-append"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let env_stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(env_stdout.contains("2 thread(s)"), "{env_stdout}");
+    assert!(env_stdout.contains("54"), "{env_stdout}");
+}
