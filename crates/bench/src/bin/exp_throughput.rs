@@ -1,10 +1,14 @@
 //! Throughput of the step pipeline: steps/sec for the zero-allocation
-//! sequential path vs the retained PR 2 allocating path, and for the
-//! parallel greedy-rounds executor across thread counts.
+//! sequential path vs the retained PR 2 allocating path, for the
+//! parallel greedy-rounds executor across thread counts, and for the
+//! PR 7 frontier engine against the map-backed path (with resident
+//! representation cost — bytes/node and bytes/half-edge — per row).
 //!
-//! Every measurement is appended to the machine-readable trajectory
-//! `BENCH_pr3.json` at the repo root (see `lr_bench::trajectory`) in
-//! addition to the stdout table and `results/exp_throughput.json`.
+//! Every measurement is appended to a machine-readable trajectory at
+//! the repo root (see `lr_bench::trajectory`): the step-pipeline and
+//! parallel rows to `BENCH_pr3.json`, the frontier/representation rows
+//! to `BENCH_pr7.json`, in addition to the stdout table and
+//! `results/exp_throughput.json`.
 //!
 //! ```sh
 //! cargo run --release -p lr-bench --bin exp_throughput             # measure
@@ -20,15 +24,16 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lr_bench::trajectory::{
-    append_records, load_records, load_records_from, trajectory_path_named, BenchRecord,
-    ModelCheckRecord, ScenarioRecord, SweepRecord, MODEL_CHECK_TRAJECTORY, SCENARIO_TRAJECTORY,
-    SWEEP_TRAJECTORY,
+    append_records, append_records_to, load_records, load_records_from, trajectory_path_named,
+    BenchRecord, FrontierRecord, ModelCheckRecord, ScenarioRecord, SweepRecord,
+    FRONTIER_TRAJECTORY, MODEL_CHECK_TRAJECTORY, SCENARIO_TRAJECTORY, SWEEP_TRAJECTORY,
 };
-use lr_core::alg::{PrEngine, ReversalEngine, TripleHeightsEngine};
+use lr_core::alg::{FrontierPrEngine, PrEngine, ReversalEngine, TripleHeightsEngine};
 use lr_core::engine::{
-    run_engine, run_engine_alloc, run_engine_parallel, RunStats, SchedulePolicy, DEFAULT_MAX_STEPS,
+    run_engine, run_engine_alloc, run_engine_frontier, run_engine_parallel, RunStats,
+    SchedulePolicy, DEFAULT_MAX_STEPS,
 };
-use lr_graph::{generate, ReversalInstance};
+use lr_graph::{generate, stream, CsrInstance, ReversalInstance};
 use serde::Serialize;
 
 /// Step budget for the parallel sweep: large instances are measured on a
@@ -112,8 +117,9 @@ fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--verify") {
         // Parse gate over every persisted trajectory: the PR 3
         // throughput rows, the PR 4 scenario rows, the PR 5 sweep
-        // summaries, and the PR 6 model-check rows all have to keep
-        // parsing with the vendored serde_json.
+        // summaries, the PR 6 model-check rows, and the PR 7
+        // frontier/representation rows all have to keep parsing with
+        // the vendored serde_json.
         let mut ok = true;
         match load_records() {
             Ok(records) => println!(
@@ -155,6 +161,17 @@ fn main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("{MODEL_CHECK_TRAJECTORY} FAILED to parse: {e}");
+                ok = false;
+            }
+        }
+        let frontier_path = trajectory_path_named(FRONTIER_TRAJECTORY);
+        match load_records_from::<FrontierRecord>(&frontier_path) {
+            Ok(records) => println!(
+                "{FRONTIER_TRAJECTORY} OK: {} record(s) parse with the vendored serde_json",
+                records.len()
+            ),
+            Err(e) => {
+                eprintln!("{FRONTIER_TRAJECTORY} FAILED to parse: {e}");
                 ok = false;
             }
         }
@@ -309,6 +326,102 @@ fn main() -> ExitCode {
         }
     }
 
+    // ── Series 3 (PR 7): map-backed engine vs frontier engine ──
+    // The same instance, twice: the map-backed path (materialized
+    // `ReversalInstance`, `PrEngine`, `run_engine`) against the flat
+    // path (streaming `CsrInstance`, `FrontierPrEngine`,
+    // `run_engine_frontier`). The two runs must produce identical
+    // RunStats — the bench doubles as a coarse equivalence check — and
+    // each row carries the resident representation cost, so the
+    // before/after bytes-per-half-edge trajectory is persisted next to
+    // the steps/sec one (`BENCH_pr7.json`).
+    println!("\nfrontier engine (PR 7): map-backed run_engine vs CSR-native run_engine_frontier (PR, greedy rounds)\n");
+    let widths3 = [12usize, 10, 12, 12, 12, 10, 10];
+    lr_bench::print_header(
+        &widths3,
+        &[
+            "family", "n", "steps", "map", "frontier", "B/HE old", "B/HE new",
+        ],
+    );
+    let mut frontier_records: Vec<FrontierRecord> = Vec::new();
+    let frontier_cases: &[(&str, usize)] = if smoke {
+        &[("chain_away", 1_024), ("grid_away", 1_024)]
+    } else {
+        &[
+            ("chain_away", 65_536),
+            ("chain_away", 1_048_576),
+            ("grid_away", 65_536),
+            ("grid_away", 1_000_000),
+        ]
+    };
+    for &(family, n) in frontier_cases {
+        // Grid sizes are squares; the effective n is rows × cols.
+        let side = (n as f64).sqrt().round() as usize;
+        let (inst_map, inst_flat): (ReversalInstance, CsrInstance) = match family {
+            "chain_away" => (generate::chain_away(n), stream::chain_away(n)),
+            _ => (
+                generate::grid_away(side, side),
+                stream::grid_away(side, side),
+            ),
+        };
+        let n = inst_flat.node_count();
+        let half_edges = inst_flat.half_edge_count();
+        // PR on these families is Θ(n) total steps, so even the million-
+        // node runs terminate well inside the default budget; one sample
+        // there keeps the bench's wall-clock reasonable.
+        let samples = if n >= 1_000_000 { 1 } else { 3 };
+        let (map_stats, map_ns) = best_of(samples, || {
+            let mut e = PrEngine::new(&inst_map);
+            let stats = run_engine(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+            assert!(stats.terminated);
+            stats
+        });
+        let mut frontier_bytes = 0usize;
+        let (fr_stats, fr_ns) = best_of(samples, || {
+            let mut e = FrontierPrEngine::new(inst_flat.clone());
+            let stats =
+                run_engine_frontier(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+            assert!(stats.terminated);
+            frontier_bytes = e.resident_bytes();
+            stats
+        });
+        assert_eq!(map_stats, fr_stats, "engine paths must agree");
+        let old_bytes = pre_pr7_resident_bytes(n, half_edges);
+        lr_bench::print_row(
+            &widths3,
+            &[
+                family.to_string(),
+                n.to_string(),
+                fr_stats.steps.to_string(),
+                fmt_sps(BenchRecord::throughput(map_stats.steps, map_ns)),
+                fmt_sps(BenchRecord::throughput(fr_stats.steps, fr_ns)),
+                format!("{:.1}", old_bytes as f64 / half_edges as f64),
+                format!("{:.1}", frontier_bytes as f64 / half_edges as f64),
+            ],
+        );
+        for (series, stats, ns, bytes) in [
+            ("map_engine", &map_stats, map_ns, old_bytes),
+            ("frontier_engine", &fr_stats, fr_ns, frontier_bytes),
+        ] {
+            frontier_records.push(FrontierRecord {
+                bench: "exp_throughput".into(),
+                series: series.into(),
+                algorithm: stats.algorithm.to_string(),
+                family: family.into(),
+                n,
+                half_edges,
+                cpus,
+                steps: stats.steps,
+                elapsed_ns: ns,
+                steps_per_sec: BenchRecord::throughput(stats.steps, ns),
+                resident_bytes: bytes,
+                bytes_per_node: bytes as f64 / n as f64,
+                bytes_per_half_edge: bytes as f64 / half_edges as f64,
+                smoke,
+            });
+        }
+    }
+
     println!();
     println!(
         "every row appended to {}",
@@ -317,6 +430,22 @@ fn main() -> ExitCode {
     if let Err(e) = append_records(&records) {
         eprintln!("warning: could not persist trajectory: {e}");
     }
+    let frontier_path = trajectory_path_named(FRONTIER_TRAJECTORY);
+    println!("frontier rows appended to {}", frontier_path.display());
+    if let Err(e) = append_records_to(&frontier_path, &frontier_records) {
+        eprintln!("warning: could not persist frontier trajectory: {e}");
+    }
     lr_bench::write_results("exp_throughput", &rows);
     ExitCode::SUCCESS
+}
+
+/// Resident bytes of the **retired** pre-PR-7 representation on an
+/// instance with `n` nodes and `half_edges` half-edges — the "before"
+/// figure of the memory rows. Reproduces the old layout's arithmetic:
+/// CSR carried a node table (4 B/node), offsets (4 B/node + 4), targets,
+/// a redundant per-slot `sources` array, and twins (4 B/half-edge each),
+/// and `MirroredDirs` spent a full byte per half-edge on its `EdgeDir`
+/// vector.
+fn pre_pr7_resident_bytes(n: usize, half_edges: usize) -> usize {
+    4 * n + 4 * (n + 1) + 3 * 4 * half_edges + half_edges
 }

@@ -4,8 +4,7 @@
 //! CI gate and future sessions can parse with the vendored `serde_json`
 //! alone.
 //!
-//! Three trajectories exist today, each a JSON array of one record
-//! type:
+//! Each trajectory is a JSON array of one record type:
 //!
 //! * `BENCH_pr3.json` — [`BenchRecord`] throughput rows from the step
 //!   pipeline experiments (PR 3);
@@ -15,7 +14,13 @@
 //!   per-node work distribution;
 //! * `BENCH_pr5.json` ([`SWEEP_TRAJECTORY`]) — [`SweepRecord`] rows
 //!   from the parallel matrix-sweep executor (PR 5): one streaming
-//!   summary per matrix point plus a whole-sweep roll-up.
+//!   summary per matrix point plus a whole-sweep roll-up;
+//! * `BENCH_pr6.json` ([`MODEL_CHECK_TRAJECTORY`]) — [`ModelCheckRecord`]
+//!   rows from the parallel model-checking sweeps (PR 6);
+//! * `BENCH_pr7.json` ([`FRONTIER_TRAJECTORY`]) — [`FrontierRecord`]
+//!   before/after rows from the frontier-engine and representation
+//!   experiments (PR 7): steps/sec *and* bytes/node + bytes/half-edge
+//!   for the map-backed path vs the flat CSR path.
 //!
 //! The file name is caller-chosen ([`trajectory_path_named`],
 //! [`append_records_to`], [`load_records_from`]); the original
@@ -282,8 +287,59 @@ pub struct ModelCheckRecord {
     pub smoke: bool,
 }
 
+/// One representation-scale measurement from the frontier-engine
+/// experiments (PR 7): the same instance run through the map-backed
+/// engine path (`series = "map_engine"`) and the flat CSR-native
+/// frontier path (`series = "frontier_engine"`), with the resident
+/// representation cost alongside the throughput so the
+/// bytes-per-half-edge trajectory is tracked the same way steps/sec is.
+/// Appended to [`FRONTIER_TRAJECTORY`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierRecord {
+    /// Which harness produced the record (`exp_throughput`).
+    pub bench: String,
+    /// Measurement series: `map_engine` (the before row — map-backed
+    /// instance + `run_engine`) or `frontier_engine` (the after row —
+    /// streaming CSR instance + `run_engine_frontier`).
+    pub series: String,
+    /// Algorithm name as reported by the engine ("PR").
+    pub algorithm: String,
+    /// Instance family ("chain_away", "grid_away").
+    pub family: String,
+    /// Node count of the instance.
+    pub n: usize,
+    /// Half-edge count (2m) of the instance.
+    pub half_edges: usize,
+    /// CPUs available to the process when the record was taken.
+    pub cpus: usize,
+    /// Node-steps executed in the measured run.
+    pub steps: usize,
+    /// Wall-clock time of the measured run, nanoseconds.
+    pub elapsed_ns: u64,
+    /// `steps / elapsed` — the throughput figure.
+    pub steps_per_sec: f64,
+    /// Resident bytes of the run's long-lived representation: for the
+    /// after row, the frontier engine's measured footprint (CSR
+    /// arrays, direction bitset, list bitset, tracker); for the before
+    /// row, the retired pre-PR-7 layout's arithmetic on the same
+    /// instance (per-slot `sources` array and byte-per-half-edge dirs
+    /// included).
+    pub resident_bytes: usize,
+    /// `resident_bytes / n`.
+    pub bytes_per_node: f64,
+    /// `resident_bytes / half_edges` — the headline memory figure the
+    /// acceptance gate bounds at 16 for the frontier engine.
+    pub bytes_per_half_edge: f64,
+    /// Whether the run was taken in `LR_BENCH_SMOKE=1` one-sample mode.
+    pub smoke: bool,
+}
+
 /// File name of the scenario trajectory at the repository root.
 pub const SCENARIO_TRAJECTORY: &str = "BENCH_pr4.json";
+
+/// File name of the frontier/representation trajectory at the
+/// repository root.
+pub const FRONTIER_TRAJECTORY: &str = "BENCH_pr7.json";
 
 /// File name of the model-checking trajectory at the repository root.
 pub const MODEL_CHECK_TRAJECTORY: &str = "BENCH_pr6.json";
@@ -514,6 +570,32 @@ mod tests {
         let mc = trajectory_path_named(MODEL_CHECK_TRAJECTORY);
         assert!(mc.ends_with("BENCH_pr6.json"));
         assert_eq!(mc.parent(), trajectory_path().parent());
+    }
+
+    #[test]
+    fn frontier_records_round_trip_through_vendored_serde_json() {
+        let rows = vec![FrontierRecord {
+            bench: "exp_throughput".into(),
+            series: "frontier_engine".into(),
+            algorithm: "PR".into(),
+            family: "grid_away".into(),
+            n: 1_000_000,
+            half_edges: 3_996_000,
+            cpus: BenchRecord::available_cpus(),
+            steps: 1_997_001,
+            elapsed_ns: 250_000_000,
+            steps_per_sec: BenchRecord::throughput(1_997_001, 250_000_000),
+            resident_bytes: 58_000_000,
+            bytes_per_node: 58.0,
+            bytes_per_half_edge: 14.5,
+            smoke: false,
+        }];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<FrontierRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows);
+        let p = trajectory_path_named(FRONTIER_TRAJECTORY);
+        assert!(p.ends_with("BENCH_pr7.json"));
+        assert_eq!(p.parent(), trajectory_path().parent());
     }
 
     #[test]

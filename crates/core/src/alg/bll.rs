@@ -105,8 +105,12 @@ impl<'a> BllEngine<'a> {
 }
 
 impl ReversalEngine for BllEngine<'_> {
-    fn instance(&self) -> &ReversalInstance {
-        self.inst
+    fn instance(&self) -> Option<&ReversalInstance> {
+        Some(self.inst)
+    }
+
+    fn dest(&self) -> NodeId {
+        self.inst.dest
     }
 
     fn csr(&self) -> &Arc<CsrGraph> {

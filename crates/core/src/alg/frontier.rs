@@ -1,0 +1,343 @@
+//! A flat, CSR-native Partial Reversal engine for million-node scale.
+//!
+//! [`FrontierPrEngine`] implements the exact transition function of
+//! Algorithm 3 (`OneStepPR`, see [`super::pr`]) — same target selection,
+//! same list bookkeeping, same `"PR"` name in reports — over a
+//! [`CsrInstance`] instead of a map-backed [`lr_graph::ReversalInstance`]:
+//!
+//! * edge directions are the bit-packed [`MirroredDirs`] (1 bit per
+//!   half-edge slot, twin bit updated in the same pass);
+//! * the per-node `list[u]` sets are **also** one bit per half-edge
+//!   slot: the bit of slot `(u, v)` is set iff `v ∈ list[u]` — the paper
+//!   only ever asks "is neighbor `v` in `list[u]`?" and "is the list
+//!   full?", both of which are masked word reads over `u`'s slot range;
+//! * the enabled set is the incremental [`EnabledTracker`], whose batch
+//!   merge is the greedy-round boundary for
+//!   [`crate::engine::run_engine_frontier`].
+//!
+//! Nothing in the engine's steady state is proportional to anything but
+//! the CSR arrays (≈ 8 bytes/half-edge) and a few bitsets and per-node
+//! words (≈ 0.4 bytes/half-edge + ~8 bytes/node), so a 1,000,000-node
+//! instance runs in tens of megabytes where the map-backed frontend
+//! would need gigabytes. The differential suite
+//! (`tests/frontier_differential.rs`) pins it step-for-step to
+//! [`super::PrEngine`] on every tested size and schedule.
+
+use std::sync::Arc;
+
+use lr_graph::{CsrGraph, CsrInstance, NodeId, Orientation};
+
+use crate::alg::ReversalEngine;
+use crate::{EnabledTracker, MirroredDirs, PlanAux, StepOutcome, StepScratch};
+
+/// Pops (counts) the set bits of `words` within slot range `start..end`.
+fn count_bits_in_range(words: &[u64], start: usize, end: usize) -> usize {
+    if start >= end {
+        return 0;
+    }
+    let (w0, w1) = (start >> 6, (end - 1) >> 6);
+    let lo = !0u64 << (start & 63);
+    let hi = !0u64 >> (63 - ((end - 1) & 63));
+    if w0 == w1 {
+        (words[w0] & lo & hi).count_ones() as usize
+    } else {
+        (words[w0] & lo).count_ones() as usize
+            + (words[w1] & hi).count_ones() as usize
+            + words[w0 + 1..w1]
+                .iter()
+                .map(|&w| w.count_ones() as usize)
+                .sum::<usize>()
+    }
+}
+
+/// Clears every bit of `words` within slot range `start..end`.
+fn clear_bits_in_range(words: &mut [u64], start: usize, end: usize) {
+    if start >= end {
+        return;
+    }
+    let (w0, w1) = (start >> 6, (end - 1) >> 6);
+    let lo = !0u64 << (start & 63);
+    let hi = !0u64 >> (63 - ((end - 1) & 63));
+    if w0 == w1 {
+        words[w0] &= !(lo & hi);
+    } else {
+        words[w0] &= !lo;
+        words[w1] &= !hi;
+        for w in &mut words[w0 + 1..w1] {
+            *w = 0;
+        }
+    }
+}
+
+/// `OneStepPR` (Algorithm 3) over a flat [`CsrInstance`]: bit-packed
+/// directions, bit-packed lists, incremental enabled set.
+#[derive(Debug, Clone)]
+pub struct FrontierPrEngine {
+    /// The initial configuration, retained for [`ReversalEngine::reset`]
+    /// (an `Arc`'d CSR plus one bit per half-edge — cheap to keep).
+    init: CsrInstance,
+    dirs: MirroredDirs,
+    /// `list[u] ∋ v` ⟺ the bit of slot `(u, v)` is set. Initially all
+    /// clear (Algorithm 1/3 start with empty lists).
+    list: Vec<u64>,
+    tracker: EnabledTracker,
+}
+
+impl FrontierPrEngine {
+    /// Creates the engine in the initial state of `inst`.
+    pub fn new(inst: CsrInstance) -> Self {
+        let dirs = MirroredDirs::from_csr_instance(&inst);
+        let list = vec![0u64; inst.half_edge_count().div_ceil(64)];
+        let tracker = EnabledTracker::from_dirs(&dirs, inst.dest());
+        FrontierPrEngine {
+            init: inst,
+            dirs,
+            list,
+            tracker,
+        }
+    }
+
+    /// The current bit-packed direction state.
+    pub fn dirs(&self) -> &MirroredDirs {
+        &self.dirs
+    }
+
+    /// Total resident bytes of the engine's steady state: the shared CSR
+    /// arrays, the direction and list bitsets, the retained initial
+    /// bitset, and the tracker's per-node out-counts. This is the number
+    /// the `BENCH_pr7` memory rows report.
+    pub fn resident_bytes(&self) -> usize {
+        let csr = self.init.csr();
+        csr.resident_bytes()
+            + self.dirs.resident_bytes()
+            + self.list.len() * 8
+            + self.init.half_edge_count().div_ceil(64) * 8
+            + csr.node_count() * 4 // tracker out-counts
+    }
+
+    /// Whether `v` (a slot of `u`'s range) is in `list[u]`.
+    #[inline]
+    fn list_has(&self, slot: usize) -> bool {
+        self.list[slot >> 6] >> (slot & 63) & 1 == 1
+    }
+
+    fn is_sink_at(&self, idx: usize) -> bool {
+        self.dirs.is_sink_at(idx)
+    }
+}
+
+impl ReversalEngine for FrontierPrEngine {
+    // `instance()` stays the default `None`: this engine exists so the
+    // map-backed representation never materializes.
+
+    fn dest(&self) -> NodeId {
+        self.init.dest()
+    }
+
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.init.csr()
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "PR"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.dirs.is_sink(u)
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
+    }
+
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.dest(), "destination {u} never takes steps");
+        let csr = self.init.csr();
+        let ui = csr.index_of(u).expect("stepping node exists");
+        assert!(
+            self.is_sink_at(ui),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        // The exact rule of `pr_select_targets`: reverse the neighbors
+        // not in `list[u]`, unless the list holds all of them, in which
+        // case reverse everything. Neighbor slots are ascending by id.
+        let r = csr.slots(ui);
+        let list_is_full = count_bits_in_range(&self.list, r.start, r.end) == csr.degree(ui);
+        scratch.clear();
+        for slot in r {
+            if list_is_full || !self.list_has(slot) {
+                scratch.reversed.push(csr.node(csr.target(slot)));
+            }
+        }
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: false,
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], _aux: PlanAux) {
+        let csr = Arc::clone(self.init.csr());
+        let ui = csr.index_of(u).expect("planned node");
+        // One pass over u's slot range does all three effects of
+        // `pr_apply_targets`: reverse each planned edge (both copies),
+        // record u in the reversed neighbor's list (the twin slot's bit),
+        // and — afterwards — empty list[u].
+        let mut k = 0;
+        for slot in csr.slots(ui) {
+            if k == reversed.len() {
+                break;
+            }
+            if csr.node(csr.target(slot)) == reversed[k] {
+                self.dirs.reverse_outward_at(slot);
+                let twin = csr.twin(slot);
+                self.list[twin >> 6] |= 1 << (twin & 63);
+                k += 1;
+            }
+        }
+        assert_eq!(
+            k,
+            reversed.len(),
+            "planned targets must be an ascending subset of the node's neighbors"
+        );
+        let r = csr.slots(ui);
+        clear_bits_in_range(&mut self.list, r.start, r.end);
+        self.tracker.record_step(&csr, u, reversed);
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.dirs.orientation()
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
+    }
+
+    fn reset(&mut self) {
+        self.dirs = MirroredDirs::from_csr_instance(&self.init);
+        self.list.fill(0);
+        self.tracker = EnabledTracker::from_dirs(&self.dirs, self.init.dest());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::PrEngine;
+    use crate::engine::{run_engine, run_engine_frontier, SchedulePolicy, DEFAULT_MAX_STEPS};
+    use lr_graph::{generate, stream};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn bit_range_helpers_agree_with_naive_loops() {
+        let mut words = vec![0u64; 4];
+        for slot in [0usize, 3, 63, 64, 127, 128, 200, 255] {
+            words[slot >> 6] |= 1 << (slot & 63);
+        }
+        let naive = |w: &[u64], a: usize, b: usize| {
+            (a..b).filter(|&s| w[s >> 6] >> (s & 63) & 1 == 1).count()
+        };
+        for (a, b) in [
+            (0, 256),
+            (0, 1),
+            (3, 64),
+            (63, 65),
+            (64, 128),
+            (5, 200),
+            (10, 10),
+        ] {
+            assert_eq!(
+                count_bits_in_range(&words, a, b),
+                naive(&words, a, b),
+                "{a}..{b}"
+            );
+        }
+        let mut cleared = words.clone();
+        clear_bits_in_range(&mut cleared, 63, 129);
+        for s in 0..256 {
+            let expect = if (63..129).contains(&s) {
+                0
+            } else {
+                words[s >> 6] >> (s & 63) & 1
+            };
+            assert_eq!(cleared[s >> 6] >> (s & 63) & 1, expect, "slot {s}");
+        }
+    }
+
+    #[test]
+    fn first_step_with_empty_list_reverses_everything() {
+        let mut e = FrontierPrEngine::new(stream::chain_away(3));
+        let step = e.step(n(2));
+        assert_eq!(step.reversed, vec![n(1)]);
+        assert!(!e.is_sink(n(2)));
+    }
+
+    #[test]
+    fn list_members_are_spared() {
+        let mut e = FrontierPrEngine::new(stream::chain_away(4));
+        e.step(n(3)); // list[2] = {3}
+        let step = e.step(n(2)); // spares 3
+        assert_eq!(step.reversed, vec![n(1)]);
+    }
+
+    #[test]
+    fn matches_map_backed_pr_engine_step_for_step() {
+        for seed in 0..8 {
+            let inst = generate::random_connected(24, 20, 300 + seed);
+            let flat = stream::random_connected(24, 20, 300 + seed);
+            let mut a = FrontierPrEngine::new(flat);
+            let mut b = PrEngine::new(&inst);
+            let mut steps = 0;
+            loop {
+                assert_eq!(a.enabled(), b.enabled(), "seed {seed}");
+                let Some(&u) = a.enabled().first() else { break };
+                let sa = a.step(u);
+                let sb = b.step(u);
+                assert_eq!(sa, sb, "seed {seed} step {steps}");
+                steps += 1;
+                assert!(steps < 100_000);
+            }
+            assert_eq!(a.orientation(), b.orientation());
+        }
+    }
+
+    #[test]
+    fn run_engine_frontier_equals_run_engine_on_the_flat_engine() {
+        let mut a = FrontierPrEngine::new(stream::grid_away(9, 11));
+        let mut b = a.clone();
+        let sa = run_engine(&mut a, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        let sb = run_engine_frontier(&mut b, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        assert_eq!(sa, sb);
+        assert_eq!(a.orientation(), b.orientation());
+    }
+
+    #[test]
+    fn reset_restores_the_initial_state() {
+        let mut e = FrontierPrEngine::new(stream::grid_away(4, 5));
+        let fresh = e.clone();
+        run_engine_frontier(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        assert!(e.is_terminated());
+        e.reset();
+        assert_eq!(e.dirs(), fresh.dirs());
+        assert_eq!(e.enabled(), fresh.enabled());
+    }
+
+    #[test]
+    fn resident_bytes_stays_within_the_scale_budget() {
+        let e = FrontierPrEngine::new(stream::grid_away(32, 32));
+        let he = 2 * (2 * 32 * 31); // grid edge count × 2
+        assert!(
+            e.resident_bytes() <= 16 * he,
+            "{} bytes for {} half-edges",
+            e.resident_bytes(),
+            he
+        );
+    }
+}

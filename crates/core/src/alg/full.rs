@@ -85,8 +85,12 @@ impl<'a> FullReversalEngine<'a> {
 }
 
 impl ReversalEngine for FullReversalEngine<'_> {
-    fn instance(&self) -> &ReversalInstance {
-        self.inst
+    fn instance(&self) -> Option<&ReversalInstance> {
+        Some(self.inst)
+    }
+
+    fn dest(&self) -> NodeId {
+        self.inst.dest
     }
 
     fn csr(&self) -> &Arc<CsrGraph> {

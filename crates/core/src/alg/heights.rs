@@ -60,8 +60,8 @@ fn initial_positions(inst: &ReversalInstance, csr: &CsrGraph) -> Vec<usize> {
 /// Builds the enabled tracker for a height vector: the slot's edge points
 /// out of its source iff the source's height is the larger one.
 fn height_tracker<H: Ord>(csr: &CsrGraph, dest: NodeId, heights: &[H]) -> EnabledTracker {
-    EnabledTracker::new(csr, dest, |slot| {
-        heights[csr.source(slot)] > heights[csr.target(slot)]
+    EnabledTracker::new(csr, dest, |slot, src| {
+        heights[src] > heights[csr.target(slot)]
     })
 }
 
@@ -78,14 +78,16 @@ fn height_is_sink_at<H: Ord>(csr: &CsrGraph, heights: &[H], idx: usize) -> bool 
 /// the higher endpoint to the lower.
 fn height_orientation<H: Ord>(csr: &CsrGraph, heights: &[H]) -> Orientation {
     let mut o = Orientation::new();
-    for slot in 0..csr.half_edge_count() {
-        let (src, dst) = (csr.source(slot), csr.target(slot));
-        if src < dst {
-            let (u, v) = (csr.node(src), csr.node(dst));
-            if heights[src] > heights[dst] {
-                o.set_from_to(u, v);
-            } else {
-                o.set_from_to(v, u);
+    for src in 0..csr.node_count() {
+        for slot in csr.slots(src) {
+            let dst = csr.target(slot);
+            if src < dst {
+                let (u, v) = (csr.node(src), csr.node(dst));
+                if heights[src] > heights[dst] {
+                    o.set_from_to(u, v);
+                } else {
+                    o.set_from_to(v, u);
+                }
             }
         }
     }
@@ -142,8 +144,12 @@ impl<'a> PairHeightsEngine<'a> {
 }
 
 impl ReversalEngine for PairHeightsEngine<'_> {
-    fn instance(&self) -> &ReversalInstance {
-        self.inst
+    fn instance(&self) -> Option<&ReversalInstance> {
+        Some(self.inst)
+    }
+
+    fn dest(&self) -> NodeId {
+        self.inst.dest
     }
 
     fn csr(&self) -> &Arc<CsrGraph> {
@@ -261,8 +267,12 @@ impl<'a> TripleHeightsEngine<'a> {
 }
 
 impl ReversalEngine for TripleHeightsEngine<'_> {
-    fn instance(&self) -> &ReversalInstance {
-        self.inst
+    fn instance(&self) -> Option<&ReversalInstance> {
+        Some(self.inst)
+    }
+
+    fn dest(&self) -> NodeId {
+        self.inst.dest
     }
 
     fn csr(&self) -> &Arc<CsrGraph> {

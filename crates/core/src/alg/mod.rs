@@ -14,12 +14,14 @@
 //! is what is benchmarked.
 
 mod bll;
+mod frontier;
 mod full;
 mod heights;
 mod newpr;
 mod pr;
 
 pub use bll::{BllEngine, BllLabeling, BllState};
+pub use frontier::FrontierPrEngine;
 pub use full::{FullReversalAutomaton, FullReversalEngine, FullReversalState};
 pub use heights::{PairHeight, PairHeightsEngine, TripleHeight, TripleHeightsEngine};
 pub use newpr::{newpr_step, NewPrAutomaton, NewPrEngine, NewPrState, Parity};
@@ -74,8 +76,19 @@ use crate::{PlanAux, ReversalStep, StepOutcome, StepScratch};
 /// those plan workers; engines hold only plain data and are naturally
 /// `Sync`.
 pub trait ReversalEngine: Sync {
-    /// The instance this engine runs on.
-    fn instance(&self) -> &ReversalInstance;
+    /// The map-backed instance this engine runs on, when it was built
+    /// from a [`ReversalInstance`] frontend. Flat CSR-native engines
+    /// (built from a streaming [`lr_graph::CsrInstance`], whose whole
+    /// point is to never materialize the map representation) return
+    /// `None`; callers that genuinely need the map form — trace
+    /// recording, the invariant checkers — must request a map-backed
+    /// engine.
+    fn instance(&self) -> Option<&ReversalInstance> {
+        None
+    }
+
+    /// The destination node of the instance (never takes steps).
+    fn dest(&self) -> NodeId;
 
     /// The CSR snapshot of the instance's graph shared by this engine's
     /// state (dense `NodeId → usize` indexing for run-loop work vectors).
@@ -253,7 +266,8 @@ mod tests {
         let inst = generate::chain_away(4);
         for kind in AlgorithmKind::ALL {
             let e = kind.engine(&inst);
-            assert_eq!(e.instance().dest, inst.dest);
+            assert_eq!(e.dest(), inst.dest);
+            assert_eq!(e.instance().expect("map-backed engine").dest, inst.dest);
             assert!(!e.is_terminated(), "{} should have work", kind.name());
             assert_eq!(e.enabled(), &[lr_graph::NodeId::new(3)][..]);
             // The allocating compat wrapper must mirror the borrowed view.

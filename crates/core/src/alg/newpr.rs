@@ -136,8 +136,12 @@ impl<'a> NewPrEngine<'a> {
 }
 
 impl ReversalEngine for NewPrEngine<'_> {
-    fn instance(&self) -> &ReversalInstance {
-        self.inst
+    fn instance(&self) -> Option<&ReversalInstance> {
+        Some(self.inst)
+    }
+
+    fn dest(&self) -> NodeId {
+        self.inst.dest
     }
 
     fn csr(&self) -> &Arc<CsrGraph> {

@@ -161,8 +161,12 @@ impl<'a> PrEngine<'a> {
 }
 
 impl ReversalEngine for PrEngine<'_> {
-    fn instance(&self) -> &ReversalInstance {
-        self.inst
+    fn instance(&self) -> Option<&ReversalInstance> {
+        Some(self.inst)
+    }
+
+    fn dest(&self) -> NodeId {
+        self.inst.dest
     }
 
     fn csr(&self) -> &Arc<CsrGraph> {

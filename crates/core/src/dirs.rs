@@ -8,30 +8,42 @@
 //! Invariant 3.1 is a falsifiable property of the implementation rather
 //! than true by construction.
 //!
-//! Since PR 2 the duplicated state lives in a flat `Vec<EdgeDir>` indexed
-//! by [`CsrGraph`] half-edge slot instead of a
-//! `BTreeMap<(NodeId, NodeId), EdgeDir>`: the slot of `(u, v)` and the
-//! slot of `(v, u)` are **distinct array entries** (related by the twin
-//! table), so the representation is exactly as falsifiable as the map was
-//! — [`MirroredDirs::set_one_sided`] can still desynchronize the two
-//! copies and [`MirroredDirs::check_consistency`] still has a real
-//! property to check — while every lookup on the execution hot path is an
-//! array index instead of an ordered-map walk.
+//! Since PR 2 the duplicated state lives in a flat array indexed by
+//! [`CsrGraph`] half-edge slot instead of a
+//! `BTreeMap<(NodeId, NodeId), EdgeDir>`, and since PR 7 that array is
+//! **bit-packed**: one bit per half-edge slot (set ⟺ `out`) in a `u64`
+//! word vector, an 8× shrink over the former `Vec<EdgeDir>`. The slot of
+//! `(u, v)` and the slot of `(v, u)` remain **distinct bits** (related by
+//! the twin table), so the representation is exactly as falsifiable as
+//! the map was — [`MirroredDirs::set_one_sided`] can still desynchronize
+//! the two copies and [`MirroredDirs::check_consistency`] still has a
+//! real property to check — while every lookup on the execution hot path
+//! is a masked word read.
 
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use lr_graph::{CsrGraph, EdgeDir, NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, CsrInstance, EdgeDir, NodeId, Orientation, ReversalInstance};
+
+/// The word index and bit mask of a half-edge slot.
+#[inline]
+fn word_bit(slot: usize) -> (usize, u64) {
+    (slot >> 6, 1u64 << (slot & 63))
+}
 
 /// Both-endpoint edge direction state: `dir[u, v]` for every ordered pair
-/// of adjacent `u, v`, stored in a half-edge-slot-indexed flat vector
-/// over a shared [`CsrGraph`].
+/// of adjacent `u, v`, stored as one bit per half-edge slot (set ⟺
+/// `out`) over a shared [`CsrGraph`].
 #[derive(Debug, Clone)]
 pub struct MirroredDirs {
     csr: Arc<CsrGraph>,
-    /// `dirs[slot of (u, v)] = dir[u, v]`; the twin slot holds the other
-    /// endpoint's independent copy.
-    dirs: Vec<EdgeDir>,
+    /// Packed directions: bit `slot` of `words[slot / 64]` is 1 iff
+    /// `dir[u, v] = out` for the slot of `(u, v)`; the twin slot's bit
+    /// holds the other endpoint's independent copy. Padding bits beyond
+    /// `len` stay zero so word-level `Eq`/`Hash` are well defined.
+    words: Vec<u64>,
+    /// Number of valid slots (= the CSR half-edge count).
+    len: usize,
 }
 
 /// A violation of Invariant 3.1: the two per-endpoint copies of an edge
@@ -55,17 +67,34 @@ impl MirroredDirs {
     /// instance's CSR snapshot; clones share it.
     pub fn from_instance(inst: &ReversalInstance) -> Self {
         let csr = Arc::new(CsrGraph::from_graph(&inst.graph));
-        let mut dirs = Vec::with_capacity(csr.half_edge_count());
-        for slot in 0..csr.half_edge_count() {
-            let u = csr.node(csr.source(slot));
-            let v = csr.node(csr.target(slot));
-            dirs.push(
-                inst.init
+        let len = csr.half_edge_count();
+        let mut words = vec![0u64; len.div_ceil(64)];
+        for ui in 0..csr.node_count() {
+            let u = csr.node(ui);
+            for slot in csr.slots(ui) {
+                let v = csr.node(csr.target(slot));
+                let d = inst
+                    .init
                     .dir(u, v)
-                    .expect("instance orientation covers every edge"),
-            );
+                    .expect("instance orientation covers every edge");
+                if d == EdgeDir::Out {
+                    let (w, m) = word_bit(slot);
+                    words[w] |= m;
+                }
+            }
         }
-        MirroredDirs { csr, dirs }
+        MirroredDirs { csr, words, len }
+    }
+
+    /// Initializes from a flat [`CsrInstance`]: shares its CSR and copies
+    /// its packed orientation words verbatim — O(m / 64), no per-edge
+    /// work, which is what makes million-node engine construction cheap.
+    pub fn from_csr_instance(inst: &CsrInstance) -> Self {
+        MirroredDirs {
+            csr: Arc::clone(inst.csr()),
+            words: inst.init_out_words().to_vec(),
+            len: inst.half_edge_count(),
+        }
     }
 
     /// The shared CSR snapshot the directions are indexed by.
@@ -90,12 +119,18 @@ impl MirroredDirs {
     ///
     /// Panics if `{u, v}` is not an edge, which indicates a harness bug.
     pub fn dir(&self, u: NodeId, v: NodeId) -> EdgeDir {
-        self.dirs[self.slot_or_panic(u, v)]
+        self.dir_at(self.slot_or_panic(u, v))
     }
 
     /// `dir` by half-edge slot — the allocation-free hot-path accessor.
     pub fn dir_at(&self, slot: usize) -> EdgeDir {
-        self.dirs[slot]
+        assert!(slot < self.len, "slot {slot} out of range");
+        let (w, m) = word_bit(slot);
+        if self.words[w] & m != 0 {
+            EdgeDir::Out
+        } else {
+            EdgeDir::In
+        }
     }
 
     /// Executes the paper's reversal assignment for one edge as performed
@@ -110,11 +145,13 @@ impl MirroredDirs {
     }
 
     /// [`MirroredDirs::reverse_outward`] by half-edge slot: assigns both
-    /// copies through the twin table in O(1).
+    /// copies — the slot's bit and its twin's — in the same pass, O(1).
     pub fn reverse_outward_at(&mut self, slot: usize) {
-        self.dirs[slot] = EdgeDir::Out;
-        let twin = self.csr.twin(slot);
-        self.dirs[twin] = EdgeDir::In;
+        assert!(slot < self.len, "slot {slot} out of range");
+        let (w, m) = word_bit(slot);
+        self.words[w] |= m;
+        let (tw, tm) = word_bit(self.csr.twin(slot));
+        self.words[tw] &= !tm;
     }
 
     /// Reverses the edges from the node at dense index `ui` to each of
@@ -154,7 +191,11 @@ impl MirroredDirs {
     #[doc(hidden)]
     pub fn set_one_sided(&mut self, u: NodeId, v: NodeId, d: EdgeDir) {
         let slot = self.slot_or_panic(u, v);
-        self.dirs[slot] = d;
+        let (w, m) = word_bit(slot);
+        match d {
+            EdgeDir::Out => self.words[w] |= m,
+            EdgeDir::In => self.words[w] &= !m,
+        }
     }
 
     /// Checks Invariant 3.1: for each edge `{u, v}`,
@@ -164,17 +205,20 @@ impl MirroredDirs {
     ///
     /// Returns the first inconsistent edge (lexicographic order).
     pub fn check_consistency(&self) -> Result<(), DirInconsistency> {
-        for slot in 0..self.dirs.len() {
-            let (src, dst) = (self.csr.source(slot), self.csr.target(slot));
-            if src < dst {
-                let back = self.dirs[self.csr.twin(slot)];
-                if back != self.dirs[slot].flipped() {
-                    return Err(DirInconsistency {
-                        u: self.csr.node(src),
-                        v: self.csr.node(dst),
-                        dir_uv: self.dirs[slot],
-                        dir_vu: back,
-                    });
+        for src in 0..self.csr.node_count() {
+            for slot in self.csr.slots(src) {
+                let dst = self.csr.target(slot);
+                if src < dst {
+                    let here = self.dir_at(slot);
+                    let back = self.dir_at(self.csr.twin(slot));
+                    if back != here.flipped() {
+                        return Err(DirInconsistency {
+                            u: self.csr.node(src),
+                            v: self.csr.node(dst),
+                            dir_uv: here,
+                            dir_vu: back,
+                        });
+                    }
                 }
             }
         }
@@ -183,10 +227,23 @@ impl MirroredDirs {
 
     /// Whether the node at dense index `idx` is a sink *from its own
     /// perspective*: it has at least one incident edge and every one of
-    /// its half-edge slots reads `in`. O(Δ), allocation-free.
+    /// its half-edge slots reads `in`. Word-masked — O(Δ / 64),
+    /// allocation-free.
     pub fn is_sink_at(&self, idx: usize) -> bool {
-        let slots = self.csr.slots(idx);
-        !slots.is_empty() && slots.into_iter().all(|s| self.dirs[s] == EdgeDir::In)
+        let r = self.csr.slots(idx);
+        if r.is_empty() {
+            return false;
+        }
+        let (w0, w1) = (r.start >> 6, (r.end - 1) >> 6);
+        let lo = !0u64 << (r.start & 63);
+        let hi = !0u64 >> (63 - ((r.end - 1) & 63));
+        if w0 == w1 {
+            self.words[w0] & lo & hi == 0
+        } else {
+            self.words[w0] & lo == 0
+                && self.words[w1] & hi == 0
+                && self.words[w0 + 1..w1].iter().all(|&w| w == 0)
+        }
     }
 
     /// Whether `u` is a sink *from `u`'s own perspective*: it has at least
@@ -197,12 +254,12 @@ impl MirroredDirs {
         self.csr.index_of(u).is_some_and(|idx| self.is_sink_at(idx))
     }
 
-    /// All sinks in ascending node order.
-    pub fn sinks(&self) -> Vec<NodeId> {
+    /// All sinks in ascending node order, lazily — no allocation per
+    /// call; collect or iterate as the caller needs.
+    pub fn sinks(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.csr.node_count())
             .filter(|&i| self.is_sink_at(i))
             .map(|i| self.csr.node(i))
-            .collect()
     }
 
     /// Extracts the single-copy [`Orientation`] (using each edge's
@@ -210,13 +267,15 @@ impl MirroredDirs {
     /// directed graph `G'` of the state.
     pub fn orientation(&self) -> Orientation {
         let mut o = Orientation::new();
-        for slot in 0..self.dirs.len() {
-            let (src, dst) = (self.csr.source(slot), self.csr.target(slot));
-            if src < dst {
-                let (u, v) = (self.csr.node(src), self.csr.node(dst));
-                match self.dirs[slot] {
-                    EdgeDir::Out => o.set_from_to(u, v),
-                    EdgeDir::In => o.set_from_to(v, u),
+        for src in 0..self.csr.node_count() {
+            for slot in self.csr.slots(src) {
+                let dst = self.csr.target(slot);
+                if src < dst {
+                    let (u, v) = (self.csr.node(src), self.csr.node(dst));
+                    match self.dir_at(slot) {
+                        EdgeDir::Out => o.set_from_to(u, v),
+                        EdgeDir::In => o.set_from_to(v, u),
+                    }
                 }
             }
         }
@@ -225,12 +284,17 @@ impl MirroredDirs {
 
     /// Number of ordered direction entries (= 2 × edge count).
     pub fn len(&self) -> usize {
-        self.dirs.len()
+        self.len
     }
 
     /// `true` when there are no edges.
     pub fn is_empty(&self) -> bool {
-        self.dirs.is_empty()
+        self.len == 0
+    }
+
+    /// Resident size of the packed direction words in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * 8
     }
 }
 
@@ -238,9 +302,13 @@ impl MirroredDirs {
 // direction states are equal when they describe the same graph with the
 // same per-endpoint assignments. States of one execution always share
 // their `Arc`, so the structural comparison is only hit across instances.
+// Padding bits are kept zero by every mutator, so whole-word comparison
+// is exact.
 impl PartialEq for MirroredDirs {
     fn eq(&self, other: &Self) -> bool {
-        self.dirs == other.dirs && (Arc::ptr_eq(&self.csr, &other.csr) || self.csr == other.csr)
+        self.len == other.len
+            && self.words == other.words
+            && (Arc::ptr_eq(&self.csr, &other.csr) || self.csr == other.csr)
     }
 }
 
@@ -248,7 +316,7 @@ impl Eq for MirroredDirs {}
 
 impl Hash for MirroredDirs {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.dirs.hash(state);
+        self.words.hash(state);
     }
 }
 
@@ -294,11 +362,27 @@ mod tests {
     }
 
     #[test]
+    fn from_csr_instance_matches_from_instance() {
+        let inst = generate::random_connected(14, 12, 9);
+        let via_map = MirroredDirs::from_instance(&inst);
+        let via_flat = MirroredDirs::from_csr_instance(&CsrInstance::from_instance(&inst));
+        assert_eq!(via_map, via_flat);
+    }
+
+    #[test]
     #[should_panic(expected = "no edge")]
     fn dir_of_non_edge_panics() {
         let inst = generate::chain_away(3);
         let d = MirroredDirs::from_instance(&inst);
         let _ = d.dir(n(0), n(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dir_at_rejects_out_of_range_slots() {
+        let inst = generate::chain_away(3);
+        let d = MirroredDirs::from_instance(&inst);
+        let _ = d.dir_at(4); // 4 half-edges: valid slots are 0..4
     }
 
     #[test]
@@ -325,7 +409,7 @@ mod tests {
     #[test]
     fn both_copies_are_distinct_storage() {
         // The falsifiability guarantee: writing one ordered pair must not
-        // implicitly write the other.
+        // implicitly write the other — one bit flips, its twin does not.
         let inst = generate::chain_away(3);
         let mut d = MirroredDirs::from_instance(&inst);
         d.set_one_sided(n(2), n(1), EdgeDir::Out);
@@ -341,7 +425,23 @@ mod tests {
         assert!(d.is_sink(n(3)));
         assert!(!d.is_sink(n(0)));
         assert!(!d.is_sink(n(1)));
-        assert_eq!(d.sinks(), vec![n(3)]);
+        assert_eq!(d.sinks().collect::<Vec<_>>(), vec![n(3)]);
+    }
+
+    #[test]
+    fn sink_detection_across_word_boundaries() {
+        // A star with 100 leaves gives the center a 100-slot range
+        // spanning two and a half words; after every leaf reverses, the
+        // center's whole range reads `in`.
+        let inst = generate::star_away(100);
+        let mut d = MirroredDirs::from_instance(&inst);
+        assert!(!d.is_sink(n(0)));
+        for leaf in 1..=100u32 {
+            assert!(d.is_sink(n(leaf)), "leaf {leaf} starts as a sink");
+            d.reverse_outward(n(leaf), n(0));
+        }
+        assert!(d.is_sink(n(0)));
+        assert_eq!(d.sinks().collect::<Vec<_>>(), vec![n(0)]);
     }
 
     #[test]

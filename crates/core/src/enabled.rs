@@ -62,15 +62,20 @@ pub struct EnabledTracker {
 
 impl EnabledTracker {
     /// Builds the tracker by scanning every half-edge slot once:
-    /// `edge_out(slot)` reports whether the slot's edge currently points
-    /// *out of* its source node.
-    pub fn new(csr: &CsrGraph, dest: NodeId, mut edge_out: impl FnMut(usize) -> bool) -> Self {
+    /// `edge_out(slot, src)` reports whether the slot's edge currently
+    /// points *out of* its source node `src` (passed by dense index so
+    /// callers never resolve a slot back to its owner).
+    pub fn new(
+        csr: &CsrGraph,
+        dest: NodeId,
+        mut edge_out: impl FnMut(usize, usize) -> bool,
+    ) -> Self {
         let dest_idx = csr.index_of(dest).expect("destination is a node");
         let mut out_count = vec![0u32; csr.node_count()];
-        for slot in 0..csr.half_edge_count() {
-            if edge_out(slot) {
-                out_count[csr.source(slot)] += 1;
-            }
+        for (src, count) in out_count.iter_mut().enumerate() {
+            // Per-node slot ranges instead of a per-slot `csr.source`
+            // lookup: the source is the loop variable.
+            *count = csr.slots(src).filter(|&slot| edge_out(slot, src)).count() as u32;
         }
         let enabled = (0..csr.node_count())
             .filter(|&i| i != dest_idx && csr.degree(i) > 0 && out_count[i] == 0)
@@ -89,7 +94,7 @@ impl EnabledTracker {
 
     /// Builds the tracker from a [`crate::MirroredDirs`] state.
     pub fn from_dirs(dirs: &crate::MirroredDirs, dest: NodeId) -> Self {
-        EnabledTracker::new(dirs.csr(), dest, |slot| {
+        EnabledTracker::new(dirs.csr(), dest, |slot, _src| {
             dirs.dir_at(slot) == lr_graph::EdgeDir::Out
         })
     }

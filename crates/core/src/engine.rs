@@ -171,11 +171,15 @@ enum StepMode {
 
 fn scan_enabled(buf: &mut Vec<NodeId>, engine: &dyn ReversalEngine) {
     buf.clear();
-    let inst = engine.instance();
+    let dest = engine.dest();
+    // CSR nodes are in the same ascending order the map frontend
+    // produces, so the scan is usable for map-backed and flat engines
+    // alike.
     buf.extend(
-        inst.graph
+        engine
+            .csr()
             .nodes()
-            .filter(|&u| u != inst.dest && engine.is_sink(u)),
+            .filter(|&u| u != dest && engine.is_sink(u)),
     );
 }
 
@@ -394,6 +398,75 @@ pub fn run_engine_alloc(
     )
 }
 
+/// The **frontier-driven** run loop: drives `engine` keeping only the
+/// enabled frontier (and, inside the engine, its one-hop delta) hot.
+///
+/// Each greedy round snapshots the enabled frontier into a reusable
+/// buffer, steps every frontier node through the zero-allocation
+/// pipeline, and closes the round on [`crate::EnabledTracker`]'s batch
+/// merge — so per-round work is O(frontier + reversed edges), never
+/// O(n). Single-step policies treat the policy's chosen node as a
+/// one-element frontier. The loop never touches the map-backed instance,
+/// which is what lets a flat engine like
+/// [`crate::alg::FrontierPrEngine`] run million-node instances without
+/// ever materializing one.
+///
+/// Scheduling, bookkeeping, and round counting replicate [`run_engine`]
+/// exactly; the differential suite (`tests/frontier_differential.rs`)
+/// pins the two loops to identical [`RunStats`] and final orientations
+/// on every tested engine, size, and policy.
+pub fn run_engine_frontier(
+    engine: &mut dyn ReversalEngine,
+    policy: SchedulePolicy,
+    max_steps: usize,
+) -> RunStats {
+    let algorithm = engine.algorithm_name();
+    let csr = Arc::clone(engine.csr());
+    let mut book = StepBook::new(csr.node_count());
+    let mut rounds = 0usize;
+    let mut terminated = false;
+    let mut rng = match policy {
+        SchedulePolicy::RandomSingle { seed } => Some(SmallRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut scratch = StepScratch::new();
+    let mut frontier: Vec<NodeId> = Vec::new();
+    loop {
+        if engine.is_terminated() {
+            terminated = true;
+            break;
+        }
+        if book.steps >= max_steps {
+            break;
+        }
+        rounds += 1;
+        match policy {
+            SchedulePolicy::GreedyRounds => {
+                frontier.clear();
+                frontier.extend_from_slice(engine.enabled());
+                greedy_round_zero_alloc(engine, &frontier, &mut book, &mut scratch, max_steps);
+            }
+            SchedulePolicy::RandomSingle { .. } => {
+                let rng = rng.as_mut().expect("rng initialized for RandomSingle");
+                let u = *engine.enabled().choose(rng).expect("enabled non-empty");
+                let outcome = engine.step_into(u, &mut scratch);
+                book.record(&outcome);
+            }
+            SchedulePolicy::FirstSingle | SchedulePolicy::LastSingle => {
+                let view = engine.enabled();
+                let u = if policy == SchedulePolicy::FirstSingle {
+                    *view.first().expect("non-empty")
+                } else {
+                    *view.last().expect("non-empty")
+                };
+                let outcome = engine.step_into(u, &mut scratch);
+                book.record(&outcome);
+            }
+        }
+    }
+    book.into_stats(algorithm, rounds, terminated)
+}
+
 /// Tuning for [`run_engine_parallel_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelConfig {
@@ -558,15 +631,63 @@ pub fn run_to_destination_oriented(
         "{} did not terminate within {max_steps} steps",
         stats.algorithm
     );
-    let inst = engine.instance();
     let o = engine.orientation();
-    let view = DirectedView::new(&inst.graph, &o);
-    assert!(view.is_acyclic(), "{} broke acyclicity", stats.algorithm);
-    assert!(
-        view.is_destination_oriented(inst.dest),
-        "{} terminated non-destination-oriented",
-        stats.algorithm
-    );
+    if let Some(inst) = engine.instance() {
+        let view = DirectedView::new(&inst.graph, &o);
+        assert!(view.is_acyclic(), "{} broke acyclicity", stats.algorithm);
+        assert!(
+            view.is_destination_oriented(inst.dest),
+            "{} terminated non-destination-oriented",
+            stats.algorithm
+        );
+    } else {
+        // Flat CSR-native engine: check the postcondition over the CSR
+        // snapshot. For a connected graph, destination-oriented is
+        // equivalent to acyclic with the destination as the unique sink.
+        let csr = engine.csr();
+        let dest = engine.dest();
+        let mut outdeg = vec![0u32; csr.node_count()];
+        for (src, deg) in outdeg.iter_mut().enumerate() {
+            let u = csr.node(src);
+            for slot in csr.slots(src) {
+                let v = csr.node(csr.target(slot));
+                if o.dir(u, v).expect("orientation covers every edge") == lr_graph::EdgeDir::Out {
+                    *deg += 1;
+                }
+            }
+        }
+        // Kahn's algorithm on the reverse graph: repeatedly peel sinks.
+        let mut queue: Vec<usize> = (0..csr.node_count()).filter(|&i| outdeg[i] == 0).collect();
+        for &i in &queue {
+            assert!(
+                csr.node(i) == dest || csr.degree(i) == 0,
+                "{} terminated non-destination-oriented: {} is a sink",
+                stats.algorithm,
+                csr.node(i)
+            );
+        }
+        let mut peeled = 0usize;
+        while let Some(i) = queue.pop() {
+            peeled += 1;
+            let u = csr.node(i);
+            for slot in csr.slots(i) {
+                let src = csr.target(slot);
+                let v = csr.node(src);
+                if o.dir(v, u).expect("orientation covers every edge") == lr_graph::EdgeDir::Out {
+                    outdeg[src] -= 1;
+                    if outdeg[src] == 0 {
+                        queue.push(src);
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            peeled,
+            csr.node_count(),
+            "{} broke acyclicity",
+            stats.algorithm
+        );
+    }
     stats
 }
 

@@ -362,8 +362,7 @@ mod tests {
             assert!(check_cor_3_3(&inst, &s).is_ok());
             assert!(check_cor_3_4(&inst, &s).is_ok());
             assert!(check_acyclic(&inst, &s.dirs).is_ok());
-            let sinks = s.dirs.sinks();
-            let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
+            let Some(u) = s.dirs.sinks().find(|&u| u != inst.dest) else {
                 break;
             };
             onestep_pr_step(&inst, &mut s, u);
@@ -383,8 +382,7 @@ mod tests {
             assert!(check_inv_4_1(&inst, &emb, &s).is_ok());
             assert!(check_inv_4_2(&inst, &emb, &s).is_ok());
             assert!(check_acyclic(&inst, &s.dirs).is_ok());
-            let sinks = s.dirs.sinks();
-            let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
+            let Some(u) = s.dirs.sinks().find(|&u| u != inst.dest) else {
                 break;
             };
             newpr_step(&inst, &mut s, u);

@@ -22,6 +22,9 @@
 //!   work accounting: total reversals, per-node work vectors, rounds,
 //!   dummy steps. [`engine::run_engine`] consumes the engines'
 //!   incremental enabled view through the zero-allocation step pipeline;
+//!   [`engine::run_engine_frontier`] is the frontier-driven loop for
+//!   flat CSR-native engines ([`alg::FrontierPrEngine`] runs
+//!   million-node instances through it);
 //!   [`engine::run_engine_parallel`] fans the plan phase of greedy
 //!   rounds out across worker threads; [`engine::run_engine_scan`]
 //!   (naive rescans) and [`engine::run_engine_alloc`] (per-step

@@ -52,7 +52,10 @@ impl Trace {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
 
-        let instance = engine.instance().clone();
+        let instance = engine
+            .instance()
+            .expect("trace recording needs a map-backed engine")
+            .clone();
         let algorithm = engine.algorithm_name();
         let initial = engine.orientation();
         let mut frames = Vec::new();

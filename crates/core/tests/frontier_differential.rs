@@ -1,0 +1,290 @@
+//! Differential properties of the PR-7 million-node machinery: the
+//! bit-packed direction words, the flat CSR-native
+//! [`FrontierPrEngine`], and the frontier-driven run loop must be
+//! observably identical to the map-backed engines and the established
+//! loops on random connected instances.
+//!
+//! Three redundancies are falsified here:
+//!
+//! * the **bit-packed [`MirroredDirs`]** against a retained
+//!   `Vec<EdgeDir>` slot model across random mutation sequences
+//!   (including one-sided desyncs);
+//! * **[`run_engine_frontier`]** against [`run_engine`] for every engine
+//!   configuration × schedule policy;
+//! * **[`FrontierPrEngine`]** against the map-backed [`PrEngine`] —
+//!   lockstep per step, whole-run `RunStats`, and through the parallel
+//!   plan/apply path at thread counts {1, 2, 4, 8}.
+
+use lr_core::alg::{AlgorithmKind, FrontierPrEngine, PrEngine, ReversalEngine};
+use lr_core::engine::{
+    run_engine, run_engine_frontier, run_engine_parallel_with, ParallelConfig, SchedulePolicy,
+    DEFAULT_MAX_STEPS,
+};
+use lr_core::MirroredDirs;
+use lr_graph::{generate, stream, CsrInstance, EdgeDir, NodeId, ReversalInstance};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn instance_strategy() -> impl Strategy<Value = ReversalInstance> {
+    (4usize..=16, 0usize..=20, any::<u64>())
+        .prop_map(|(n, extra, seed)| generate::random_connected(n, extra, seed))
+}
+
+fn policies(seed: u64) -> [SchedulePolicy; 4] {
+    [
+        SchedulePolicy::GreedyRounds,
+        SchedulePolicy::RandomSingle { seed },
+        SchedulePolicy::FirstSingle,
+        SchedulePolicy::LastSingle,
+    ]
+}
+
+/// The retained reference model for the packed words: one [`EdgeDir`]
+/// per half-edge slot, mutated by the same operations.
+struct SlotModel {
+    dirs: Vec<EdgeDir>,
+}
+
+impl SlotModel {
+    fn of(d: &MirroredDirs) -> Self {
+        SlotModel {
+            dirs: (0..d.len()).map(|s| d.dir_at(s)).collect(),
+        }
+    }
+
+    fn reverse_outward_at(&mut self, csr: &lr_graph::CsrGraph, slot: usize) {
+        self.dirs[slot] = EdgeDir::Out;
+        self.dirs[csr.twin(slot)] = EdgeDir::In;
+    }
+
+    fn is_sink_at(&self, csr: &lr_graph::CsrGraph, idx: usize) -> bool {
+        let r = csr.slots(idx);
+        !r.is_empty() && r.clone().all(|s| self.dirs[s] == EdgeDir::In)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The packed words agree with the `Vec<EdgeDir>` slot model after
+    /// every mutation of a random sequence of `reverse_outward_at` and
+    /// one-sided desync/repair writes — on every accessor: `dir_at`,
+    /// `is_sink_at`, the `sinks()` iterator, and `check_consistency`.
+    #[test]
+    fn bit_packed_dirs_match_slot_model(
+        inst in instance_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut d = MirroredDirs::from_instance(&inst);
+        let csr = std::sync::Arc::clone(d.csr());
+        let mut model = SlotModel::of(&d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let slot = rng.gen_range(0..csr.half_edge_count());
+            let src = csr.source(slot);
+            let (u, v) = (csr.node(src), csr.node(csr.target(slot)));
+            match rng.gen_range(0..4u32) {
+                0 | 1 => {
+                    d.reverse_outward_at(slot);
+                    model.reverse_outward_at(&csr, slot);
+                }
+                2 => {
+                    // Desync one copy, check, then repair it the same way
+                    // the model sees it.
+                    let flipped = d.dir_at(slot).flipped();
+                    d.set_one_sided(u, v, flipped);
+                    model.dirs[slot] = flipped;
+                }
+                _ => {
+                    let cur = d.dir_at(slot);
+                    d.set_one_sided(u, v, cur);
+                }
+            }
+            for s in 0..csr.half_edge_count() {
+                prop_assert_eq!(d.dir_at(s), model.dirs[s], "slot {}", s);
+            }
+            let model_sinks: Vec<NodeId> = (0..csr.node_count())
+                .filter(|&i| model.is_sink_at(&csr, i))
+                .map(|i| csr.node(i))
+                .collect();
+            for i in 0..csr.node_count() {
+                prop_assert_eq!(d.is_sink_at(i), model.is_sink_at(&csr, i));
+            }
+            prop_assert_eq!(d.sinks().collect::<Vec<_>>(), model_sinks);
+            let model_consistent = (0..csr.half_edge_count())
+                .all(|s| model.dirs[s] == model.dirs[csr.twin(s)].flipped());
+            prop_assert_eq!(d.check_consistency().is_ok(), model_consistent);
+        }
+    }
+
+    /// `run_engine_frontier` produces identical `RunStats` and final
+    /// orientations to `run_engine` for every algorithm × policy.
+    #[test]
+    fn frontier_loop_matches_run_engine(
+        inst in instance_strategy(),
+        seed in any::<u64>(),
+    ) {
+        for kind in AlgorithmKind::ALL {
+            for policy in policies(seed) {
+                let mut base = kind.engine(&inst);
+                let base_stats = run_engine(base.as_mut(), policy, DEFAULT_MAX_STEPS);
+                let mut frontier = kind.engine(&inst);
+                let frontier_stats =
+                    run_engine_frontier(frontier.as_mut(), policy, DEFAULT_MAX_STEPS);
+                prop_assert_eq!(
+                    &frontier_stats,
+                    &base_stats,
+                    "{} under {:?}: loops diverged",
+                    kind.name(),
+                    policy
+                );
+                prop_assert!(frontier_stats.terminated, "{} must terminate", kind.name());
+                prop_assert_eq!(frontier.orientation(), base.orientation(), "{}", kind.name());
+                prop_assert_eq!(frontier.enabled(), base.enabled(), "{}", kind.name());
+            }
+        }
+    }
+
+    /// The flat `FrontierPrEngine` equals the map-backed `PrEngine` in
+    /// whole-run statistics and final orientation on every policy and
+    /// both run loops.
+    #[test]
+    fn frontier_engine_matches_pr_engine(
+        n in 4usize..=16,
+        extra in 0usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::random_connected(n, extra, seed);
+        let flat = stream::random_connected(n, extra, seed);
+        prop_assert_eq!(&flat, &CsrInstance::from_instance(&inst));
+        for policy in policies(seed) {
+            let mut map_engine = PrEngine::new(&inst);
+            let map_stats = run_engine(&mut map_engine, policy, DEFAULT_MAX_STEPS);
+            let mut flat_engine = FrontierPrEngine::new(flat.clone());
+            let flat_stats =
+                run_engine_frontier(&mut flat_engine, policy, DEFAULT_MAX_STEPS);
+            prop_assert_eq!(&flat_stats, &map_stats, "policy {:?}", policy);
+            prop_assert_eq!(flat_engine.orientation(), map_engine.orientation());
+            prop_assert_eq!(flat_engine.enabled(), map_engine.enabled());
+            prop_assert!(flat_engine.dirs().check_consistency().is_ok());
+        }
+    }
+
+    /// The flat engine stays in lockstep with the map-backed engine
+    /// step-for-step: same enabled sets before every step, same reversed
+    /// lists from every step.
+    #[test]
+    fn frontier_engine_lockstep_with_pr_engine(
+        n in 4usize..=16,
+        extra in 0usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::random_connected(n, extra, seed);
+        let mut a = FrontierPrEngine::new(stream::random_connected(n, extra, seed));
+        let mut b = PrEngine::new(&inst);
+        let mut k = 0usize;
+        loop {
+            prop_assert_eq!(a.enabled(), b.enabled(), "diverged after {} steps", k);
+            if a.is_terminated() {
+                break;
+            }
+            let enabled = a.enabled();
+            let u = enabled[(seed as usize + k) % enabled.len()];
+            prop_assert_eq!(a.step(u), b.step(u), "step {}", k);
+            k += 1;
+            prop_assert!(k < 1_000_000, "runaway execution");
+        }
+        prop_assert_eq!(a.orientation(), b.orientation());
+    }
+
+    /// The parallel plan/apply path over the flat engine is bit-identical
+    /// to sequential greedy rounds at thread counts {1, 2, 4, 8}, and to
+    /// the map-backed engine's parallel runs.
+    #[test]
+    fn frontier_engine_parallel_bit_identical(
+        n in 4usize..=16,
+        extra in 0usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::random_connected(n, extra, seed);
+        let flat = stream::random_connected(n, extra, seed);
+        let mut seq = FrontierPrEngine::new(flat.clone());
+        let seq_stats = run_engine(&mut seq, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        let mut map_engine = PrEngine::new(&inst);
+        let map_stats = run_engine(&mut map_engine, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        prop_assert_eq!(&seq_stats, &map_stats);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = ParallelConfig { threads, min_parallel_round: 0 };
+            let mut par = FrontierPrEngine::new(flat.clone());
+            let par_stats = run_engine_parallel_with(&mut par, cfg, DEFAULT_MAX_STEPS);
+            prop_assert_eq!(&par_stats, &seq_stats, "{} threads", threads);
+            prop_assert_eq!(par.orientation(), seq.orientation());
+            prop_assert_eq!(par.enabled(), seq.enabled());
+        }
+    }
+}
+
+/// The CSR-native postcondition check in `run_to_destination_oriented`
+/// accepts a correct flat run (no map-backed instance involved).
+#[test]
+fn run_to_destination_oriented_on_flat_engine() {
+    let mut e = FrontierPrEngine::new(stream::grid_away(8, 9));
+    let stats = lr_core::engine::run_to_destination_oriented(
+        &mut e,
+        SchedulePolicy::GreedyRounds,
+        DEFAULT_MAX_STEPS,
+    );
+    assert!(stats.terminated);
+    assert_eq!(stats.algorithm, "PR");
+}
+
+/// The scale acceptance check at a CI-friendly size: a 65,536-node chain
+/// and a 256×256 grid run to completion through the frontier loop with
+/// the whole engine resident under 16 bytes per half-edge.
+#[test]
+fn frontier_engine_scale_smoke() {
+    for (inst, label) in [
+        (stream::chain_away(65_536), "chain"),
+        (stream::grid_away(256, 256), "grid"),
+    ] {
+        let he = inst.half_edge_count();
+        let mut e = FrontierPrEngine::new(inst);
+        assert!(
+            e.resident_bytes() <= 16 * he,
+            "{label}: {} bytes for {he} half-edges",
+            e.resident_bytes()
+        );
+        let stats = run_engine_frontier(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        assert!(stats.terminated, "{label} must terminate");
+        assert!(e.dirs().check_consistency().is_ok());
+    }
+}
+
+/// The million-node acceptance run: `chain_away(1_000_000)` and
+/// `grid_away(1000, 1000)` complete inside the default step budget with
+/// peak representation ≤ 16 bytes/half-edge. Multi-second in release —
+/// runs in the CI `--ignored` tier.
+#[test]
+#[ignore = "million-node run; multi-second in release, runs in the CI --ignored tier"]
+fn million_node_chain_and_grid_complete_within_default_budget() {
+    for (inst, label) in [
+        (stream::chain_away(1_000_000), "chain_away(1M)"),
+        (stream::grid_away(1000, 1000), "grid_away(1000x1000)"),
+    ] {
+        let he = inst.half_edge_count();
+        let mut e = FrontierPrEngine::new(inst);
+        assert!(
+            e.resident_bytes() <= 16 * he,
+            "{label}: {} bytes for {he} half-edges exceeds 16 B/half-edge",
+            e.resident_bytes()
+        );
+        let stats = run_engine_frontier(&mut e, SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        assert!(
+            stats.terminated,
+            "{label} must terminate within {DEFAULT_MAX_STEPS} steps (took {})",
+            stats.steps
+        );
+        assert!(e.dirs().check_consistency().is_ok(), "{label}");
+    }
+}

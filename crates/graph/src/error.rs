@@ -25,6 +25,9 @@ pub enum GraphError {
         /// Description of what went wrong.
         message: String,
     },
+    /// A graph would need more half-edge slots than the `u32` slot-index
+    /// space of [`crate::CsrGraph`] can address.
+    SlotCapacity(usize),
 }
 
 impl fmt::Display for GraphError {
@@ -39,6 +42,11 @@ impl fmt::Display for GraphError {
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
+            GraphError::SlotCapacity(half_edges) => write!(
+                f,
+                "{half_edges} half-edges exceed the u32 slot-index capacity ({})",
+                u32::MAX
+            ),
         }
     }
 }

@@ -56,12 +56,14 @@ pub mod enumerate;
 pub mod generate;
 pub mod metrics;
 pub mod parse;
+pub mod stream;
 
-pub use csr::CsrGraph;
+pub use csr::{check_slot_capacity, CsrBuilder, CsrGraph, MAX_HALF_EDGES};
 pub use directed::DirectedView;
 pub use embedding::PlaneEmbedding;
 pub use error::GraphError;
 pub use instance::ReversalInstance;
 pub use node::NodeId;
 pub use orientation::{EdgeDir, Orientation};
+pub use stream::CsrInstance;
 pub use undirected::UndirectedGraph;

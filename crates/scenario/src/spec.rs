@@ -1655,29 +1655,82 @@ impl ScenarioSpec {
         }
         if !self.topology_varies_per_run() {
             let seed = self.seeds[0];
-            let inst = crate::topology::build_instance(&self.topology, derive_run_seed(seed, 0))?;
-            return self.validate_against(&inst, seed, 0);
+            let inst =
+                crate::topology::build_csr_instance(&self.topology, derive_run_seed(seed, 0))?;
+            return self.validate_against_flat(&inst, seed, 0);
         }
         for &(seed, trial) in &self.sweep_runs(false) {
             let run_seed = derive_run_seed(seed, trial);
-            let inst = crate::topology::build_instance(&self.topology, run_seed)?;
-            self.validate_against(&inst, seed, trial)?;
+            let inst = crate::topology::build_csr_instance(&self.topology, run_seed)?;
+            self.validate_against_flat(&inst, seed, trial)?;
         }
         Ok(())
     }
 
+    /// The topology cross-checks against a map-backed instance — the
+    /// route [`crate::engine::run_scenario`] takes, since it has the
+    /// map instance in hand anyway.
     pub(crate) fn validate_against(
         &self,
         inst: &lr_graph::ReversalInstance,
         seed: u64,
         trial: usize,
     ) -> Result<(), SpecError> {
+        self.validate_with(
+            &|id| inst.graph.contains_node(lr_graph::NodeId::new(id)),
+            &|u, v| {
+                inst.graph
+                    .contains_edge(lr_graph::NodeId::new(u), lr_graph::NodeId::new(v))
+            },
+            inst.node_count(),
+            u32::from(inst.dest),
+            seed,
+            trial,
+        )
+    }
+
+    /// The same cross-checks against a flat CSR instance — the
+    /// [`Self::validate`] route, which never materializes the map
+    /// representation (a million-node grid spec validates in the CSR
+    /// footprint alone).
+    pub(crate) fn validate_against_flat(
+        &self,
+        inst: &lr_graph::CsrInstance,
+        seed: u64,
+        trial: usize,
+    ) -> Result<(), SpecError> {
+        let csr = inst.csr();
+        self.validate_with(
+            &|id| csr.index_of(lr_graph::NodeId::new(id)).is_some(),
+            &|u, v| {
+                let (Some(ui), Some(vi)) = (
+                    csr.index_of(lr_graph::NodeId::new(u)),
+                    csr.index_of(lr_graph::NodeId::new(v)),
+                ) else {
+                    return false;
+                };
+                csr.slot_of(ui, vi).is_some()
+            },
+            inst.node_count(),
+            u32::from(inst.dest()),
+            seed,
+            trial,
+        )
+    }
+
+    /// The shared body of the topology cross-checks, parameterized over
+    /// node/edge membership so the map-backed and flat routes cannot
+    /// drift apart.
+    fn validate_with(
+        &self,
+        node_ok: &dyn Fn(u32) -> bool,
+        edge_ok: &dyn Fn(u32, u32) -> bool,
+        node_count: usize,
+        dest: u32,
+        seed: u64,
+        trial: usize,
+    ) -> Result<(), SpecError> {
         let ctx = |path: &str| format!("{path} (seed {seed}, trial {trial})");
-        let node_ok = |id: u32| inst.graph.contains_node(lr_graph::NodeId::new(id));
-        let edge_ok = |u: u32, v: u32| {
-            inst.graph
-                .contains_edge(lr_graph::NodeId::new(u), lr_graph::NodeId::new(v))
-        };
         for (i, o) in self.links.overrides.iter().enumerate() {
             if !edge_ok(o.u, o.v) {
                 return Err(SpecError::new(
@@ -1708,9 +1761,8 @@ impl ScenarioSpec {
                             ));
                         }
                     }
-                    let all: BTreeSet<u32> = inst.graph.nodes().map(|n| n.raw()).collect();
                     let side_set: BTreeSet<u32> = side.iter().copied().collect();
-                    if side_set.len() == all.len() {
+                    if side_set.len() == node_count {
                         return Err(SpecError::new(
                             ctx(&path),
                             "partition side contains every node; nothing to cut",
@@ -1729,7 +1781,7 @@ impl ScenarioSpec {
                             format!("source {u} is not a node of the topology"),
                         ));
                     }
-                    if u32::from(inst.dest) == u && self.protocol != ProtocolKind::Mutex {
+                    if dest == u && self.protocol != ProtocolKind::Mutex {
                         return Err(SpecError::new(
                             ctx("traffic.sources"),
                             format!("source {u} is the destination; it has nothing to send"),

@@ -1,7 +1,11 @@
 //! Materializing a [`TopologySpec`] into a validated
-//! [`ReversalInstance`].
+//! [`ReversalInstance`], or — for validation and other structure-only
+//! consumers — streaming it into a flat [`CsrInstance`] without ever
+//! building the map representation.
 
-use lr_graph::{generate, NodeId, Orientation, ReversalInstance, UndirectedGraph};
+use lr_graph::{
+    generate, stream, CsrInstance, NodeId, Orientation, ReversalInstance, UndirectedGraph,
+};
 
 use crate::spec::{SpecError, TopologySpec};
 
@@ -39,6 +43,45 @@ pub fn build_instance(spec: &TopologySpec, run_seed: u64) -> Result<ReversalInst
             seed,
         } => generate::layered(width, depth, p, seed.unwrap_or(run_seed)),
         TopologySpec::Inline { ref edges, dest } => return build_inline(edges, dest),
+    };
+    Ok(inst)
+}
+
+/// Builds the **flat** CSR instance for one run, routing every family
+/// with a streaming generator through it so no intermediate edge list
+/// or adjacency map is materialized — this is what lets spec validation
+/// touch million-node topologies without paying the map
+/// representation's footprint. Families without a streaming counterpart
+/// (bipartite, inline edge lists) fall back to materializing and
+/// flattening; a differential test pins both routes to
+/// `CsrInstance::from_instance(build_instance(..))` for every family.
+///
+/// # Errors
+///
+/// Same as [`build_instance`].
+pub fn build_csr_instance(spec: &TopologySpec, run_seed: u64) -> Result<CsrInstance, SpecError> {
+    let inst = match *spec {
+        TopologySpec::ChainAway { n } => stream::chain_away(n),
+        TopologySpec::ChainToward { n } => stream::chain_toward(n),
+        TopologySpec::Alternating { n } => stream::alternating_chain(n),
+        TopologySpec::Star { leaves } => stream::star_away(leaves),
+        TopologySpec::Tree { depth } => stream::binary_tree_away(depth),
+        TopologySpec::Grid { rows, cols } => stream::grid_away(rows, cols),
+        TopologySpec::Complete { n } => stream::complete_away(n),
+        TopologySpec::Random {
+            n,
+            extra_edges,
+            seed,
+        } => stream::random_connected(n, extra_edges, seed.unwrap_or(run_seed)),
+        TopologySpec::Layered {
+            width,
+            depth,
+            p,
+            seed,
+        } => stream::layered(width, depth, p, seed.unwrap_or(run_seed)),
+        TopologySpec::Bipartite { .. } | TopologySpec::Inline { .. } => {
+            return build_instance(spec, run_seed).map(|i| CsrInstance::from_instance(&i))
+        }
     };
     Ok(inst)
 }
@@ -97,6 +140,39 @@ mod tests {
         ] {
             let inst = build_instance(&spec, 0).unwrap();
             assert_eq!(inst.node_count(), expect_n, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn flat_route_matches_map_route_for_every_family() {
+        for spec in [
+            TopologySpec::ChainAway { n: 7 },
+            TopologySpec::ChainToward { n: 6 },
+            TopologySpec::Alternating { n: 9 },
+            TopologySpec::Star { leaves: 5 },
+            TopologySpec::Tree { depth: 3 },
+            TopologySpec::Grid { rows: 3, cols: 4 },
+            TopologySpec::Complete { n: 5 },
+            TopologySpec::Random {
+                n: 12,
+                extra_edges: 8,
+                seed: None,
+            },
+            TopologySpec::Bipartite {
+                width: 4,
+                degree: 3,
+                seed: Some(2),
+            },
+            TopologySpec::Layered {
+                width: 3,
+                depth: 3,
+                p: 0.4,
+                seed: None,
+            },
+        ] {
+            let flat = build_csr_instance(&spec, 11).unwrap();
+            let map = build_instance(&spec, 11).unwrap();
+            assert_eq!(flat, CsrInstance::from_instance(&map), "{spec:?}");
         }
     }
 

@@ -348,3 +348,27 @@ fn validation_catches_dangling_references() {
     let err = spec.validate().unwrap_err();
     assert!(err.msg.contains("destination"), "{err}");
 }
+
+/// `validate` goes through the flat CSR route (PR 7), so cross-checking
+/// a spec over a six-figure topology never materializes the map
+/// representation — this completes in the CSR footprint even in a debug
+/// build.
+#[test]
+fn validation_scales_through_the_flat_route() {
+    let spec = ScenarioSpec::from_json(
+        r#"{"name": "big", "topology": {"family": "grid", "rows": 350, "cols": 350},
+            "churn": [{"at": 5, "fail": [[0, 1]]}],
+            "traffic": {"sources": [122499]}}"#,
+    )
+    .unwrap();
+    spec.validate().expect("large grid spec validates");
+
+    // Dangling references are still caught on the flat route.
+    let bad = ScenarioSpec::from_json(
+        r#"{"name": "big", "topology": {"family": "grid", "rows": 350, "cols": 350},
+            "churn": [{"at": 5, "fail": [[0, 2]]}]}"#,
+    )
+    .unwrap();
+    let err = bad.validate().unwrap_err();
+    assert!(err.msg.contains("no link 0-2"), "{err}");
+}

@@ -222,8 +222,7 @@ fn cmd_check(stdin: &str) -> Result<String, CliError> {
         check_cor_3_4(&inst, &pr).map_err(err)?;
         check_acyclic(&inst, &pr.dirs).map_err(err)?;
         states += 1;
-        let sinks = pr.dirs.sinks();
-        let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
+        let Some(u) = pr.dirs.sinks().find(|&u| u != inst.dest) else {
             break;
         };
         onestep_pr_step(&inst, &mut pr, u);
@@ -242,8 +241,7 @@ fn cmd_check(stdin: &str) -> Result<String, CliError> {
         check_inv_4_2(&inst, &emb, &np).map_err(err)?;
         check_acyclic(&inst, &np.dirs).map_err(err)?;
         states += 1;
-        let sinks = np.dirs.sinks();
-        let Some(&u) = sinks.iter().find(|&&u| u != inst.dest) else {
+        let Some(u) = np.dirs.sinks().find(|&u| u != inst.dest) else {
             break;
         };
         newpr_step(&inst, &mut np, u);
