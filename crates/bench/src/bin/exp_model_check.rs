@@ -1,5 +1,5 @@
 //! E1–E6 at scale: the full model-check battery over every instance of
-//! size 3..=max_n, timed, with one [`lr_bench::ModelCheckRecord`] per (check, n)
+//! size 3..=max_n, timed, with one [`lr_bench::trajectory::ModelCheckRecord`] per (check, n)
 //! appended to the `BENCH_pr6.json` trajectory at the repo root.
 //!
 //! ```sh

@@ -1,13 +1,16 @@
 //! Throughput of the step pipeline: steps/sec for the zero-allocation
 //! sequential path vs the retained PR 2 allocating path, for the
-//! parallel greedy-rounds executor across thread counts, and for the
+//! parallel greedy-rounds executor across thread counts, for the
 //! PR 7 frontier engine against the map-backed path (with resident
-//! representation cost — bytes/node and bytes/half-edge — per row).
+//! representation cost — bytes/node and bytes/half-edge — per row),
+//! and for every algorithm family's PR 8 frontier engine against its
+//! map-backed reference.
 //!
 //! Every measurement is appended to a machine-readable trajectory at
 //! the repo root (see `lr_bench::trajectory`): the step-pipeline and
 //! parallel rows to `BENCH_pr3.json`, the frontier/representation rows
-//! to `BENCH_pr7.json`, in addition to the stdout table and
+//! to `BENCH_pr7.json`, the per-family map-vs-frontier rows to
+//! `BENCH_pr8.json`, in addition to the stdout table and
 //! `results/exp_throughput.json`.
 //!
 //! ```sh
@@ -26,9 +29,12 @@ use std::time::Instant;
 use lr_bench::trajectory::{
     append_records, append_records_to, load_records, load_records_from, trajectory_path_named,
     BenchRecord, FrontierRecord, ModelCheckRecord, ScenarioRecord, SweepRecord,
-    FRONTIER_TRAJECTORY, MODEL_CHECK_TRAJECTORY, SCENARIO_TRAJECTORY, SWEEP_TRAJECTORY,
+    FRONTIER_FAMILY_TRAJECTORY, FRONTIER_TRAJECTORY, MODEL_CHECK_TRAJECTORY, SCENARIO_TRAJECTORY,
+    SWEEP_TRAJECTORY,
 };
-use lr_core::alg::{FrontierPrEngine, PrEngine, ReversalEngine, TripleHeightsEngine};
+use lr_core::alg::{
+    FrontierFamily, FrontierPrEngine, PrEngine, ReversalEngine, TripleHeightsEngine,
+};
 use lr_core::engine::{
     run_engine, run_engine_alloc, run_engine_frontier, run_engine_parallel, RunStats,
     SchedulePolicy, DEFAULT_MAX_STEPS,
@@ -117,9 +123,10 @@ fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--verify") {
         // Parse gate over every persisted trajectory: the PR 3
         // throughput rows, the PR 4 scenario rows, the PR 5 sweep
-        // summaries, the PR 6 model-check rows, and the PR 7
-        // frontier/representation rows all have to keep parsing with
-        // the vendored serde_json.
+        // summaries, the PR 6 model-check rows, the PR 7
+        // frontier/representation rows, and the PR 8 per-family
+        // map-vs-frontier rows all have to keep parsing with the
+        // vendored serde_json.
         let mut ok = true;
         match load_records() {
             Ok(records) => println!(
@@ -172,6 +179,17 @@ fn main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("{FRONTIER_TRAJECTORY} FAILED to parse: {e}");
+                ok = false;
+            }
+        }
+        let family_path = trajectory_path_named(FRONTIER_FAMILY_TRAJECTORY);
+        match load_records_from::<FrontierRecord>(&family_path) {
+            Ok(records) => println!(
+                "{FRONTIER_FAMILY_TRAJECTORY} OK: {} record(s) parse with the vendored serde_json",
+                records.len()
+            ),
+            Err(e) => {
+                eprintln!("{FRONTIER_FAMILY_TRAJECTORY} FAILED to parse: {e}");
                 ok = false;
             }
         }
@@ -422,6 +440,117 @@ fn main() -> ExitCode {
         }
     }
 
+    // ── Series 4 (PR 8): every family, map-backed vs frontier ──
+    // One map-vs-frontier pair per algorithm family, engine
+    // construction timed along with the run on both sides (at scale,
+    // building the map engine's BTreeMap state — and, for the heights
+    // families, the plane-embedding Kahn pass — is part of the cost
+    // the flat path removes). Instance family is chosen per algorithm
+    // so every run is Θ(n) total steps: FR and GB-pair are Θ(n²) on
+    // the away-chain (each reversal re-enables the neighbor nearer
+    // the destination), so they measure on the star; the PR-side
+    // families (PR, NewPR, GB-triple, BLL[PR]) are Θ(n) on the
+    // away-chain.
+    println!(
+        "\nfrontier engines (PR 8): map-backed run_engine vs CSR-native run_engine_frontier, all six families (greedy rounds)\n"
+    );
+    let widths4 = [10usize, 12, 10, 12, 12, 12, 10];
+    lr_bench::print_header(
+        &widths4,
+        &["alg", "family", "n", "steps", "map", "frontier", "speedup"],
+    );
+    let mut family_records: Vec<FrontierRecord> = Vec::new();
+    let family_sizes: &[usize] = if smoke {
+        &[1_024]
+    } else {
+        &[65_536, 1_048_576]
+    };
+    for &size in family_sizes {
+        for fam in FrontierFamily::ALL {
+            let star = matches!(
+                fam,
+                FrontierFamily::FullReversal | FrontierFamily::PairHeights
+            );
+            let (family_name, inst_map, inst_flat): (&str, ReversalInstance, CsrInstance) = if star
+            {
+                (
+                    "star_away",
+                    generate::star_away(size),
+                    stream::star_away(size),
+                )
+            } else {
+                (
+                    "chain_away",
+                    generate::chain_away(size),
+                    stream::chain_away(size),
+                )
+            };
+            let n = inst_flat.node_count();
+            let half_edges = inst_flat.half_edge_count();
+            let samples = if n >= 1_000_000 { 1 } else { 3 };
+            let (map_stats, map_ns) = best_of(samples, || {
+                let mut e = fam.map_engine(&inst_map);
+                let stats = run_engine(e.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+                assert!(stats.terminated);
+                stats
+            });
+            let mut frontier_bytes = 0usize;
+            let (fr_stats, fr_ns) = best_of(samples, || {
+                let mut e = fam.engine(inst_flat.clone());
+                let stats = run_engine_frontier(
+                    e.as_mut(),
+                    SchedulePolicy::GreedyRounds,
+                    DEFAULT_MAX_STEPS,
+                );
+                assert!(stats.terminated);
+                frontier_bytes = e.resident_bytes();
+                stats
+            });
+            assert_eq!(
+                map_stats,
+                fr_stats,
+                "{}: engine paths must agree",
+                fam.name()
+            );
+            let old_bytes = pre_pr7_resident_bytes(n, half_edges);
+            let map_sps = BenchRecord::throughput(map_stats.steps, map_ns);
+            let fr_sps = BenchRecord::throughput(fr_stats.steps, fr_ns);
+            lr_bench::print_row(
+                &widths4,
+                &[
+                    fam.name().to_string(),
+                    family_name.to_string(),
+                    n.to_string(),
+                    fr_stats.steps.to_string(),
+                    fmt_sps(map_sps),
+                    fmt_sps(fr_sps),
+                    format!("{:.2}×", if map_sps > 0.0 { fr_sps / map_sps } else { 0.0 }),
+                ],
+            );
+            for (series, stats, ns, bytes) in [
+                ("map_engine", &map_stats, map_ns, old_bytes),
+                ("frontier_engine", &fr_stats, fr_ns, frontier_bytes),
+            ] {
+                family_records.push(FrontierRecord {
+                    bench: "exp_throughput".into(),
+                    series: series.into(),
+                    algorithm: stats.algorithm.to_string(),
+                    family: family_name.into(),
+                    n,
+                    half_edges,
+                    cpus,
+                    steps: stats.steps,
+                    elapsed_ns: ns,
+                    steps_per_sec: BenchRecord::throughput(stats.steps, ns),
+                    resident_bytes: bytes,
+                    bytes_per_node: bytes as f64 / n as f64,
+                    bytes_per_half_edge: bytes as f64 / half_edges as f64,
+                    smoke,
+                });
+            }
+        }
+    }
+
     println!();
     println!(
         "every row appended to {}",
@@ -434,6 +563,11 @@ fn main() -> ExitCode {
     println!("frontier rows appended to {}", frontier_path.display());
     if let Err(e) = append_records_to(&frontier_path, &frontier_records) {
         eprintln!("warning: could not persist frontier trajectory: {e}");
+    }
+    let family_path = trajectory_path_named(FRONTIER_FAMILY_TRAJECTORY);
+    println!("per-family rows appended to {}", family_path.display());
+    if let Err(e) = append_records_to(&family_path, &family_records) {
+        eprintln!("warning: could not persist per-family frontier trajectory: {e}");
     }
     lr_bench::write_results("exp_throughput", &rows);
     ExitCode::SUCCESS

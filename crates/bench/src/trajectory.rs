@@ -20,7 +20,12 @@
 //! * `BENCH_pr7.json` ([`FRONTIER_TRAJECTORY`]) — [`FrontierRecord`]
 //!   before/after rows from the frontier-engine and representation
 //!   experiments (PR 7): steps/sec *and* bytes/node + bytes/half-edge
-//!   for the map-backed path vs the flat CSR path.
+//!   for the map-backed path vs the flat CSR path;
+//! * `BENCH_pr8.json` ([`FRONTIER_FAMILY_TRAJECTORY`]) —
+//!   [`FrontierRecord`] map-vs-frontier rows for **every** algorithm
+//!   family (PR 8): the same before/after shape as `BENCH_pr7.json`,
+//!   one pair per family × instance size now that all six families
+//!   have CSR-native frontier engines.
 //!
 //! The file name is caller-chosen ([`trajectory_path_named`],
 //! [`append_records_to`], [`load_records_from`]); the original
@@ -341,6 +346,11 @@ pub const SCENARIO_TRAJECTORY: &str = "BENCH_pr4.json";
 /// repository root.
 pub const FRONTIER_TRAJECTORY: &str = "BENCH_pr7.json";
 
+/// File name of the all-families frontier trajectory at the repository
+/// root: [`FrontierRecord`] rows, one map-vs-frontier pair per
+/// algorithm family × instance size.
+pub const FRONTIER_FAMILY_TRAJECTORY: &str = "BENCH_pr8.json";
+
 /// File name of the model-checking trajectory at the repository root.
 pub const MODEL_CHECK_TRAJECTORY: &str = "BENCH_pr6.json";
 
@@ -596,6 +606,9 @@ mod tests {
         let p = trajectory_path_named(FRONTIER_TRAJECTORY);
         assert!(p.ends_with("BENCH_pr7.json"));
         assert_eq!(p.parent(), trajectory_path().parent());
+        let pf = trajectory_path_named(FRONTIER_FAMILY_TRAJECTORY);
+        assert!(pf.ends_with("BENCH_pr8.json"));
+        assert_eq!(pf.parent(), trajectory_path().parent());
     }
 
     #[test]

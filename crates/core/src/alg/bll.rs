@@ -16,9 +16,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, CsrInstance, NodeId, Orientation, ReversalInstance};
 
-use crate::alg::ReversalEngine;
+use crate::alg::frontier::{count_bits_in_range, set_bits_in_range};
+use crate::alg::{FrontierEngine, ReversalEngine};
 use crate::{EnabledTracker, MirroredDirs, PlanAux, StepOutcome, StepScratch};
 
 /// A label-update policy for [`BllEngine`].
@@ -196,6 +197,178 @@ impl ReversalEngine for BllEngine<'_> {
     }
 }
 
+/// BLL over a flat [`CsrInstance`]: the `μ_u(v)` labels are one bit per
+/// half-edge slot (the bit of slot `(u, v)` holds `μ_u(v)`), so the
+/// map engine's worst-offending `BTreeMap<(NodeId, NodeId), bool>` —
+/// one red-black-tree probe per label read and write — becomes masked
+/// word reads, and the "`u` forgets its history" reset is a ranged bit
+/// fill over `u`'s slot range. Step-for-step identical to [`BllEngine`]
+/// under both labeling policies (differential suite).
+#[derive(Debug, Clone)]
+pub struct FrontierBllEngine {
+    /// The initial configuration, retained for [`ReversalEngine::reset`].
+    init: CsrInstance,
+    labeling: BllLabeling,
+    dirs: MirroredDirs,
+    /// `μ_u(v)` ⟺ the bit of slot `(u, v)`, initially all 1 under
+    /// either policy. Bits past `half_edge_count` are padding and are
+    /// never read.
+    labels: Vec<u64>,
+    tracker: EnabledTracker,
+}
+
+impl FrontierBllEngine {
+    /// Creates the engine with the given labeling policy.
+    pub fn new(inst: CsrInstance, labeling: BllLabeling) -> Self {
+        let dirs = MirroredDirs::from_csr_instance(&inst);
+        let labels = vec![!0u64; inst.half_edge_count().div_ceil(64)];
+        let tracker = EnabledTracker::from_dirs(&dirs, inst.dest());
+        FrontierBllEngine {
+            init: inst,
+            labeling,
+            dirs,
+            labels,
+            tracker,
+        }
+    }
+
+    /// The current bit-packed direction state.
+    pub fn dirs(&self) -> &MirroredDirs {
+        &self.dirs
+    }
+
+    /// The labeling policy.
+    pub fn labeling(&self) -> BllLabeling {
+        self.labeling
+    }
+
+    /// The label `μ_u(v)` of the ordered pair at `slot` = `(u, v)`.
+    #[inline]
+    fn label_at(&self, slot: usize) -> bool {
+        self.labels[slot >> 6] >> (slot & 63) & 1 == 1
+    }
+}
+
+impl ReversalEngine for FrontierBllEngine {
+    // `instance()` stays the default `None`: no map-backed state exists.
+
+    fn dest(&self) -> NodeId {
+        self.init.dest()
+    }
+
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.init.csr()
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        match self.labeling {
+            BllLabeling::PartialReversal => "BLL[PR]",
+            BllLabeling::FullReversal => "BLL[FR]",
+        }
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.dirs.is_sink(u)
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
+    }
+
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.dest(), "destination {u} never takes steps");
+        let csr = self.init.csr();
+        let ui = csr.index_of(u).expect("stepping node exists");
+        assert!(
+            self.dirs.is_sink_at(ui),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        // A stepping sink reverses exactly its 1-labeled links — all
+        // links if none is labeled 1. "Any 1-labeled?" is one popcount
+        // over u's slot range.
+        let r = csr.slots(ui);
+        let any_one = count_bits_in_range(&self.labels, r.start, r.end) > 0;
+        scratch.clear();
+        for slot in r {
+            if !any_one || self.label_at(slot) {
+                scratch.reversed.push(csr.node(csr.target(slot)));
+            }
+        }
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: false,
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], _aux: PlanAux) {
+        let csr = Arc::clone(self.init.csr());
+        let ui = csr.index_of(u).expect("planned node");
+        // One matched pass over u's slot range reverses each planned
+        // edge; under the PR labeling the reversed neighbor's label for
+        // u (the twin slot's bit) drops to 0.
+        let pr_labels = self.labeling == BllLabeling::PartialReversal;
+        let mut k = 0;
+        for slot in csr.slots(ui) {
+            if k == reversed.len() {
+                break;
+            }
+            if csr.node(csr.target(slot)) == reversed[k] {
+                self.dirs.reverse_outward_at(slot);
+                if pr_labels {
+                    let twin = csr.twin(slot);
+                    self.labels[twin >> 6] &= !(1 << (twin & 63));
+                }
+                k += 1;
+            }
+        }
+        assert_eq!(
+            k,
+            reversed.len(),
+            "planned targets must be an ascending subset of the node's neighbors"
+        );
+        if pr_labels {
+            // u forgets its history (list[u] := ∅ ⇒ all labels 1).
+            let r = csr.slots(ui);
+            set_bits_in_range(&mut self.labels, r.start, r.end);
+        }
+        self.tracker.record_step(&csr, u, reversed);
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.dirs.orientation()
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
+    }
+
+    fn reset(&mut self) {
+        self.dirs = MirroredDirs::from_csr_instance(&self.init);
+        self.labels.fill(!0);
+        self.tracker = EnabledTracker::from_dirs(&self.dirs, self.init.dest());
+    }
+}
+
+impl FrontierEngine for FrontierBllEngine {
+    fn csr_instance(&self) -> &CsrInstance {
+        &self.init
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let csr = self.init.csr();
+        csr.resident_bytes()
+            + self.dirs.resident_bytes()
+            + self.labels.len() * 8
+            + self.init.half_edge_count().div_ceil(64) * 8 // retained init bits
+            + csr.node_count() * 4 // tracker out-counts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +453,61 @@ mod tests {
             }
             assert_eq!(bll.orientation(), fr.orientation());
         }
+    }
+
+    #[test]
+    fn frontier_bll_matches_map_engine_step_for_step_under_both_policies() {
+        for labeling in [BllLabeling::PartialReversal, BllLabeling::FullReversal] {
+            for seed in 0..4 {
+                let inst = generate::random_connected(20, 15, 900 + seed);
+                let flat = lr_graph::stream::random_connected(20, 15, 900 + seed);
+                let mut a = FrontierBllEngine::new(flat, labeling);
+                let mut b = BllEngine::new(&inst, labeling);
+                let mut steps = 0;
+                loop {
+                    assert_eq!(a.enabled(), b.enabled(), "{labeling:?} seed {seed}");
+                    let Some(&u) = a.enabled().first() else { break };
+                    let sa = a.step(u);
+                    let sb = b.step(u);
+                    assert_eq!(sa, sb, "{labeling:?} seed {seed} step {steps}");
+                    steps += 1;
+                    assert!(steps < 100_000);
+                }
+                assert_eq!(a.orientation(), b.orientation());
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_bll_pr_labeling_clears_and_resets_like_the_map_state() {
+        let flat = lr_graph::stream::chain_away(3);
+        let csr = std::sync::Arc::clone(flat.csr());
+        let mut e = FrontierBllEngine::new(flat, BllLabeling::PartialReversal);
+        e.step(n(2));
+        // Node 1's label for 2 dropped: slot (1, 2) is the second slot of
+        // node 1's range (neighbors {0, 2} ascending).
+        let u1 = csr.index_of(n(1)).unwrap();
+        let slot_12 = csr.slots(u1).find(|&s| csr.node(csr.target(s)) == n(2));
+        assert!(!e.label_at(slot_12.unwrap()));
+        // Node 2's own labels reset to 1.
+        let u2 = csr.index_of(n(2)).unwrap();
+        for slot in csr.slots(u2) {
+            assert!(e.label_at(slot));
+        }
+    }
+
+    #[test]
+    fn frontier_bll_reset_restores_initial() {
+        let mut e = FrontierBllEngine::new(
+            lr_graph::stream::chain_away(5),
+            BllLabeling::PartialReversal,
+        );
+        let fresh = e.clone();
+        e.step(n(4));
+        e.reset();
+        assert_eq!(e.dirs(), fresh.dirs());
+        assert_eq!(e.labels, fresh.labels);
+        assert_eq!(e.enabled(), fresh.enabled());
     }
 
     #[test]

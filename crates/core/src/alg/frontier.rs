@@ -1,9 +1,27 @@
-//! A flat, CSR-native Partial Reversal engine for million-node scale.
+//! Flat, CSR-native ("frontier") engines for million-node scale.
 //!
-//! [`FrontierPrEngine`] implements the exact transition function of
-//! Algorithm 3 (`OneStepPR`, see [`super::pr`]) — same target selection,
-//! same list bookkeeping, same `"PR"` name in reports — over a
-//! [`CsrInstance`] instead of a map-backed [`lr_graph::ReversalInstance`]:
+//! This module defines the [`FrontierEngine`] trait — the contract every
+//! flat engine satisfies: all steady state lives in CSR-indexed arrays
+//! and bit-packed per-slot words, the enabled set is the incremental
+//! [`EnabledTracker`] worklist, and no map-backed
+//! [`lr_graph::ReversalInstance`] is ever materialized. One such engine
+//! exists per algorithm family; [`FrontierFamily`] is the dispatch
+//! enum that constructs them (and their map-backed differential
+//! references) uniformly:
+//!
+//! | family | engine | flat per-node/per-slot state |
+//! |---|---|---|
+//! | FR | [`super::FrontierFrEngine`] | directions only |
+//! | PR | [`FrontierPrEngine`] | `list[u]` as one bit per slot |
+//! | NewPR | [`super::FrontierNewPrEngine`] | reversal counts as `Vec<u64>` |
+//! | GB-pair | [`super::FrontierPairHeightsEngine`] | dense `Vec<PairHeight>` |
+//! | GB-triple | [`super::FrontierTripleHeightsEngine`] | dense `Vec<TripleHeight>` |
+//! | BLL | [`super::FrontierBllEngine`] | link labels as one bit per slot |
+//!
+//! [`FrontierPrEngine`], the PR 7 original, implements the exact
+//! transition function of Algorithm 3 (`OneStepPR`, see [`super::pr`]) —
+//! same target selection, same list bookkeeping, same `"PR"` name in
+//! reports — over a [`CsrInstance`]:
 //!
 //! * edge directions are the bit-packed [`MirroredDirs`] (1 bit per
 //!   half-edge slot, twin bit updated in the same pass);
@@ -15,23 +33,144 @@
 //!   merge is the greedy-round boundary for
 //!   [`crate::engine::run_engine_frontier`].
 //!
-//! Nothing in the engine's steady state is proportional to anything but
+//! Nothing in any engine's steady state is proportional to anything but
 //! the CSR arrays (≈ 8 bytes/half-edge) and a few bitsets and per-node
-//! words (≈ 0.4 bytes/half-edge + ~8 bytes/node), so a 1,000,000-node
-//! instance runs in tens of megabytes where the map-backed frontend
-//! would need gigabytes. The differential suite
-//! (`tests/frontier_differential.rs`) pins it step-for-step to
-//! [`super::PrEngine`] on every tested size and schedule.
+//! words (≈ 0.4 bytes/half-edge + ~8–24 bytes/node), so a
+//! 1,000,000-node instance runs in tens of megabytes where the
+//! map-backed frontend would need gigabytes. The differential suite
+//! (`tests/frontier_differential.rs`) pins every family step-for-step
+//! to its map engine on every tested size and schedule.
 
 use std::sync::Arc;
 
 use lr_graph::{CsrGraph, CsrInstance, NodeId, Orientation};
 
-use crate::alg::ReversalEngine;
+use crate::alg::{
+    AlgorithmKind, BllEngine, BllLabeling, FrontierBllEngine, FrontierFrEngine,
+    FrontierNewPrEngine, FrontierPairHeightsEngine, FrontierTripleHeightsEngine, ReversalEngine,
+};
 use crate::{EnabledTracker, MirroredDirs, PlanAux, StepOutcome, StepScratch};
 
+/// A [`ReversalEngine`] whose entire steady state is flat: CSR-indexed
+/// arrays and bit-packed per-slot words, with the incremental
+/// [`EnabledTracker`] as its worklist. Implementors never materialize a
+/// map-backed instance ([`ReversalEngine::instance`] stays `None`), so
+/// they are the only engines that run at million-node scale; construct
+/// them through [`FrontierFamily::engine`] (or
+/// [`AlgorithmKind::frontier_engine`]) to get the fast path by default.
+pub trait FrontierEngine: ReversalEngine {
+    /// The retained initial configuration (shared CSR + one direction
+    /// bit per half-edge) the engine was built from and resets to.
+    fn csr_instance(&self) -> &CsrInstance;
+
+    /// Total resident bytes of the engine's steady state — the shared
+    /// CSR arrays plus every per-node/per-slot array the engine owns.
+    /// This is the number the `BENCH_pr7`/`BENCH_pr8` memory rows
+    /// report.
+    fn resident_bytes(&self) -> usize;
+}
+
+/// The six algorithm families of the frontier fast path, i.e.
+/// [`AlgorithmKind`] extended with the BLL automaton (which the kind
+/// enum excludes because one BLL engine exists per labeling rule).
+///
+/// [`FrontierFamily::engine`] builds the flat engine,
+/// [`FrontierFamily::map_engine`] the map-backed differential
+/// reference; the two are step-for-step identical by the frontier
+/// differential suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FrontierFamily {
+    /// Full Reversal → [`super::FrontierFrEngine`].
+    FullReversal,
+    /// Partial Reversal (Algorithm 1/3) → [`FrontierPrEngine`].
+    PartialReversal,
+    /// NewPR (Algorithm 2) → [`super::FrontierNewPrEngine`].
+    NewPr,
+    /// Gafni–Bertsekas pair heights → [`super::FrontierPairHeightsEngine`].
+    PairHeights,
+    /// Gafni–Bertsekas triple heights → [`super::FrontierTripleHeightsEngine`].
+    TripleHeights,
+    /// Binary link labels with the given labeling rule →
+    /// [`super::FrontierBllEngine`].
+    Bll(BllLabeling),
+}
+
+impl FrontierFamily {
+    /// Every family, with `BLL[PR]` as the canonical BLL entry (the
+    /// `BLL[FR]` labeling shares the engine type and is covered by the
+    /// differential suite separately).
+    pub const ALL: [FrontierFamily; 6] = [
+        FrontierFamily::FullReversal,
+        FrontierFamily::PartialReversal,
+        FrontierFamily::NewPr,
+        FrontierFamily::PairHeights,
+        FrontierFamily::TripleHeights,
+        FrontierFamily::Bll(BllLabeling::PartialReversal),
+    ];
+
+    /// The display name, identical to what the engines report via
+    /// [`ReversalEngine::algorithm_name`] (and so to what lands in
+    /// [`crate::engine::RunStats::algorithm`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrontierFamily::FullReversal => "FR",
+            FrontierFamily::PartialReversal => "PR",
+            FrontierFamily::NewPr => "NewPR",
+            FrontierFamily::PairHeights => "GB-pair",
+            FrontierFamily::TripleHeights => "GB-triple",
+            FrontierFamily::Bll(BllLabeling::PartialReversal) => "BLL[PR]",
+            FrontierFamily::Bll(BllLabeling::FullReversal) => "BLL[FR]",
+        }
+    }
+
+    /// Constructs this family's flat engine in the initial state of
+    /// `inst`. This is the default execution substrate: every caller
+    /// that has (or can stream) a [`CsrInstance`] should come through
+    /// here.
+    pub fn engine(self, inst: CsrInstance) -> Box<dyn FrontierEngine> {
+        match self {
+            FrontierFamily::FullReversal => Box::new(FrontierFrEngine::new(inst)),
+            FrontierFamily::PartialReversal => Box::new(FrontierPrEngine::new(inst)),
+            FrontierFamily::NewPr => Box::new(FrontierNewPrEngine::new(inst)),
+            FrontierFamily::PairHeights => Box::new(FrontierPairHeightsEngine::new(inst)),
+            FrontierFamily::TripleHeights => Box::new(FrontierTripleHeightsEngine::new(inst)),
+            FrontierFamily::Bll(labeling) => Box::new(FrontierBllEngine::new(inst, labeling)),
+        }
+    }
+
+    /// Constructs the map-backed reference engine for this family —
+    /// the slow, `BTreeMap`-heavy frontend the differential suite pins
+    /// the flat engine against.
+    pub fn map_engine<'a>(
+        self,
+        inst: &'a lr_graph::ReversalInstance,
+    ) -> Box<dyn ReversalEngine + 'a> {
+        match self {
+            FrontierFamily::FullReversal => AlgorithmKind::FullReversal.engine(inst),
+            FrontierFamily::PartialReversal => AlgorithmKind::PartialReversal.engine(inst),
+            FrontierFamily::NewPr => AlgorithmKind::NewPr.engine(inst),
+            FrontierFamily::PairHeights => AlgorithmKind::PairHeights.engine(inst),
+            FrontierFamily::TripleHeights => AlgorithmKind::TripleHeights.engine(inst),
+            FrontierFamily::Bll(labeling) => Box::new(BllEngine::new(inst, labeling)),
+        }
+    }
+}
+
+impl From<AlgorithmKind> for FrontierFamily {
+    fn from(kind: AlgorithmKind) -> Self {
+        match kind {
+            AlgorithmKind::FullReversal => FrontierFamily::FullReversal,
+            AlgorithmKind::PartialReversal => FrontierFamily::PartialReversal,
+            AlgorithmKind::NewPr => FrontierFamily::NewPr,
+            AlgorithmKind::PairHeights => FrontierFamily::PairHeights,
+            AlgorithmKind::TripleHeights => FrontierFamily::TripleHeights,
+        }
+    }
+}
+
 /// Pops (counts) the set bits of `words` within slot range `start..end`.
-fn count_bits_in_range(words: &[u64], start: usize, end: usize) -> usize {
+pub(crate) fn count_bits_in_range(words: &[u64], start: usize, end: usize) -> usize {
     if start >= end {
         return 0;
     }
@@ -51,7 +190,7 @@ fn count_bits_in_range(words: &[u64], start: usize, end: usize) -> usize {
 }
 
 /// Clears every bit of `words` within slot range `start..end`.
-fn clear_bits_in_range(words: &mut [u64], start: usize, end: usize) {
+pub(crate) fn clear_bits_in_range(words: &mut [u64], start: usize, end: usize) {
     if start >= end {
         return;
     }
@@ -65,6 +204,25 @@ fn clear_bits_in_range(words: &mut [u64], start: usize, end: usize) {
         words[w1] &= !hi;
         for w in &mut words[w0 + 1..w1] {
             *w = 0;
+        }
+    }
+}
+
+/// Sets every bit of `words` within slot range `start..end`.
+pub(crate) fn set_bits_in_range(words: &mut [u64], start: usize, end: usize) {
+    if start >= end {
+        return;
+    }
+    let (w0, w1) = (start >> 6, (end - 1) >> 6);
+    let lo = !0u64 << (start & 63);
+    let hi = !0u64 >> (63 - ((end - 1) & 63));
+    if w0 == w1 {
+        words[w0] |= lo & hi;
+    } else {
+        words[w0] |= lo;
+        words[w1] |= hi;
+        for w in &mut words[w0 + 1..w1] {
+            *w = !0;
         }
     }
 }
@@ -224,6 +382,16 @@ impl ReversalEngine for FrontierPrEngine {
     }
 }
 
+impl FrontierEngine for FrontierPrEngine {
+    fn csr_instance(&self) -> &CsrInstance {
+        &self.init
+    }
+
+    fn resident_bytes(&self) -> usize {
+        FrontierPrEngine::resident_bytes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +436,52 @@ mod tests {
                 words[s >> 6] >> (s & 63) & 1
             };
             assert_eq!(cleared[s >> 6] >> (s & 63) & 1, expect, "slot {s}");
+        }
+        let mut set = words.clone();
+        set_bits_in_range(&mut set, 62, 130);
+        for s in 0..256 {
+            let expect = if (62..130).contains(&s) {
+                1
+            } else {
+                words[s >> 6] >> (s & 63) & 1
+            };
+            assert_eq!(set[s >> 6] >> (s & 63) & 1, expect, "slot {s}");
+        }
+        let mut one = words.clone();
+        set_bits_in_range(&mut one, 130, 131);
+        assert_eq!(one[2] >> 2 & 1, 1);
+    }
+
+    #[test]
+    fn family_names_match_engine_reports_and_kinds_round_trip() {
+        for family in FrontierFamily::ALL {
+            let e = family.engine(stream::chain_away(4));
+            assert_eq!(e.algorithm_name(), family.name());
+            assert!(e.instance().is_none(), "{} must stay flat", family.name());
+            assert_eq!(e.csr_instance().node_count(), 4);
+            assert!(FrontierEngine::resident_bytes(e.as_ref()) > 0);
+        }
+        assert_eq!(
+            FrontierFamily::Bll(BllLabeling::FullReversal).name(),
+            "BLL[FR]"
+        );
+        for kind in AlgorithmKind::ALL {
+            assert_eq!(FrontierFamily::from(kind).name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn map_engine_reference_agrees_with_the_flat_engine() {
+        let inst = generate::random_connected(12, 6, 42);
+        let flat = stream::random_connected(12, 6, 42);
+        for family in FrontierFamily::ALL {
+            let mut a = family.engine(flat.clone());
+            let mut b = family.map_engine(&inst);
+            let sa =
+                run_engine_frontier(a.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+            let sb = run_engine(b.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+            assert_eq!(sa, sb, "{}", family.name());
+            assert_eq!(a.orientation(), b.orientation(), "{}", family.name());
         }
     }
 

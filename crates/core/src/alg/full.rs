@@ -7,10 +7,10 @@
 
 use std::sync::Arc;
 
-use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, CsrInstance, NodeId, Orientation, ReversalInstance};
 use lr_ioa::Automaton;
 
-use crate::alg::ReversalEngine;
+use crate::alg::{FrontierEngine, ReversalEngine};
 use crate::{EnabledTracker, MirroredDirs, PlanAux, ReversalStep, StepOutcome, StepScratch};
 
 /// FR state: just the mirrored edge directions.
@@ -152,6 +152,118 @@ impl ReversalEngine for FullReversalEngine<'_> {
     }
 }
 
+/// FR over a flat [`CsrInstance`]: the simplest frontier engine — its
+/// only mutable state is the bit-packed [`MirroredDirs`] and the
+/// incremental enabled worklist, so a step is one masked word flip per
+/// incident edge. Step-for-step identical to [`FullReversalEngine`]
+/// (differential suite).
+#[derive(Debug, Clone)]
+pub struct FrontierFrEngine {
+    /// The initial configuration, retained for [`ReversalEngine::reset`].
+    init: CsrInstance,
+    dirs: MirroredDirs,
+    tracker: EnabledTracker,
+}
+
+impl FrontierFrEngine {
+    /// Creates the engine in the initial state of `inst`.
+    pub fn new(inst: CsrInstance) -> Self {
+        let dirs = MirroredDirs::from_csr_instance(&inst);
+        let tracker = EnabledTracker::from_dirs(&dirs, inst.dest());
+        FrontierFrEngine {
+            init: inst,
+            dirs,
+            tracker,
+        }
+    }
+
+    /// The current bit-packed direction state.
+    pub fn dirs(&self) -> &MirroredDirs {
+        &self.dirs
+    }
+}
+
+impl ReversalEngine for FrontierFrEngine {
+    // `instance()` stays the default `None`: no map-backed state exists.
+
+    fn dest(&self) -> NodeId {
+        self.init.dest()
+    }
+
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.init.csr()
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "FR"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.dirs.is_sink(u)
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
+    }
+
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.dest(), "destination {u} never takes steps");
+        let csr = self.init.csr();
+        let ui = csr.index_of(u).expect("stepping node exists");
+        assert!(
+            self.dirs.is_sink_at(ui),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        scratch.clear();
+        for slot in csr.slots(ui) {
+            scratch.reversed.push(csr.node(csr.target(slot)));
+        }
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: false,
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], _aux: PlanAux) {
+        let csr = Arc::clone(self.init.csr());
+        let ui = csr.index_of(u).expect("planned node");
+        self.dirs.reverse_all_outward_at(ui, reversed);
+        self.tracker.record_step(&csr, u, reversed);
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.dirs.orientation()
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
+    }
+
+    fn reset(&mut self) {
+        self.dirs = MirroredDirs::from_csr_instance(&self.init);
+        self.tracker = EnabledTracker::from_dirs(&self.dirs, self.init.dest());
+    }
+}
+
+impl FrontierEngine for FrontierFrEngine {
+    fn csr_instance(&self) -> &CsrInstance {
+        &self.init
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let csr = self.init.csr();
+        csr.resident_bytes()
+            + self.dirs.resident_bytes()
+            + self.init.half_edge_count().div_ceil(64) * 8 // retained init bits
+            + csr.node_count() * 4 // tracker out-counts
+    }
+}
+
 /// FR as an I/O automaton with single-node `reverse(u)` actions.
 #[derive(Debug, Clone, Copy)]
 pub struct FullReversalAutomaton<'a> {
@@ -262,6 +374,36 @@ mod tests {
             eng.step(u);
         }
         assert_eq!(eng.orientation(), exec.last_state().dirs.orientation());
+    }
+
+    #[test]
+    fn frontier_fr_matches_map_engine_step_for_step() {
+        for seed in 0..4 {
+            let inst = generate::random_connected(20, 15, 700 + seed);
+            let flat = lr_graph::stream::random_connected(20, 15, 700 + seed);
+            let mut a = FrontierFrEngine::new(flat);
+            let mut b = FullReversalEngine::new(&inst);
+            let mut steps = 0;
+            loop {
+                assert_eq!(a.enabled(), b.enabled(), "seed {seed}");
+                let Some(&u) = a.enabled().first() else { break };
+                assert_eq!(a.step(u), b.step(u), "seed {seed} step {steps}");
+                steps += 1;
+                assert!(steps < 100_000);
+            }
+            assert_eq!(a.orientation(), b.orientation());
+        }
+    }
+
+    #[test]
+    fn frontier_fr_reset_restores_initial() {
+        let mut e = FrontierFrEngine::new(lr_graph::stream::chain_away(5));
+        let fresh = e.clone();
+        e.step(n(4));
+        assert_ne!(e.orientation(), fresh.orientation());
+        e.reset();
+        assert_eq!(e.dirs(), fresh.dirs());
+        assert_eq!(e.enabled(), fresh.enabled());
     }
 
     #[test]

@@ -21,11 +21,14 @@
 //! as the local-state algorithm in the distributed simulator, where nodes
 //! only know their neighbors' heights.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use lr_graph::{CsrGraph, NodeId, Orientation, PlaneEmbedding, ReversalInstance};
+use lr_graph::{
+    CsrGraph, CsrInstance, EdgeDir, NodeId, Orientation, PlaneEmbedding, ReversalInstance,
+};
 
-use crate::alg::ReversalEngine;
+use crate::alg::{FrontierEngine, ReversalEngine};
 use crate::{EnabledTracker, PlanAux, StepOutcome, StepScratch};
 
 /// A Gafni–Bertsekas pair height `(α, id)`, ordered lexicographically.
@@ -55,6 +58,41 @@ fn initial_positions(inst: &ReversalInstance, csr: &CsrGraph) -> Vec<usize> {
     csr.nodes()
         .map(|u| emb.x(u).expect("embedding covers all nodes"))
         .collect()
+}
+
+/// Plane-embedding x-coordinates by dense CSR index, computed without a
+/// map-backed instance: a CSR-native Kahn peel of the retained initial
+/// orientation that visits nodes and out-neighbors in exactly the order
+/// [`PlaneEmbedding::of_initial`] does (ascending id seeds, FIFO queue,
+/// ascending out-slots), so the two routes assign identical coordinates
+/// and the frontier height engines start bit-identical to the map ones.
+fn initial_positions_flat(inst: &CsrInstance) -> Vec<usize> {
+    let csr = inst.csr();
+    let n = csr.node_count();
+    let mut indeg = vec![0u32; n];
+    for slot in 0..csr.half_edge_count() {
+        if inst.init_dir_at(slot) == EdgeDir::Out {
+            indeg[csr.target(slot)] += 1;
+        }
+    }
+    let mut ready: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut pos = vec![0usize; n];
+    let mut next = 0usize;
+    while let Some(u) = ready.pop_front() {
+        pos[u] = next;
+        next += 1;
+        for slot in csr.slots(u) {
+            if inst.init_dir_at(slot) == EdgeDir::Out {
+                let v = csr.target(slot);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    ready.push_back(v);
+                }
+            }
+        }
+    }
+    assert_eq!(next, n, "initial orientation must be acyclic");
+    pos
 }
 
 /// Builds the enabled tracker for a height vector: the slot's edge points
@@ -354,6 +392,297 @@ impl ReversalEngine for TripleHeightsEngine<'_> {
     }
 }
 
+/// The initial pair heights of a flat instance: `α_u = n − 1 − x(u)`.
+fn initial_pair_heights(inst: &CsrInstance) -> Vec<PairHeight> {
+    let csr = inst.csr();
+    let n = csr.node_count() as i64;
+    initial_positions_flat(inst)
+        .into_iter()
+        .zip(csr.nodes())
+        .map(|(x, u)| PairHeight {
+            alpha: n - 1 - x as i64,
+            id: u,
+        })
+        .collect()
+}
+
+/// The initial triple heights of a flat instance: `α = 0`, `β_u = −x(u)`.
+fn initial_triple_heights(inst: &CsrInstance) -> Vec<TripleHeight> {
+    let csr = inst.csr();
+    initial_positions_flat(inst)
+        .into_iter()
+        .zip(csr.nodes())
+        .map(|(x, u)| TripleHeight {
+            alpha: 0,
+            beta: -(x as i64),
+            id: u,
+        })
+        .collect()
+}
+
+/// Full Reversal via pair heights over a flat [`CsrInstance`]. The
+/// height vector was already dense in [`PairHeightsEngine`]; what this
+/// engine drops is the map-backed instance and its `PlaneEmbedding`
+/// construction — initial coordinates come from the CSR-native Kahn
+/// peel `initial_positions_flat` instead. Step-for-step identical to
+/// [`PairHeightsEngine`] (differential suite).
+#[derive(Debug, Clone)]
+pub struct FrontierPairHeightsEngine {
+    /// The initial configuration, retained for [`ReversalEngine::reset`].
+    init: CsrInstance,
+    /// Heights by dense CSR index.
+    heights: Vec<PairHeight>,
+    tracker: EnabledTracker,
+}
+
+impl FrontierPairHeightsEngine {
+    /// Creates the engine in the initial state of `inst`.
+    pub fn new(inst: CsrInstance) -> Self {
+        let heights = initial_pair_heights(&inst);
+        let tracker = height_tracker(inst.csr(), inst.dest(), &heights);
+        FrontierPairHeightsEngine {
+            init: inst,
+            heights,
+            tracker,
+        }
+    }
+
+    /// The current height of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of the instance.
+    pub fn height(&self, u: NodeId) -> PairHeight {
+        self.heights[self.init.csr().index_of(u).expect("known node")]
+    }
+}
+
+impl ReversalEngine for FrontierPairHeightsEngine {
+    // `instance()` stays the default `None`: no map-backed state exists.
+
+    fn dest(&self) -> NodeId {
+        self.init.dest()
+    }
+
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.init.csr()
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "GB-pair"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        let csr = self.init.csr();
+        csr.index_of(u)
+            .is_some_and(|i| height_is_sink_at(csr, &self.heights, i))
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
+    }
+
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.dest(), "destination {u} never takes steps");
+        let csr = self.init.csr();
+        let ui = csr.index_of(u).expect("stepping node exists");
+        assert!(
+            height_is_sink_at(csr, &self.heights, ui),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        let max_alpha = csr
+            .neighbor_indices(ui)
+            .iter()
+            .map(|&v| self.heights[v as usize].alpha)
+            .max()
+            .expect("sink has at least one neighbor");
+        scratch.clear();
+        for &v in csr.neighbor_indices(ui) {
+            scratch.reversed.push(csr.node(v as usize));
+        }
+        scratch.aux = PlanAux(max_alpha + 1, 0);
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: false,
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], aux: PlanAux) {
+        let csr = Arc::clone(self.init.csr());
+        let ui = csr.index_of(u).expect("planned node");
+        self.heights[ui].alpha = aux.0;
+        self.tracker.record_step(&csr, u, reversed);
+    }
+
+    fn orientation(&self) -> Orientation {
+        height_orientation(self.init.csr(), &self.heights)
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
+    }
+
+    fn reset(&mut self) {
+        self.heights = initial_pair_heights(&self.init);
+        self.tracker = height_tracker(self.init.csr(), self.init.dest(), &self.heights);
+    }
+}
+
+impl FrontierEngine for FrontierPairHeightsEngine {
+    fn csr_instance(&self) -> &CsrInstance {
+        &self.init
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let csr = self.init.csr();
+        csr.resident_bytes()
+            + self.heights.len() * std::mem::size_of::<PairHeight>()
+            + self.init.half_edge_count().div_ceil(64) * 8 // retained init bits
+            + csr.node_count() * 4 // tracker out-counts
+    }
+}
+
+/// Partial Reversal via triple heights over a flat [`CsrInstance`] —
+/// the triple-height twin of [`FrontierPairHeightsEngine`].
+/// Step-for-step identical to [`TripleHeightsEngine`] (differential
+/// suite).
+#[derive(Debug, Clone)]
+pub struct FrontierTripleHeightsEngine {
+    /// The initial configuration, retained for [`ReversalEngine::reset`].
+    init: CsrInstance,
+    /// Heights by dense CSR index.
+    heights: Vec<TripleHeight>,
+    tracker: EnabledTracker,
+}
+
+impl FrontierTripleHeightsEngine {
+    /// Creates the engine in the initial state of `inst`.
+    pub fn new(inst: CsrInstance) -> Self {
+        let heights = initial_triple_heights(&inst);
+        let tracker = height_tracker(inst.csr(), inst.dest(), &heights);
+        FrontierTripleHeightsEngine {
+            init: inst,
+            heights,
+            tracker,
+        }
+    }
+
+    /// The current height of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a node of the instance.
+    pub fn height(&self, u: NodeId) -> TripleHeight {
+        self.heights[self.init.csr().index_of(u).expect("known node")]
+    }
+}
+
+impl ReversalEngine for FrontierTripleHeightsEngine {
+    // `instance()` stays the default `None`: no map-backed state exists.
+
+    fn dest(&self) -> NodeId {
+        self.init.dest()
+    }
+
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.init.csr()
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "GB-triple"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        let csr = self.init.csr();
+        csr.index_of(u)
+            .is_some_and(|i| height_is_sink_at(csr, &self.heights, i))
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
+    }
+
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.dest(), "destination {u} never takes steps");
+        let csr = self.init.csr();
+        let ui = csr.index_of(u).expect("stepping node exists");
+        assert!(
+            height_is_sink_at(csr, &self.heights, ui),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        let nbrs = csr.neighbor_indices(ui);
+        let min_alpha = nbrs
+            .iter()
+            .map(|&v| self.heights[v as usize].alpha)
+            .min()
+            .expect("sink has at least one neighbor");
+        let new_alpha = min_alpha + 1;
+        let new_beta = nbrs
+            .iter()
+            .filter(|&&v| self.heights[v as usize].alpha == new_alpha)
+            .map(|&v| self.heights[v as usize].beta)
+            .min()
+            .map_or(self.heights[ui].beta, |b| b - 1);
+        scratch.clear();
+        for &v in nbrs {
+            if self.heights[v as usize].alpha == min_alpha {
+                scratch.reversed.push(csr.node(v as usize));
+            }
+        }
+        scratch.aux = PlanAux(new_alpha, new_beta);
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: false,
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], aux: PlanAux) {
+        let csr = Arc::clone(self.init.csr());
+        let ui = csr.index_of(u).expect("planned node");
+        let h = &mut self.heights[ui];
+        h.alpha = aux.0;
+        h.beta = aux.1;
+        self.tracker.record_step(&csr, u, reversed);
+    }
+
+    fn orientation(&self) -> Orientation {
+        height_orientation(self.init.csr(), &self.heights)
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
+    }
+
+    fn reset(&mut self) {
+        self.heights = initial_triple_heights(&self.init);
+        self.tracker = height_tracker(self.init.csr(), self.init.dest(), &self.heights);
+    }
+}
+
+impl FrontierEngine for FrontierTripleHeightsEngine {
+    fn csr_instance(&self) -> &CsrInstance {
+        &self.init
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let csr = self.init.csr();
+        csr.resident_bytes()
+            + self.heights.len() * std::mem::size_of::<TripleHeight>()
+            + self.init.half_edge_count().div_ceil(64) * 8 // retained init bits
+            + csr.node_count() * 4 // tracker out-counts
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,6 +811,73 @@ mod tests {
                 eng.algorithm_name()
             );
         }
+    }
+
+    #[test]
+    fn flat_initial_positions_match_the_plane_embedding() {
+        for seed in 0..6 {
+            let inst = generate::random_connected(18, 14, 500 + seed);
+            let flat = lr_graph::stream::random_connected(18, 14, 500 + seed);
+            let csr = Arc::new(CsrGraph::from_graph(&inst.graph));
+            assert_eq!(
+                initial_positions_flat(&flat),
+                initial_positions(&inst, &csr),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_pair_heights_match_map_engine_step_for_step() {
+        for seed in 0..4 {
+            let inst = generate::random_connected(16, 12, 600 + seed);
+            let flat = lr_graph::stream::random_connected(16, 12, 600 + seed);
+            let mut a = FrontierPairHeightsEngine::new(flat);
+            let mut b = PairHeightsEngine::new(&inst);
+            assert_eq!(a.orientation(), inst.init, "seed {seed}");
+            let mut steps = 0;
+            loop {
+                assert_eq!(a.enabled(), b.enabled(), "seed {seed}");
+                let Some(&u) = a.enabled().first() else { break };
+                assert_eq!(a.step(u), b.step(u), "seed {seed} step {steps}");
+                assert_eq!(a.height(u), b.height(u));
+                steps += 1;
+                assert!(steps < 100_000);
+            }
+            assert_eq!(a.orientation(), b.orientation());
+        }
+    }
+
+    #[test]
+    fn frontier_triple_heights_match_map_engine_step_for_step() {
+        for seed in 0..4 {
+            let inst = generate::random_connected(16, 12, 640 + seed);
+            let flat = lr_graph::stream::random_connected(16, 12, 640 + seed);
+            let mut a = FrontierTripleHeightsEngine::new(flat);
+            let mut b = TripleHeightsEngine::new(&inst);
+            assert_eq!(a.orientation(), inst.init, "seed {seed}");
+            let mut steps = 0;
+            loop {
+                assert_eq!(a.enabled(), b.enabled(), "seed {seed}");
+                let Some(&u) = a.enabled().last() else { break };
+                assert_eq!(a.step(u), b.step(u), "seed {seed} step {steps}");
+                assert_eq!(a.height(u), b.height(u));
+                steps += 1;
+                assert!(steps < 100_000);
+            }
+            assert_eq!(a.orientation(), b.orientation());
+        }
+    }
+
+    #[test]
+    fn frontier_heights_reset_restores_initial() {
+        let mut e = FrontierTripleHeightsEngine::new(lr_graph::stream::grid_away(3, 4));
+        let fresh = e.clone();
+        let u = *e.enabled().first().unwrap();
+        e.step(u);
+        e.reset();
+        assert_eq!(e.heights, fresh.heights);
+        assert_eq!(e.enabled(), fresh.enabled());
     }
 
     #[test]

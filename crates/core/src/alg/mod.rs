@@ -20,11 +20,14 @@ mod heights;
 mod newpr;
 mod pr;
 
-pub use bll::{BllEngine, BllLabeling, BllState};
-pub use frontier::FrontierPrEngine;
-pub use full::{FullReversalAutomaton, FullReversalEngine, FullReversalState};
-pub use heights::{PairHeight, PairHeightsEngine, TripleHeight, TripleHeightsEngine};
-pub use newpr::{newpr_step, NewPrAutomaton, NewPrEngine, NewPrState, Parity};
+pub use bll::{BllEngine, BllLabeling, BllState, FrontierBllEngine};
+pub use frontier::{FrontierEngine, FrontierFamily, FrontierPrEngine};
+pub use full::{FrontierFrEngine, FullReversalAutomaton, FullReversalEngine, FullReversalState};
+pub use heights::{
+    FrontierPairHeightsEngine, FrontierTripleHeightsEngine, PairHeight, PairHeightsEngine,
+    TripleHeight, TripleHeightsEngine,
+};
+pub use newpr::{newpr_step, FrontierNewPrEngine, NewPrAutomaton, NewPrEngine, NewPrState, Parity};
 pub use pr::{
     onestep_pr_step, pr_reverse_set, OneStepPrAutomaton, PrEngine, PrSetAutomaton, PrState,
     ReverseSet,
@@ -32,7 +35,7 @@ pub use pr::{
 
 use std::sync::Arc;
 
-use lr_graph::{CsrGraph, NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, CsrInstance, NodeId, Orientation, ReversalInstance};
 
 use crate::{PlanAux, ReversalStep, StepOutcome, StepScratch};
 
@@ -237,7 +240,10 @@ impl AlgorithmKind {
         }
     }
 
-    /// Builds a fresh engine of this kind over `inst`.
+    /// Builds a fresh **map-backed** engine of this kind over `inst` —
+    /// the differential reference path. Callers that have (or can
+    /// stream) a flat [`CsrInstance`] should prefer
+    /// [`AlgorithmKind::frontier_engine`], the default fast path.
     pub fn engine<'a>(self, inst: &'a ReversalInstance) -> Box<dyn ReversalEngine + 'a> {
         match self {
             AlgorithmKind::FullReversal => Box::new(FullReversalEngine::new(inst)),
@@ -246,6 +252,13 @@ impl AlgorithmKind {
             AlgorithmKind::PairHeights => Box::new(PairHeightsEngine::new(inst)),
             AlgorithmKind::TripleHeights => Box::new(TripleHeightsEngine::new(inst)),
         }
+    }
+
+    /// Builds this kind's flat CSR-native [`FrontierEngine`] — the
+    /// default execution substrate since PR 8, step-for-step identical
+    /// to [`AlgorithmKind::engine`] by the frontier differential suite.
+    pub fn frontier_engine(self, inst: CsrInstance) -> Box<dyn FrontierEngine> {
+        FrontierFamily::from(self).engine(inst)
     }
 }
 
@@ -272,6 +285,19 @@ mod tests {
             assert_eq!(e.enabled(), &[lr_graph::NodeId::new(3)][..]);
             // The allocating compat wrapper must mirror the borrowed view.
             assert_eq!(e.enabled_nodes(), e.enabled().to_vec());
+        }
+    }
+
+    #[test]
+    fn frontier_engines_constructed_for_all_kinds() {
+        let inst = generate::chain_away(4);
+        let flat = lr_graph::CsrInstance::from_instance(&inst);
+        for kind in AlgorithmKind::ALL {
+            let e = kind.frontier_engine(flat.clone());
+            assert_eq!(e.dest(), inst.dest);
+            assert_eq!(e.algorithm_name(), kind.name());
+            assert!(e.instance().is_none(), "{} must stay flat", kind.name());
+            assert_eq!(e.enabled(), &[lr_graph::NodeId::new(3)][..]);
         }
     }
 

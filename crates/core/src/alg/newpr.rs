@@ -16,10 +16,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use lr_graph::{CsrGraph, EdgeDir, NodeId, Orientation, ReversalInstance};
+use lr_graph::{CsrGraph, CsrInstance, EdgeDir, NodeId, Orientation, ReversalInstance};
 use lr_ioa::Automaton;
 
-use crate::alg::ReversalEngine;
+use crate::alg::{FrontierEngine, ReversalEngine};
 use crate::{EnabledTracker, MirroredDirs, PlanAux, ReversalStep, StepOutcome, StepScratch};
 
 /// The parity of a node's step count — the derived variable `parity[u]`.
@@ -210,6 +210,141 @@ impl ReversalEngine for NewPrEngine<'_> {
     }
 }
 
+/// `NewPR` over a flat [`CsrInstance`]: the frozen
+/// `in-nbrs`/`out-nbrs` partition of §2 is read straight off the
+/// retained initial direction bits (one masked read per slot), and the
+/// `count[u]` history variable is a dense `Vec<u64>` by CSR index
+/// instead of a `BTreeMap`. Step-for-step identical to [`NewPrEngine`]
+/// (differential suite), dummy steps included.
+#[derive(Debug, Clone)]
+pub struct FrontierNewPrEngine {
+    /// The initial configuration — also the frozen §2 partition.
+    init: CsrInstance,
+    dirs: MirroredDirs,
+    /// `count[u]` by dense CSR index, initially all zero.
+    counts: Vec<u64>,
+    tracker: EnabledTracker,
+}
+
+impl FrontierNewPrEngine {
+    /// Creates the engine in the initial state of `inst`.
+    pub fn new(inst: CsrInstance) -> Self {
+        let dirs = MirroredDirs::from_csr_instance(&inst);
+        let counts = vec![0u64; inst.node_count()];
+        let tracker = EnabledTracker::from_dirs(&dirs, inst.dest());
+        FrontierNewPrEngine {
+            init: inst,
+            dirs,
+            counts,
+            tracker,
+        }
+    }
+
+    /// The current bit-packed direction state.
+    pub fn dirs(&self) -> &MirroredDirs {
+        &self.dirs
+    }
+
+    /// The derived variable `parity[u]` for the node at dense index `ui`.
+    fn parity_at(&self, ui: usize) -> Parity {
+        if self.counts[ui].is_multiple_of(2) {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+}
+
+impl ReversalEngine for FrontierNewPrEngine {
+    // `instance()` stays the default `None`: no map-backed state exists.
+
+    fn dest(&self) -> NodeId {
+        self.init.dest()
+    }
+
+    fn csr(&self) -> &Arc<CsrGraph> {
+        self.init.csr()
+    }
+
+    fn algorithm_name(&self) -> &'static str {
+        "NewPR"
+    }
+
+    fn is_sink(&self, u: NodeId) -> bool {
+        self.dirs.is_sink(u)
+    }
+
+    fn enabled(&self) -> &[NodeId] {
+        self.tracker.enabled()
+    }
+
+    fn plan_step(&self, u: NodeId, scratch: &mut StepScratch) -> StepOutcome {
+        assert_ne!(u, self.dest(), "destination {u} never takes steps");
+        let csr = self.init.csr();
+        let ui = csr.index_of(u).expect("stepping node exists");
+        assert!(
+            self.dirs.is_sink_at(ui),
+            "reverse({u}) precondition: {u} must be a sink"
+        );
+        // Even parity reverses the initial in-neighbors, odd parity the
+        // initial out-neighbors (Algorithm 2) — the retained initial
+        // bitset *is* the frozen partition.
+        let want_initial_in = self.parity_at(ui) == Parity::Even;
+        scratch.clear();
+        for slot in csr.slots(ui) {
+            if (self.init.init_dir_at(slot) == EdgeDir::In) == want_initial_in {
+                scratch.reversed.push(csr.node(csr.target(slot)));
+            }
+        }
+        StepOutcome {
+            node_idx: ui,
+            reversal_count: scratch.reversed.len(),
+            dummy: scratch.reversed.is_empty(),
+        }
+    }
+
+    fn apply_planned(&mut self, u: NodeId, reversed: &[NodeId], _aux: PlanAux) {
+        let csr = Arc::clone(self.init.csr());
+        let ui = csr.index_of(u).expect("planned node");
+        self.dirs.reverse_all_outward_at(ui, reversed);
+        self.counts[ui] += 1;
+        self.tracker.record_step(&csr, u, reversed);
+    }
+
+    fn orientation(&self) -> Orientation {
+        self.dirs.orientation()
+    }
+
+    fn begin_round(&mut self) {
+        self.tracker.begin_batch();
+    }
+
+    fn end_round(&mut self) {
+        self.tracker.end_batch();
+    }
+
+    fn reset(&mut self) {
+        self.dirs = MirroredDirs::from_csr_instance(&self.init);
+        self.counts.fill(0);
+        self.tracker = EnabledTracker::from_dirs(&self.dirs, self.init.dest());
+    }
+}
+
+impl FrontierEngine for FrontierNewPrEngine {
+    fn csr_instance(&self) -> &CsrInstance {
+        &self.init
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let csr = self.init.csr();
+        csr.resident_bytes()
+            + self.dirs.resident_bytes()
+            + self.counts.len() * 8
+            + self.init.half_edge_count().div_ceil(64) * 8 // retained init bits
+            + csr.node_count() * 4 // tracker out-counts
+    }
+}
+
 /// `NewPR` as an I/O automaton with `reverse(u)` actions.
 #[derive(Debug, Clone, Copy)]
 pub struct NewPrAutomaton<'a> {
@@ -371,6 +506,40 @@ mod tests {
         let inst = generate::chain_toward(3); // dest 0 is a sink here
         let mut s = NewPrState::initial(&inst);
         newpr_step(&inst, &mut s, n(0));
+    }
+
+    #[test]
+    fn frontier_newpr_matches_map_engine_step_for_step() {
+        for seed in 0..4 {
+            let inst = generate::random_connected(20, 15, 800 + seed);
+            let flat = lr_graph::stream::random_connected(20, 15, 800 + seed);
+            let mut a = FrontierNewPrEngine::new(flat);
+            let mut b = NewPrEngine::new(&inst);
+            let mut steps = 0;
+            loop {
+                assert_eq!(a.enabled(), b.enabled(), "seed {seed}");
+                let Some(&u) = a.enabled().first() else { break };
+                assert_eq!(a.step(u), b.step(u), "seed {seed} step {steps}");
+                steps += 1;
+                assert!(steps < 100_000);
+            }
+            assert_eq!(a.orientation(), b.orientation());
+        }
+    }
+
+    #[test]
+    fn frontier_newpr_dummy_steps_keep_the_node_enabled() {
+        // Same topology as `initial_source_performs_dummy_step…`: after
+        // the center steps, leaf 1 dummy-steps and must stay enabled.
+        let inst = lr_graph::parse::parse_instance("dest 3\n1 > 0\n2 > 0\n3 > 0").unwrap();
+        let mut e = FrontierNewPrEngine::new(CsrInstance::from_instance(&inst));
+        e.step(n(0));
+        assert!(e.enabled().contains(&n(1)));
+        let dummy = e.step(n(1));
+        assert!(dummy.dummy);
+        assert!(e.enabled().contains(&n(1)), "dummy step keeps 1 enabled");
+        let real = e.step(n(1));
+        assert_eq!(real.reversed, vec![n(0)]);
     }
 
     #[test]

@@ -6,23 +6,32 @@
 //! per-node work vector used by the game-theoretic comparison (E10) and
 //! NewPR's dummy-step count (E9).
 //!
-//! Four loops share one driver:
+//! Every loop shares one driver (`drive`), so policy, budget, and
+//! stats logic exists once:
 //!
 //! * [`run_engine`] — the production path: incremental enabled view,
 //!   zero-allocation [`ReversalEngine::step_into`] pipeline (one
 //!   [`StepScratch`] per run), batched enabled-set merges per greedy
 //!   round.
+//! * [`run_engine_frontier`] — the same driver configuration, named for
+//!   the frontier engines it was built for; kept as the documented
+//!   entry point of the flat fast path.
 //! * [`run_engine_parallel`] — greedy rounds with the **plan phase
-//!   fanned out** across worker threads; bit-identical to the
-//!   sequential greedy run.
+//!   fanned out** across worker threads over snapshot chunks;
+//!   bit-identical to the sequential greedy run.
+//! * [`run_engine_frontier_sharded`] — greedy rounds with the plan
+//!   phase sharded by **contiguous node ranges** (each worker owns a
+//!   fixed slice of the id space and plans the enabled nodes that fall
+//!   in it); also bit-identical at every thread count.
 //! * [`run_engine_scan`] — retained naive-rescan reference (pre-PR-2
 //!   behavior).
 //! * [`run_engine_alloc`] — retained allocating-step reference
 //!   (pre-PR-3 behavior: one owned [`crate::ReversalStep`] per step).
 //!
 //! The reference loops exist so the fast paths stay falsifiable: the
-//! differential suite (`tests/csr_differential.rs`) checks all four
-//! produce identical [`RunStats`] on every engine configuration.
+//! differential suites (`tests/csr_differential.rs`,
+//! `tests/frontier_differential.rs`) check all of them produce
+//! identical [`RunStats`] on every engine configuration.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -210,9 +219,9 @@ fn take_step(
 
 /// One greedy round through the zero-allocation pipeline with batched
 /// enabled-set edits: every sink in `snapshot` steps once (stopping at
-/// the budget). Shared by [`drive`] and the sequential fast path of
-/// [`run_engine_parallel_with`] so the two loops stay in lockstep by
-/// construction — the bit-identical guarantee depends on it.
+/// the budget). Shared by `drive`'s sequential rounds and the
+/// small-round fast path of its parallel rounds, so the loops stay in
+/// lockstep by construction — the bit-identical guarantee depends on it.
 fn greedy_round_zero_alloc(
     engine: &mut dyn ReversalEngine,
     snapshot: &[NodeId],
@@ -231,12 +240,32 @@ fn greedy_round_zero_alloc(
     engine.end_round();
 }
 
+/// How a parallel greedy round partitions its plan phase across workers.
+/// Both shardings hand each worker a **consecutive subslice** of the
+/// ascending round snapshot, so the sequential apply phase always runs
+/// in snapshot order — which is what keeps every thread count
+/// bit-identical to the sequential schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sharding {
+    /// Equal-length chunks of the round snapshot (PR 3's
+    /// [`run_engine_parallel`]): perfect load balance in node count,
+    /// but a worker's nodes wander the whole id space.
+    SnapshotChunks,
+    /// Contiguous node-index ranges (PR 8's
+    /// [`run_engine_frontier_sharded`]): worker `k` owns dense indices
+    /// `[k·⌈n/threads⌉, (k+1)·⌈n/threads⌉)` and plans the enabled nodes
+    /// falling in its range — a stable per-worker sub-worklist whose
+    /// CSR reads stay within one slice of the id space.
+    NodeRanges,
+}
+
 fn drive(
     engine: &mut dyn ReversalEngine,
     policy: SchedulePolicy,
     max_steps: usize,
     source: EnabledSource,
     mode: StepMode,
+    parallel: Option<(ParallelConfig, Sharding)>,
 ) -> RunStats {
     let algorithm = engine.algorithm_name();
     let csr = Arc::clone(engine.csr());
@@ -252,6 +281,14 @@ fn drive(
     // rescanned enabled set. The incremental single-step policies never
     // touch it — they read the engine's view directly.
     let mut snapshot: Vec<NodeId> = Vec::new();
+    // Per-worker plan shards, reused across rounds (empty when the run
+    // is sequential).
+    let mut shards: Vec<PlanShard> = match parallel {
+        Some((cfg, _)) => (0..cfg.threads.max(1))
+            .map(|_| PlanShard::default())
+            .collect(),
+        None => Vec::new(),
+    };
     loop {
         let done = match source {
             EnabledSource::Incremental => engine.is_terminated(),
@@ -280,15 +317,26 @@ fn drive(
                 }
                 rounds += 1;
                 match mode {
-                    StepMode::ZeroAlloc => {
-                        greedy_round_zero_alloc(
+                    StepMode::ZeroAlloc => match parallel {
+                        Some((cfg, sharding)) => planned_parallel_round(
+                            engine,
+                            &csr,
+                            &snapshot,
+                            &mut book,
+                            &mut scratch,
+                            &mut shards,
+                            cfg,
+                            sharding,
+                            max_steps,
+                        ),
+                        None => greedy_round_zero_alloc(
                             engine,
                             &snapshot,
                             &mut book,
                             &mut scratch,
                             max_steps,
-                        );
-                    }
+                        ),
+                    },
                     // The PR 2 reference mode keeps per-step enabled-set
                     // edits (no round batching existed before PR 3).
                     StepMode::Alloc => {
@@ -348,6 +396,7 @@ pub fn run_engine(
         max_steps,
         EnabledSource::Incremental,
         StepMode::ZeroAlloc,
+        None,
     )
 }
 
@@ -370,6 +419,7 @@ pub fn run_engine_scan(
         max_steps,
         EnabledSource::Scan,
         StepMode::ZeroAlloc,
+        None,
     )
 }
 
@@ -395,6 +445,7 @@ pub fn run_engine_alloc(
         max_steps,
         EnabledSource::Incremental,
         StepMode::Alloc,
+        None,
     )
 }
 
@@ -411,60 +462,25 @@ pub fn run_engine_alloc(
 /// [`crate::alg::FrontierPrEngine`] run million-node instances without
 /// ever materializing one.
 ///
-/// Scheduling, bookkeeping, and round counting replicate [`run_engine`]
-/// exactly; the differential suite (`tests/frontier_differential.rs`)
-/// pins the two loops to identical [`RunStats`] and final orientations
-/// on every tested engine, size, and policy.
+/// Scheduling, bookkeeping, and round counting are [`run_engine`]'s —
+/// since PR 8 the two names share the driver **by construction** (one
+/// `drive` configuration) rather than by duplicated loops held in
+/// lockstep; the differential suite (`tests/frontier_differential.rs`)
+/// still pins them to identical [`RunStats`] and final orientations on
+/// every tested engine, size, and policy.
 pub fn run_engine_frontier(
     engine: &mut dyn ReversalEngine,
     policy: SchedulePolicy,
     max_steps: usize,
 ) -> RunStats {
-    let algorithm = engine.algorithm_name();
-    let csr = Arc::clone(engine.csr());
-    let mut book = StepBook::new(csr.node_count());
-    let mut rounds = 0usize;
-    let mut terminated = false;
-    let mut rng = match policy {
-        SchedulePolicy::RandomSingle { seed } => Some(SmallRng::seed_from_u64(seed)),
-        _ => None,
-    };
-    let mut scratch = StepScratch::new();
-    let mut frontier: Vec<NodeId> = Vec::new();
-    loop {
-        if engine.is_terminated() {
-            terminated = true;
-            break;
-        }
-        if book.steps >= max_steps {
-            break;
-        }
-        rounds += 1;
-        match policy {
-            SchedulePolicy::GreedyRounds => {
-                frontier.clear();
-                frontier.extend_from_slice(engine.enabled());
-                greedy_round_zero_alloc(engine, &frontier, &mut book, &mut scratch, max_steps);
-            }
-            SchedulePolicy::RandomSingle { .. } => {
-                let rng = rng.as_mut().expect("rng initialized for RandomSingle");
-                let u = *engine.enabled().choose(rng).expect("enabled non-empty");
-                let outcome = engine.step_into(u, &mut scratch);
-                book.record(&outcome);
-            }
-            SchedulePolicy::FirstSingle | SchedulePolicy::LastSingle => {
-                let view = engine.enabled();
-                let u = if policy == SchedulePolicy::FirstSingle {
-                    *view.first().expect("non-empty")
-                } else {
-                    *view.last().expect("non-empty")
-                };
-                let outcome = engine.step_into(u, &mut scratch);
-                book.record(&outcome);
-            }
-        }
-    }
-    book.into_stats(algorithm, rounds, terminated)
+    drive(
+        engine,
+        policy,
+        max_steps,
+        EnabledSource::Incremental,
+        StepMode::ZeroAlloc,
+        None,
+    )
 }
 
 /// Tuning for [`run_engine_parallel_with`].
@@ -517,6 +533,100 @@ fn plan_shard(planner: &dyn ReversalEngine, shard: &mut PlanShard, nodes: &[Node
     }
 }
 
+/// One greedy round with the plan phase fanned out across crossbeam-
+/// scoped workers and a sequential apply — `drive`'s parallel round.
+///
+/// Every worker plans its sub-worklist against the shared **frozen
+/// pre-round state** (read-only borrow; a round's sinks are pairwise
+/// non-adjacent, so pre-round plans equal mid-round sequential plans).
+/// The apply phase then replays all planned steps on the caller thread
+/// in snapshot order — both shardings hand workers consecutive
+/// subslices of the ascending snapshot — reconciling every boundary
+/// half-edge and tracker delta in the deterministic sequential order.
+/// Rounds smaller than `cfg.min_parallel_round` (and everything when
+/// `cfg.threads == 1`) take the sequential fast path, which is exactly
+/// one [`run_engine`] round.
+#[allow(clippy::too_many_arguments)]
+fn planned_parallel_round(
+    engine: &mut dyn ReversalEngine,
+    csr: &CsrGraph,
+    snapshot: &[NodeId],
+    book: &mut StepBook,
+    scratch: &mut StepScratch,
+    shards: &mut [PlanShard],
+    cfg: ParallelConfig,
+    sharding: Sharding,
+    max_steps: usize,
+) {
+    let threads = cfg.threads.max(1);
+    if threads == 1 || snapshot.len() < cfg.min_parallel_round {
+        // Sequential fast path — exactly one `run_engine` round.
+        greedy_round_zero_alloc(engine, snapshot, book, scratch, max_steps);
+        return;
+    }
+    // Plan phase: workers read the shared pre-round state.
+    for shard in shards.iter_mut() {
+        shard.recs.clear();
+        shard.targets.clear();
+    }
+    let mut slices: Vec<&[NodeId]> = Vec::with_capacity(threads);
+    match sharding {
+        Sharding::SnapshotChunks => {
+            let chunk = snapshot.len().div_ceil(threads);
+            slices.extend(snapshot.chunks(chunk));
+        }
+        Sharding::NodeRanges => {
+            // The snapshot is ascending by id, and dense CSR indices are
+            // ascending by id too, so each worker's sub-worklist is the
+            // consecutive run of snapshot entries inside its index range.
+            let chunk = csr.node_count().div_ceil(threads);
+            let mut lo = 0usize;
+            for k in 0..threads {
+                let hi = if k + 1 == threads {
+                    snapshot.len()
+                } else {
+                    let bound = (k + 1) * chunk;
+                    lo + snapshot[lo..]
+                        .partition_point(|&u| csr.index_of(u).expect("enabled node exists") < bound)
+                };
+                if hi > lo {
+                    slices.push(&snapshot[lo..hi]);
+                }
+                lo = hi;
+            }
+        }
+    }
+    let planner: &dyn ReversalEngine = engine;
+    crossbeam::thread::scope(|s| {
+        let mut work = shards.iter_mut().zip(slices.iter().copied());
+        // The caller thread plans the first shard itself; only the
+        // remaining shards pay for a spawn.
+        let first = work.next();
+        for (shard, nodes) in work {
+            s.spawn(move |_| plan_shard(planner, shard, nodes));
+        }
+        if let Some((shard, nodes)) = first {
+            plan_shard(planner, shard, nodes);
+        }
+    })
+    .expect("plan worker panicked");
+    // Apply phase: shards cover the snapshot in order, so the tracker's
+    // out-count deltas merge deterministically.
+    engine.begin_round();
+    'apply: for shard in shards.iter() {
+        for rec in &shard.recs {
+            let u = csr.node(rec.outcome.node_idx);
+            let targets = &shard.targets[rec.start..rec.start + rec.outcome.reversal_count];
+            engine.apply_planned(u, targets, rec.aux);
+            book.record(&rec.outcome);
+            if book.steps >= max_steps {
+                break 'apply;
+            }
+        }
+    }
+    engine.end_round();
+}
+
 /// [`run_engine`] for [`SchedulePolicy::GreedyRounds`] with the **plan
 /// phase of each round fanned out across worker threads**, default
 /// tuning. See [`run_engine_parallel_with`].
@@ -548,68 +658,63 @@ pub fn run_engine_parallel_with(
     cfg: ParallelConfig,
     max_steps: usize,
 ) -> RunStats {
-    let threads = cfg.threads.max(1);
-    let algorithm = engine.algorithm_name();
-    let csr = Arc::clone(engine.csr());
-    let mut book = StepBook::new(csr.node_count());
-    let mut rounds = 0usize;
-    let mut terminated = false;
-    let mut snapshot: Vec<NodeId> = Vec::new();
-    let mut shards: Vec<PlanShard> = (0..threads).map(|_| PlanShard::default()).collect();
-    let mut scratch = StepScratch::new();
-    loop {
-        if engine.is_terminated() {
-            terminated = true;
-            break;
-        }
-        if book.steps >= max_steps {
-            break;
-        }
-        snapshot.clear();
-        snapshot.extend_from_slice(engine.enabled());
-        rounds += 1;
-        if threads == 1 || snapshot.len() < cfg.min_parallel_round {
-            // Sequential fast path — exactly one `run_engine` round.
-            greedy_round_zero_alloc(engine, &snapshot, &mut book, &mut scratch, max_steps);
-            continue;
-        }
-        // Plan phase: workers read the shared pre-round state.
-        for shard in &mut shards {
-            shard.recs.clear();
-            shard.targets.clear();
-        }
-        let chunk = snapshot.len().div_ceil(threads);
-        let planner: &dyn ReversalEngine = engine;
-        crossbeam::thread::scope(|s| {
-            let mut work = shards.iter_mut().zip(snapshot.chunks(chunk));
-            // The caller thread plans the first shard itself; only the
-            // remaining shards pay for a spawn.
-            let first = work.next();
-            for (shard, nodes) in work {
-                s.spawn(move |_| plan_shard(planner, shard, nodes));
-            }
-            if let Some((shard, nodes)) = first {
-                plan_shard(planner, shard, nodes);
-            }
-        })
-        .expect("plan worker panicked");
-        // Apply phase: snapshot order (shards are snapshot chunks), so
-        // the tracker's out-count deltas merge deterministically.
-        engine.begin_round();
-        'apply: for shard in &shards {
-            for rec in &shard.recs {
-                let u = csr.node(rec.outcome.node_idx);
-                let targets = &shard.targets[rec.start..rec.start + rec.outcome.reversal_count];
-                engine.apply_planned(u, targets, rec.aux);
-                book.record(&rec.outcome);
-                if book.steps >= max_steps {
-                    break 'apply;
-                }
-            }
-        }
-        engine.end_round();
-    }
-    book.into_stats(algorithm, rounds, terminated)
+    drive(
+        engine,
+        SchedulePolicy::GreedyRounds,
+        max_steps,
+        EnabledSource::Incremental,
+        StepMode::ZeroAlloc,
+        Some((cfg, Sharding::SnapshotChunks)),
+    )
+}
+
+/// [`run_engine_frontier`] for [`SchedulePolicy::GreedyRounds`] with the
+/// plan phase **sharded by contiguous node ranges** across worker
+/// threads, default tuning. See [`run_engine_frontier_sharded_with`].
+pub fn run_engine_frontier_sharded(
+    engine: &mut dyn ReversalEngine,
+    threads: usize,
+    max_steps: usize,
+) -> RunStats {
+    run_engine_frontier_sharded_with(engine, ParallelConfig::new(threads), max_steps)
+}
+
+/// Greedy-rounds execution with **node-range-sharded** parallel
+/// planning, explicit tuning.
+///
+/// The id space is partitioned once into `cfg.threads` contiguous dense-
+/// index ranges; each round, every crossbeam-scoped worker receives as
+/// its sub-worklist the run of enabled nodes falling in its range (a
+/// consecutive subslice of the ascending round snapshot) and plans those
+/// steps against the frozen pre-round state. The caller thread then
+/// applies all planned steps sequentially in snapshot order, reconciling
+/// boundary half-edges — a planned reversal whose twin slot lives in
+/// another worker's range — and the enabled-tracker deltas in the same
+/// deterministic order the sequential schedule would have used. The
+/// freeze/shard/fold discipline is PRs 3/5/6's; the resulting
+/// [`RunStats`], final state, and enabled sets are **bit-identical** to
+/// [`run_engine`] / [`run_engine_frontier`] under
+/// [`SchedulePolicy::GreedyRounds`] at every thread count
+/// (`tests/frontier_differential.rs`).
+///
+/// Compared to [`run_engine_parallel_with`]'s snapshot chunking, range
+/// sharding gives each worker a stable slice of the id space across
+/// rounds — its CSR and direction-bit reads for planning stay within
+/// that slice, which is the layout a future multi-process split of the
+/// arrays would inherit.
+pub fn run_engine_frontier_sharded_with(
+    engine: &mut dyn ReversalEngine,
+    cfg: ParallelConfig,
+    max_steps: usize,
+) -> RunStats {
+    drive(
+        engine,
+        SchedulePolicy::GreedyRounds,
+        max_steps,
+        EnabledSource::Incremental,
+        StepMode::ZeroAlloc,
+        Some((cfg, Sharding::NodeRanges)),
+    )
 }
 
 /// Runs and asserts the link-reversal postcondition: the final orientation
@@ -867,5 +972,66 @@ mod tests {
         let par_stats = run_engine_parallel_with(&mut par, cfg, 100);
         assert!(!par_stats.terminated);
         assert_eq!(par_stats, seq_stats);
+    }
+
+    #[test]
+    fn sharded_greedy_is_bit_identical_to_sequential_for_every_family() {
+        use crate::alg::FrontierFamily;
+        let inst = generate::alternating_chain(65);
+        let flat = lr_graph::CsrInstance::from_instance(&inst);
+        for family in FrontierFamily::ALL {
+            let mut seq = family.engine(flat.clone());
+            let seq_stats = run_engine_frontier(
+                seq.as_mut(),
+                SchedulePolicy::GreedyRounds,
+                DEFAULT_MAX_STEPS,
+            );
+            for threads in [1usize, 2, 4, 8] {
+                let mut par = family.engine(flat.clone());
+                // min_parallel_round: 0 forces the sharded path even on
+                // this small instance.
+                let cfg = ParallelConfig {
+                    threads,
+                    min_parallel_round: 0,
+                };
+                let par_stats =
+                    run_engine_frontier_sharded_with(par.as_mut(), cfg, DEFAULT_MAX_STEPS);
+                assert_eq!(
+                    par_stats,
+                    seq_stats,
+                    "{} × {threads} threads",
+                    family.name()
+                );
+                assert_eq!(par.orientation(), seq.orientation());
+                assert_eq!(par.enabled(), seq.enabled());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_respects_step_budget() {
+        let flat = lr_graph::stream::alternating_chain(65);
+        let mut seq = crate::alg::FrontierPrEngine::new(flat.clone());
+        let seq_stats = run_engine_frontier(&mut seq, SchedulePolicy::GreedyRounds, 100);
+        let mut par = crate::alg::FrontierPrEngine::new(flat);
+        let cfg = ParallelConfig {
+            threads: 4,
+            min_parallel_round: 0,
+        };
+        let par_stats = run_engine_frontier_sharded_with(&mut par, cfg, 100);
+        assert!(!par_stats.terminated);
+        assert_eq!(par_stats, seq_stats);
+    }
+
+    #[test]
+    fn sharded_handles_more_threads_than_nodes() {
+        let flat = lr_graph::stream::chain_away(4);
+        let mut e = crate::alg::FrontierPrEngine::new(flat);
+        let cfg = ParallelConfig {
+            threads: 16,
+            min_parallel_round: 0,
+        };
+        let stats = run_engine_frontier_sharded_with(&mut e, cfg, DEFAULT_MAX_STEPS);
+        assert!(stats.terminated);
     }
 }

@@ -15,6 +15,16 @@
 //!     Gafni–Bertsekas height formulations,
 //!   * [`alg::BllEngine`] — a labeled-reversal generalization (Binary
 //!     Link Labels).
+//!
+//!   Every family also has a flat, CSR-native [`alg::FrontierEngine`]
+//!   — [`alg::FrontierFrEngine`], [`alg::FrontierPrEngine`],
+//!   [`alg::FrontierNewPrEngine`], [`alg::FrontierPairHeightsEngine`],
+//!   [`alg::FrontierTripleHeightsEngine`], [`alg::FrontierBllEngine`] —
+//!   constructed uniformly through [`alg::FrontierFamily`] (or
+//!   [`alg::AlgorithmKind::frontier_engine`]). These are the default
+//!   execution substrate: bit-packed per-slot state, no map-backed
+//!   instance, million-node capable, each proven step-for-step
+//!   identical to its map engine by the frontier differential suite.
 //! * [`invariants`] — Invariants 3.1, 3.2, Corollaries 3.3/3.4,
 //!   Invariants 4.1, 4.2(a–d) and the acyclicity theorems 4.3/5.5 as
 //!   named predicates with rich counterexample messages.
@@ -22,14 +32,16 @@
 //!   work accounting: total reversals, per-node work vectors, rounds,
 //!   dummy steps. [`engine::run_engine`] consumes the engines'
 //!   incremental enabled view through the zero-allocation step pipeline;
-//!   [`engine::run_engine_frontier`] is the frontier-driven loop for
-//!   flat CSR-native engines ([`alg::FrontierPrEngine`] runs
-//!   million-node instances through it);
-//!   [`engine::run_engine_parallel`] fans the plan phase of greedy
-//!   rounds out across worker threads; [`engine::run_engine_scan`]
-//!   (naive rescans) and [`engine::run_engine_alloc`] (per-step
-//!   allocation) are the retained reference loops they are
-//!   differentially tested against.
+//!   [`engine::run_engine_frontier`] is the same driver configuration
+//!   named for the flat CSR-native engines that run million-node
+//!   instances through it; [`engine::run_engine_parallel`] fans the
+//!   plan phase of greedy rounds out across worker threads over
+//!   snapshot chunks, and [`engine::run_engine_frontier_sharded`]
+//!   shards it by contiguous node ranges instead — both bit-identical
+//!   to the sequential run at every thread count;
+//!   [`engine::run_engine_scan`] (naive rescans) and
+//!   [`engine::run_engine_alloc`] (per-step allocation) are the
+//!   retained reference loops they are differentially tested against.
 //! * [`step`] — the zero-allocation step pipeline: caller-owned
 //!   [`StepScratch`] buffers and lightweight [`StepOutcome`]s. The
 //!   **caller owns the scratch**: one buffer per run, overwritten by

@@ -4,7 +4,7 @@
 //! observably identical to the map-backed engines and the established
 //! loops on random connected instances.
 //!
-//! Three redundancies are falsified here:
+//! Four redundancies are falsified here:
 //!
 //! * the **bit-packed [`MirroredDirs`]** against a retained
 //!   `Vec<EdgeDir>` slot model across random mutation sequences
@@ -13,12 +13,18 @@
 //!   configuration × schedule policy;
 //! * **[`FrontierPrEngine`]** against the map-backed [`PrEngine`] —
 //!   lockstep per step, whole-run `RunStats`, and through the parallel
-//!   plan/apply path at thread counts {1, 2, 4, 8}.
+//!   plan/apply path at thread counts {1, 2, 4, 8};
+//! * **every [`FrontierFamily`] flat engine** (PR 8) against its
+//!   map-backed reference — whole-run under every policy, lockstep per
+//!   step, and through the node-range-sharded parallel loop
+//!   [`run_engine_frontier_sharded_with`] at thread counts {1, 2, 4, 8}.
 
-use lr_core::alg::{AlgorithmKind, FrontierPrEngine, PrEngine, ReversalEngine};
+use lr_core::alg::{
+    AlgorithmKind, BllLabeling, FrontierFamily, FrontierPrEngine, PrEngine, ReversalEngine,
+};
 use lr_core::engine::{
-    run_engine, run_engine_frontier, run_engine_parallel_with, ParallelConfig, SchedulePolicy,
-    DEFAULT_MAX_STEPS,
+    run_engine, run_engine_frontier, run_engine_frontier_sharded_with, run_engine_parallel_with,
+    ParallelConfig, SchedulePolicy, DEFAULT_MAX_STEPS,
 };
 use lr_core::MirroredDirs;
 use lr_graph::{generate, stream, CsrInstance, EdgeDir, NodeId, ReversalInstance};
@@ -29,6 +35,20 @@ use rand::{Rng, SeedableRng};
 fn instance_strategy() -> impl Strategy<Value = ReversalInstance> {
     (4usize..=16, 0usize..=20, any::<u64>())
         .prop_map(|(n, extra, seed)| generate::random_connected(n, extra, seed))
+}
+
+/// Every frontier family under differential test: the six canonical
+/// families plus the FR-labeled BLL variant.
+fn all_families() -> [FrontierFamily; 7] {
+    [
+        FrontierFamily::FullReversal,
+        FrontierFamily::PartialReversal,
+        FrontierFamily::NewPr,
+        FrontierFamily::PairHeights,
+        FrontierFamily::TripleHeights,
+        FrontierFamily::Bll(BllLabeling::PartialReversal),
+        FrontierFamily::Bll(BllLabeling::FullReversal),
+    ]
 }
 
 fn policies(seed: u64) -> [SchedulePolicy; 4] {
@@ -223,6 +243,116 @@ proptest! {
             prop_assert_eq!(par.enabled(), seq.enabled());
         }
     }
+
+    /// Every family's flat engine produces identical whole-run
+    /// `RunStats`, final orientation, and final enabled set to its
+    /// map-backed reference, under every schedule policy.
+    #[test]
+    fn every_family_matches_its_map_engine_under_every_policy(
+        n in 4usize..=16,
+        extra in 0usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::random_connected(n, extra, seed);
+        let flat = stream::random_connected(n, extra, seed);
+        for family in all_families() {
+            for policy in policies(seed) {
+                let mut map_engine = family.map_engine(&inst);
+                let map_stats = run_engine(map_engine.as_mut(), policy, DEFAULT_MAX_STEPS);
+                let mut flat_engine = family.engine(flat.clone());
+                let flat_stats =
+                    run_engine_frontier(flat_engine.as_mut(), policy, DEFAULT_MAX_STEPS);
+                prop_assert_eq!(
+                    &flat_stats,
+                    &map_stats,
+                    "{} under {:?}",
+                    family.name(),
+                    policy
+                );
+                prop_assert!(flat_stats.terminated, "{} must terminate", family.name());
+                prop_assert_eq!(
+                    flat_engine.orientation(),
+                    map_engine.orientation(),
+                    "{}",
+                    family.name()
+                );
+                prop_assert_eq!(
+                    flat_engine.enabled(),
+                    map_engine.enabled(),
+                    "{}",
+                    family.name()
+                );
+            }
+        }
+    }
+
+    /// Every family's flat engine stays in lockstep with its map-backed
+    /// reference: same enabled set before every step, same reversed list
+    /// from every step, under a pseudo-random pick of the enabled node.
+    #[test]
+    fn every_family_lockstep_with_its_map_engine(
+        n in 4usize..=16,
+        extra in 0usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let inst = generate::random_connected(n, extra, seed);
+        let flat = stream::random_connected(n, extra, seed);
+        for family in all_families() {
+            let mut a = family.engine(flat.clone());
+            let mut b = family.map_engine(&inst);
+            let mut k = 0usize;
+            loop {
+                prop_assert_eq!(
+                    a.enabled(),
+                    b.enabled(),
+                    "{}: diverged after {} steps",
+                    family.name(),
+                    k
+                );
+                if a.is_terminated() {
+                    break;
+                }
+                let enabled = a.enabled();
+                let u = enabled[(seed as usize + k) % enabled.len()];
+                prop_assert_eq!(a.step(u), b.step(u), "{}: step {}", family.name(), k);
+                k += 1;
+                prop_assert!(k < 1_000_000, "{}: runaway execution", family.name());
+            }
+            prop_assert_eq!(a.orientation(), b.orientation(), "{}", family.name());
+        }
+    }
+
+    /// The node-range-sharded parallel loop is bit-identical to the
+    /// sequential frontier loop for every family at thread counts
+    /// {1, 2, 4, 8}.
+    #[test]
+    fn every_family_sharded_bit_identical(
+        n in 4usize..=16,
+        extra in 0usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let flat = stream::random_connected(n, extra, seed);
+        for family in all_families() {
+            let mut seq = family.engine(flat.clone());
+            let seq_stats =
+                run_engine_frontier(seq.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = ParallelConfig { threads, min_parallel_round: 0 };
+                let mut par = family.engine(flat.clone());
+                let par_stats =
+                    run_engine_frontier_sharded_with(par.as_mut(), cfg, DEFAULT_MAX_STEPS);
+                prop_assert_eq!(
+                    &par_stats,
+                    &seq_stats,
+                    "{} at {} threads",
+                    family.name(),
+                    threads
+                );
+                prop_assert_eq!(par.orientation(), seq.orientation(), "{}", family.name());
+                prop_assert_eq!(par.enabled(), seq.enabled(), "{}", family.name());
+            }
+        }
+    }
 }
 
 /// The CSR-native postcondition check in `run_to_destination_oriented`
@@ -265,6 +395,42 @@ fn frontier_engine_scale_smoke() {
 /// `grid_away(1000, 1000)` complete inside the default step budget with
 /// peak representation ≤ 16 bytes/half-edge. Multi-second in release —
 /// runs in the CI `--ignored` tier.
+/// The million-node acceptance run for **every** family: each flat
+/// engine completes a 1M-node instance inside the default step budget
+/// through the frontier loop. The instance family is chosen per
+/// algorithm so total work is Θ(n): FR and GB-pair are Θ(n²) on the
+/// away-chain (each reversal re-enables the neighbor nearer the
+/// destination), so they run on the star; the PR-side families run on
+/// the away-chain. Multi-second in release — runs in the CI `--ignored`
+/// tier.
+#[test]
+#[ignore = "million-node runs; multi-second in release, runs in the CI --ignored tier"]
+fn million_node_runs_complete_for_every_family() {
+    for family in all_families() {
+        let star = matches!(
+            family,
+            FrontierFamily::FullReversal
+                | FrontierFamily::PairHeights
+                | FrontierFamily::Bll(BllLabeling::FullReversal)
+        );
+        let (inst, label) = if star {
+            (stream::star_away(1_000_000), "star_away(1M)")
+        } else {
+            (stream::chain_away(1_000_000), "chain_away(1M)")
+        };
+        let mut e = family.engine(inst);
+        let stats =
+            run_engine_frontier(e.as_mut(), SchedulePolicy::GreedyRounds, DEFAULT_MAX_STEPS);
+        assert!(
+            stats.terminated,
+            "{} on {label} must terminate within {DEFAULT_MAX_STEPS} steps (took {})",
+            family.name(),
+            stats.steps
+        );
+        assert!(e.resident_bytes() > 0, "{}", family.name());
+    }
+}
+
 #[test]
 #[ignore = "million-node run; multi-second in release, runs in the CI --ignored tier"]
 fn million_node_chain_and_grid_complete_within_default_budget() {

@@ -2,7 +2,7 @@
 //! directly into CSR arrays, never materializing a `BTreeMap` graph or
 //! an intermediate edge list.
 //!
-//! The [`generate`] module builds [`ReversalInstance`]s through the
+//! The [`crate::generate`] module builds [`ReversalInstance`]s through the
 //! `UndirectedGraph`/`Orientation` frontend — ideal for validation and
 //! serialization, but its pointer-heavy maps cost hundreds of bytes per
 //! edge, which caps it at tens of thousands of nodes. The streaming
@@ -172,14 +172,14 @@ impl InstanceBuilder {
 ///
 /// Panics with the [`crate::GraphError::SlotCapacity`] message on
 /// overflow — generators are infallible APIs, mirroring the panicking
-/// contracts of [`generate`].
+/// contracts of [`crate::generate`].
 fn assert_capacity(half_edges: usize) {
     if let Err(e) = check_slot_capacity(half_edges) {
         panic!("{e}");
     }
 }
 
-/// Streaming [`generate::chain_away`]: the chain `D = v0 — … — v(n-1)`
+/// Streaming [`crate::generate::chain_away`]: the chain `D = v0 — … — v(n-1)`
 /// with every edge directed away from destination `v0`.
 ///
 /// # Panics
@@ -201,7 +201,7 @@ pub fn chain_away(n: usize) -> CsrInstance {
     ib.finish(NodeId::new(0))
 }
 
-/// Streaming [`generate::chain_toward`]: the chain with every edge
+/// Streaming [`crate::generate::chain_toward`]: the chain with every edge
 /// directed toward destination `v0`.
 ///
 /// # Panics
@@ -223,7 +223,7 @@ pub fn chain_toward(n: usize) -> CsrInstance {
     ib.finish(NodeId::new(0))
 }
 
-/// Streaming [`generate::alternating_chain`]: edge `{vi, vi+1}` directed
+/// Streaming [`crate::generate::alternating_chain`]: edge `{vi, vi+1}` directed
 /// `vi → vi+1` when `i` is odd, `vi+1 → vi` when `i` is even.
 ///
 /// # Panics
@@ -250,7 +250,7 @@ pub fn alternating_chain(n: usize) -> CsrInstance {
     ib.finish(NodeId::new(0))
 }
 
-/// Streaming [`generate::star_away`]: destination at the center, every
+/// Streaming [`crate::generate::star_away`]: destination at the center, every
 /// edge directed center → leaf.
 ///
 /// # Panics
@@ -269,7 +269,7 @@ pub fn star_away(leaves: usize) -> CsrInstance {
     ib.finish(NodeId::new(0))
 }
 
-/// Streaming [`generate::binary_tree_away`]: a complete binary tree
+/// Streaming [`crate::generate::binary_tree_away`]: a complete binary tree
 /// rooted at the destination, every edge directed away from the root.
 pub fn binary_tree_away(depth: usize) -> CsrInstance {
     let levels = depth + 2;
@@ -296,7 +296,7 @@ pub fn binary_tree_away(depth: usize) -> CsrInstance {
     ib.finish(NodeId::new(0))
 }
 
-/// Streaming [`generate::grid_away`]: an `rows × cols` grid (row-major
+/// Streaming [`crate::generate::grid_away`]: an `rows × cols` grid (row-major
 /// ids) with right and down edges, all directed away from the
 /// destination in the top-left corner.
 ///
@@ -339,7 +339,7 @@ pub fn grid_away(rows: usize, cols: usize) -> CsrInstance {
     ib.finish(NodeId::new(0))
 }
 
-/// Streaming [`generate::complete_away`]: the complete DAG oriented from
+/// Streaming [`crate::generate::complete_away`]: the complete DAG oriented from
 /// smaller to larger id, destination node 0.
 ///
 /// # Panics
@@ -365,7 +365,7 @@ pub fn complete_away(n: usize) -> CsrInstance {
     ib.finish(NodeId::new(0))
 }
 
-/// Streaming [`generate::layered`]: `depth` layers of `width` nodes over
+/// Streaming [`crate::generate::layered`]: `depth` layers of `width` nodes over
 /// the destination, every node wired to a random non-empty subset of the
 /// previous layer, all edges directed away from the destination.
 ///

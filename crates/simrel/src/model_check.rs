@@ -13,7 +13,7 @@
 //! fans the *instances* of `all_instances(n)` out across crossbeam-scoped
 //! workers (outer axis), and `explore_threads` parallelizes the state
 //! space *within* each instance via
-//! [`explore_parallel`](lr_ioa::explore::explore_parallel) (inner axis).
+//! [`lr_ioa::explore::explore_parallel`] (inner axis).
 //! Per-instance outcomes are folded into the [`ModelCheckSummary`]
 //! strictly in enumeration order through the same reorder-buffer
 //! discipline as the explorer, so the summary — counts, first violation,

@@ -17,13 +17,16 @@
 use std::fmt::Write as _;
 
 use lr_core::alg::AlgorithmKind;
-use lr_core::engine::{run_engine, SchedulePolicy, DEFAULT_MAX_STEPS};
+use lr_core::engine::{
+    run_engine, run_engine_frontier, run_engine_frontier_sharded, run_engine_parallel,
+    SchedulePolicy, DEFAULT_MAX_STEPS,
+};
 use lr_core::invariants::{
     check_acyclic, check_cor_3_3, check_cor_3_4, check_inv_3_1, check_inv_3_2, check_inv_4_1,
     check_inv_4_2,
 };
 use lr_core::trace::Trace;
-use lr_graph::{dot, generate, parse, DirectedView, ReversalInstance};
+use lr_graph::{dot, generate, parse, CsrInstance, DirectedView, ReversalInstance};
 
 /// A CLI-level error: message for the user, non-zero exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +54,12 @@ USAGE:
                                       complete, random)
     lr run <alg> [policy]             run on the instance from stdin
                                       (algs: FR, PR, NewPR, GB-pair, GB-triple;
-                                       policies: greedy, first, last, random:<seed>)
+                                       policies: greedy, first, last, random:<seed>;
+                                       --engine map|frontier: execution substrate,
+                                       default frontier — flat CSR engines,
+                                       bit-identical stats to map; --threads N:
+                                       node-range-sharded parallel greedy rounds,
+                                       greedy policy only, bit-identical at any N)
     lr trace <alg> [policy]           step-by-step trace of the run
     lr check                          verify the paper's invariants along
                                       PR and NewPR executions on the instance
@@ -159,22 +167,114 @@ fn cmd_generate(args: &[&str]) -> Result<String, CliError> {
     Ok(parse::to_text(&inst))
 }
 
+/// Which execution substrate `lr run` drives: the map-backed reference
+/// engines or the flat CSR-native frontier engines (the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineChoice {
+    Map,
+    Frontier,
+}
+
+impl EngineChoice {
+    fn name(self) -> &'static str {
+        match self {
+            EngineChoice::Map => "map",
+            EngineChoice::Frontier => "frontier",
+        }
+    }
+}
+
 fn cmd_run(args: &[&str], stdin: &str) -> Result<String, CliError> {
     let (alg, rest) = args
         .split_first()
         .ok_or_else(|| err(format!("run needs an algorithm\n\n{USAGE}")))?;
     let kind = parse_alg(alg)?;
-    let policy = parse_policy(rest.first().copied())?;
+    let parse_engine = |value: &str| -> Result<EngineChoice, CliError> {
+        match value {
+            "map" => Ok(EngineChoice::Map),
+            "frontier" => Ok(EngineChoice::Frontier),
+            other => Err(err(format!(
+                "unknown engine {other:?}; expected map or frontier"
+            ))),
+        }
+    };
+    let parse_threads = |value: &str| -> Result<usize, CliError> {
+        let n: usize = value
+            .parse()
+            .map_err(|_| err(format!("--threads needs a positive integer, got {value:?}")))?;
+        if n == 0 {
+            return Err(err("--threads must be at least 1"));
+        }
+        Ok(n)
+    };
+    let mut engine_choice = EngineChoice::Frontier;
+    let mut threads = 1usize;
+    let mut policy_arg: Option<&str> = None;
+    let mut it = rest.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--engine" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err("--engine needs a value (map or frontier)"))?;
+                engine_choice = parse_engine(value)?;
+            }
+            "--threads" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err("--threads needs a value (worker thread count)"))?;
+                threads = parse_threads(value)?;
+            }
+            a => {
+                if let Some(value) = a.strip_prefix("--engine=") {
+                    engine_choice = parse_engine(value)?;
+                } else if let Some(value) = a.strip_prefix("--threads=") {
+                    threads = parse_threads(value)?;
+                } else if a.starts_with("--") {
+                    return Err(err(format!("unknown flag {a:?} for `lr run`")));
+                } else if policy_arg.is_some() {
+                    return Err(err(format!("unexpected argument {a:?}")));
+                } else {
+                    policy_arg = Some(a);
+                }
+            }
+        }
+    }
+    let policy = parse_policy(policy_arg)?;
+    if threads > 1 && policy != SchedulePolicy::GreedyRounds {
+        return Err(err(
+            "--threads above 1 requires the greedy policy (parallel rounds plan greedily)",
+        ));
+    }
     let inst = parse_stdin_instance(stdin)?;
-    let mut engine = kind.engine(&inst);
-    let stats = run_engine(engine.as_mut(), policy, DEFAULT_MAX_STEPS);
+    let (stats, orientation) = match engine_choice {
+        EngineChoice::Map => {
+            let mut engine = kind.engine(&inst);
+            let stats = if threads > 1 {
+                run_engine_parallel(engine.as_mut(), threads, DEFAULT_MAX_STEPS)
+            } else {
+                run_engine(engine.as_mut(), policy, DEFAULT_MAX_STEPS)
+            };
+            (stats, engine.orientation())
+        }
+        EngineChoice::Frontier => {
+            let mut engine = kind.frontier_engine(CsrInstance::from_instance(&inst));
+            let stats = if threads > 1 {
+                run_engine_frontier_sharded(engine.as_mut(), threads, DEFAULT_MAX_STEPS)
+            } else {
+                run_engine_frontier(engine.as_mut(), policy, DEFAULT_MAX_STEPS)
+            };
+            (stats, engine.orientation())
+        }
+    };
     if !stats.terminated {
         return Err(err("execution did not terminate within the step budget"));
     }
-    let o = engine.orientation();
-    let view = DirectedView::new(&inst.graph, &o);
+    let view = DirectedView::new(&inst.graph, &orientation);
     let mut out = String::new();
     let _ = writeln!(out, "algorithm:        {}", stats.algorithm);
+    let _ = writeln!(out, "engine:           {}", engine_choice.name());
+    let _ = writeln!(out, "threads:          {threads}");
     let _ = writeln!(out, "nodes:            {}", inst.node_count());
     let _ = writeln!(out, "initial bad:      {}", inst.initial_bad_nodes());
     let _ = writeln!(out, "steps:            {}", stats.steps);
@@ -722,6 +822,68 @@ mod tests {
         assert!(run_cli(&["run", "XYZ"], &inst).is_err());
         assert!(run_cli(&["run", "PR", "bogus"], &inst).is_err());
         assert!(run_cli(&["run", "PR", "random:abc"], &inst).is_err());
+    }
+
+    #[test]
+    fn run_engine_flag_selects_the_substrate() {
+        let inst = run_cli(&["generate", "chain-away", "6"], "").unwrap();
+        let frontier = run_cli(&["run", "PR"], &inst).unwrap();
+        assert!(
+            frontier.contains("engine:           frontier"),
+            "{frontier}"
+        );
+        let map = run_cli(&["run", "PR", "--engine", "map"], &inst).unwrap();
+        assert!(map.contains("engine:           map"), "{map}");
+        // Both substrates are bit-identical apart from the engine line.
+        assert_eq!(frontier.replace("frontier", "map"), map);
+        // `--engine=frontier` is the same as the default.
+        let explicit = run_cli(&["run", "PR", "--engine=frontier"], &inst).unwrap();
+        assert_eq!(explicit, frontier);
+    }
+
+    #[test]
+    fn run_threads_flag_is_bit_identical_and_greedy_only() {
+        let inst = run_cli(&["generate", "random", "12", "5"], "").unwrap();
+        let seq = run_cli(&["run", "NewPR"], &inst).unwrap();
+        for args in [
+            &["run", "NewPR", "--threads", "4"][..],
+            &["run", "NewPR", "--threads=4"][..],
+        ] {
+            let par = run_cli(args, &inst).unwrap();
+            assert!(par.contains("threads:          4"), "{par}");
+            assert_eq!(
+                par.replace("threads:          4", "threads:          1"),
+                seq
+            );
+        }
+        // Sharding also works on the map substrate (snapshot chunks).
+        let map_par = run_cli(
+            &["run", "NewPR", "--engine", "map", "--threads", "2"],
+            &inst,
+        )
+        .unwrap();
+        assert!(map_par.contains("engine:           map"), "{map_par}");
+        assert!(map_par.contains("threads:          2"), "{map_par}");
+        // Single-step policies cannot be sharded.
+        let e = run_cli(&["run", "NewPR", "first", "--threads", "2"], &inst).unwrap_err();
+        assert!(e.0.contains("greedy"), "{e}");
+    }
+
+    #[test]
+    fn run_rejects_bad_engine_and_threads_flags() {
+        let inst = run_cli(&["generate", "chain-away", "4"], "").unwrap();
+        let e = run_cli(&["run", "PR", "--engine", "warp"], &inst).unwrap_err();
+        assert!(e.0.contains("unknown engine"), "{e}");
+        let e = run_cli(&["run", "PR", "--engine"], &inst).unwrap_err();
+        assert!(e.0.contains("needs a value"), "{e}");
+        let e = run_cli(&["run", "PR", "--threads", "0"], &inst).unwrap_err();
+        assert!(e.0.contains("at least 1"), "{e}");
+        let e = run_cli(&["run", "PR", "--threads", "nope"], &inst).unwrap_err();
+        assert!(e.0.contains("positive integer"), "{e}");
+        let e = run_cli(&["run", "PR", "--frob"], &inst).unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
+        let e = run_cli(&["run", "PR", "first", "second"], &inst).unwrap_err();
+        assert!(e.0.contains("unexpected argument"), "{e}");
     }
 
     #[test]

@@ -55,19 +55,21 @@ pub mod cli;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use lr_core::alg::{
-        AlgorithmKind, BllEngine, BllLabeling, FullReversalAutomaton, FullReversalEngine,
-        NewPrAutomaton, NewPrEngine, OneStepPrAutomaton, PairHeightsEngine, PrEngine,
-        PrSetAutomaton, ReversalEngine, TripleHeightsEngine,
+        AlgorithmKind, BllEngine, BllLabeling, FrontierBllEngine, FrontierEngine, FrontierFamily,
+        FrontierFrEngine, FrontierNewPrEngine, FrontierPairHeightsEngine, FrontierPrEngine,
+        FrontierTripleHeightsEngine, FullReversalAutomaton, FullReversalEngine, NewPrAutomaton,
+        NewPrEngine, OneStepPrAutomaton, PairHeightsEngine, PrEngine, PrSetAutomaton,
+        ReversalEngine, TripleHeightsEngine,
     };
     pub use lr_core::engine::{
-        run_engine, run_engine_parallel, run_to_destination_oriented, RunStats, SchedulePolicy,
-        DEFAULT_MAX_STEPS,
+        run_engine, run_engine_frontier, run_engine_frontier_sharded, run_engine_parallel,
+        run_to_destination_oriented, RunStats, SchedulePolicy, DEFAULT_MAX_STEPS,
     };
     pub use lr_core::invariants;
     pub use lr_core::{StepOutcome, StepScratch};
     pub use lr_graph::{
-        generate, DirectedView, NodeId, Orientation, PlaneEmbedding, ReversalInstance,
-        UndirectedGraph,
+        generate, stream, CsrInstance, DirectedView, NodeId, Orientation, PlaneEmbedding,
+        ReversalInstance, UndirectedGraph,
     };
     pub use lr_ioa::{run, run_to_quiescence, schedulers, Automaton, Execution};
     pub use lr_simrel::{r_checker, r_prime_checker};

@@ -84,6 +84,51 @@ fn generate_then_run_pipeline() {
     assert!(stats.contains("dest oriented:    true"));
 }
 
+/// `--engine` end-to-end: the default frontier substrate and the
+/// map-backed reference produce the same statistics through a real
+/// process, differing only in the reported engine line.
+#[test]
+fn run_engine_flag_switches_substrate_with_identical_stats() {
+    let (instance, _, ok) = run_with_stdin(&["generate", "chain-away", "8"], "");
+    assert!(ok);
+    let (frontier, stderr, ok) = run_with_stdin(&["run", "PR"], &instance);
+    assert!(ok, "frontier run failed: {stderr}");
+    assert!(
+        frontier.contains("engine:           frontier"),
+        "{frontier}"
+    );
+    assert!(frontier.contains("total reversals:  7"), "{frontier}");
+    let (map, stderr, ok) = run_with_stdin(&["run", "PR", "--engine", "map"], &instance);
+    assert!(ok, "map run failed: {stderr}");
+    assert!(map.contains("engine:           map"), "{map}");
+    assert_eq!(frontier.replace("frontier", "map"), map);
+    let (_, stderr, ok) = run_with_stdin(&["run", "PR", "--engine", "warp"], &instance);
+    assert!(!ok);
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+}
+
+/// `--threads` end-to-end: the node-range-sharded parallel loop is
+/// bit-identical to the sequential run through a real process, and
+/// single-step policies refuse to shard.
+#[test]
+fn run_threads_flag_is_bit_identical_through_the_binary() {
+    let (instance, _, ok) = run_with_stdin(&["generate", "random", "24", "11"], "");
+    assert!(ok);
+    let (seq, _, ok) = run_with_stdin(&["run", "GB-triple"], &instance);
+    assert!(ok);
+    let (par, stderr, ok) = run_with_stdin(&["run", "GB-triple", "--threads=2"], &instance);
+    assert!(ok, "sharded run failed: {stderr}");
+    assert!(par.contains("threads:          2"), "{par}");
+    assert_eq!(
+        par.replace("threads:          2", "threads:          1"),
+        seq
+    );
+    let (_, stderr, ok) =
+        run_with_stdin(&["run", "GB-triple", "first", "--threads", "2"], &instance);
+    assert!(!ok);
+    assert!(stderr.contains("greedy"), "{stderr}");
+}
+
 #[test]
 fn trace_and_check_and_dot() {
     let (instance, _, _) = run_with_stdin(&["generate", "alternating", "6"], "");
