@@ -3,15 +3,16 @@
 //! parallel greedy-rounds executor across thread counts, for the
 //! PR 7 frontier engine against the map-backed path (with resident
 //! representation cost — bytes/node and bytes/half-edge — per row),
-//! and for every algorithm family's PR 8 frontier engine against its
-//! map-backed reference.
+//! for every algorithm family's PR 8 frontier engine against its
+//! map-backed reference, and for the PR 9 observability layer's
+//! overhead (the same frontier run with `lr-obs` off vs recording).
 //!
 //! Every measurement is appended to a machine-readable trajectory at
 //! the repo root (see `lr_bench::trajectory`): the step-pipeline and
 //! parallel rows to `BENCH_pr3.json`, the frontier/representation rows
 //! to `BENCH_pr7.json`, the per-family map-vs-frontier rows to
-//! `BENCH_pr8.json`, in addition to the stdout table and
-//! `results/exp_throughput.json`.
+//! `BENCH_pr8.json`, the obs-overhead rows to `BENCH_pr9.json`, in
+//! addition to the stdout table and `results/exp_throughput.json`.
 //!
 //! ```sh
 //! cargo run --release -p lr-bench --bin exp_throughput             # measure
@@ -19,18 +20,20 @@
 //! LR_BENCH_SMOKE=1 cargo run --release -p lr-bench --bin exp_throughput
 //! ```
 //!
-//! `--verify` only parses the trajectory with the vendored `serde_json`
-//! and exits non-zero if it is malformed — the CI gate that keeps the
-//! persisted trajectory readable.
+//! `--verify` parses every trajectory with the vendored `serde_json`
+//! and exits non-zero if any is malformed — the CI gate that keeps the
+//! persisted trajectories readable. It additionally bounds the PR 9
+//! obs-off rows against their `BENCH_pr8.json` frontier baselines:
+//! disabled instrumentation may cost the hot loop at most 3%.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use lr_bench::trajectory::{
     append_records, append_records_to, load_records, load_records_from, trajectory_path_named,
-    BenchRecord, FrontierRecord, ModelCheckRecord, ScenarioRecord, SweepRecord,
-    FRONTIER_FAMILY_TRAJECTORY, FRONTIER_TRAJECTORY, MODEL_CHECK_TRAJECTORY, SCENARIO_TRAJECTORY,
-    SWEEP_TRAJECTORY,
+    BenchRecord, FrontierRecord, ModelCheckRecord, ObsOverheadRecord, ScenarioRecord, SweepRecord,
+    FRONTIER_FAMILY_TRAJECTORY, FRONTIER_TRAJECTORY, MODEL_CHECK_TRAJECTORY, OBS_TRAJECTORY,
+    SCENARIO_TRAJECTORY, SWEEP_TRAJECTORY,
 };
 use lr_core::alg::{
     FrontierFamily, FrontierPrEngine, PrEngine, ReversalEngine, TripleHeightsEngine,
@@ -40,6 +43,7 @@ use lr_core::engine::{
     SchedulePolicy, DEFAULT_MAX_STEPS,
 };
 use lr_graph::{generate, stream, CsrInstance, ReversalInstance};
+use lr_obs::{ObsMode, ObsSession};
 use serde::Serialize;
 
 /// Step budget for the parallel sweep: large instances are measured on a
@@ -124,9 +128,11 @@ fn main() -> ExitCode {
         // Parse gate over every persisted trajectory: the PR 3
         // throughput rows, the PR 4 scenario rows, the PR 5 sweep
         // summaries, the PR 6 model-check rows, the PR 7
-        // frontier/representation rows, and the PR 8 per-family
-        // map-vs-frontier rows all have to keep parsing with the
-        // vendored serde_json.
+        // frontier/representation rows, the PR 8 per-family
+        // map-vs-frontier rows, and the PR 9 observability-overhead
+        // rows all have to keep parsing with the vendored serde_json.
+        // The PR 9 rows additionally gate on the "disabled tracing is
+        // free" bound: see `verify_obs_overhead`.
         let mut ok = true;
         match load_records() {
             Ok(records) => println!(
@@ -183,13 +189,33 @@ fn main() -> ExitCode {
             }
         }
         let family_path = trajectory_path_named(FRONTIER_FAMILY_TRAJECTORY);
-        match load_records_from::<FrontierRecord>(&family_path) {
-            Ok(records) => println!(
-                "{FRONTIER_FAMILY_TRAJECTORY} OK: {} record(s) parse with the vendored serde_json",
-                records.len()
-            ),
+        let pr8_rows = match load_records_from::<FrontierRecord>(&family_path) {
+            Ok(records) => {
+                println!(
+                    "{FRONTIER_FAMILY_TRAJECTORY} OK: {} record(s) parse with the vendored serde_json",
+                    records.len()
+                );
+                records
+            }
             Err(e) => {
                 eprintln!("{FRONTIER_FAMILY_TRAJECTORY} FAILED to parse: {e}");
+                ok = false;
+                Vec::new()
+            }
+        };
+        let obs_path = trajectory_path_named(OBS_TRAJECTORY);
+        match load_records_from::<ObsOverheadRecord>(&obs_path) {
+            Ok(records) => {
+                println!(
+                    "{OBS_TRAJECTORY} OK: {} record(s) parse with the vendored serde_json",
+                    records.len()
+                );
+                if !verify_obs_overhead(&records, &pr8_rows) {
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("{OBS_TRAJECTORY} FAILED to parse: {e}");
                 ok = false;
             }
         }
@@ -551,6 +577,114 @@ fn main() -> ExitCode {
         }
     }
 
+    // ── Series 5 (PR 9): observability overhead ──
+    // The frontier run from Series 4, re-measured under each `lr-obs`
+    // mode: `off` (instrumentation compiled in, level 0 — the gated
+    // "disabled tracing is free" row), `summary` (per-round spans and
+    // counters recording into atomics), and `chrome` (full event
+    // capture, small size only — million-round traces just saturate
+    // the bounded buffer). Session start/finish and report rendering
+    // sit *outside* the timed window; the rows measure the hot loop.
+    println!(
+        "\nobservability overhead (PR 9): run_engine_frontier under lr-obs off/summary/chrome (greedy rounds)\n"
+    );
+    let widths5 = [10usize, 12, 10, 9, 12, 12, 10];
+    lr_bench::print_header(
+        &widths5,
+        &["alg", "family", "n", "mode", "steps", "steps/sec", "vs off"],
+    );
+    let mut obs_records: Vec<ObsOverheadRecord> = Vec::new();
+    let obs_sizes: &[usize] = if smoke {
+        &[1_024]
+    } else {
+        &[65_536, 1_048_576]
+    };
+    for &size in obs_sizes {
+        for fam in FrontierFamily::ALL {
+            let star = matches!(
+                fam,
+                FrontierFamily::FullReversal | FrontierFamily::PairHeights
+            );
+            let (family_name, inst_flat): (&str, CsrInstance) = if star {
+                ("star_away", stream::star_away(size))
+            } else {
+                ("chain_away", stream::chain_away(size))
+            };
+            let n = inst_flat.node_count();
+            let samples = if n >= 1_000_000 { 1 } else { 3 };
+            let modes: &[ObsMode] = if size == obs_sizes[0] {
+                &[ObsMode::Off, ObsMode::Summary, ObsMode::Chrome]
+            } else {
+                &[ObsMode::Off, ObsMode::Summary]
+            };
+            let mut off_ns = 0u64;
+            for &mode in modes {
+                let mut best: Option<(RunStats, u64)> = None;
+                let mut registry_metrics = 0usize;
+                for _ in 0..samples {
+                    let session = (mode != ObsMode::Off).then(|| ObsSession::start(mode));
+                    let start = Instant::now();
+                    let mut e = fam.engine(inst_flat.clone());
+                    let stats = run_engine_frontier(
+                        e.as_mut(),
+                        SchedulePolicy::GreedyRounds,
+                        DEFAULT_MAX_STEPS,
+                    );
+                    let ns = start.elapsed().as_nanos() as u64;
+                    assert!(stats.terminated);
+                    if let Some(session) = session {
+                        registry_metrics = session.finish().metric_count();
+                    }
+                    if best.as_ref().is_none_or(|(_, b)| ns < *b) {
+                        best = Some((stats, ns));
+                    }
+                }
+                let (stats, ns) = best.expect("at least one sample");
+                if mode == ObsMode::Off {
+                    off_ns = ns;
+                }
+                let overhead_pct = if off_ns > 0 {
+                    (ns as f64 / off_ns as f64 - 1.0) * 100.0
+                } else {
+                    0.0
+                };
+                lr_bench::print_row(
+                    &widths5,
+                    &[
+                        fam.name().to_string(),
+                        family_name.to_string(),
+                        n.to_string(),
+                        mode.name().to_string(),
+                        stats.steps.to_string(),
+                        fmt_sps(BenchRecord::throughput(stats.steps, ns)),
+                        format!("{overhead_pct:+.1}%"),
+                    ],
+                );
+                obs_records.push(ObsOverheadRecord {
+                    bench: "exp_throughput".into(),
+                    series: "obs_overhead".into(),
+                    algorithm: stats.algorithm.to_string(),
+                    family: family_name.into(),
+                    n,
+                    mode: mode.name().into(),
+                    threads: 1,
+                    cpus,
+                    registry_metrics,
+                    sink: if mode == ObsMode::Off {
+                        "none".into()
+                    } else {
+                        mode.name().into()
+                    },
+                    steps: stats.steps,
+                    elapsed_ns: ns,
+                    steps_per_sec: BenchRecord::throughput(stats.steps, ns),
+                    overhead_vs_off_pct: overhead_pct,
+                    smoke,
+                });
+            }
+        }
+    }
+
     println!();
     println!(
         "every row appended to {}",
@@ -569,8 +703,95 @@ fn main() -> ExitCode {
     if let Err(e) = append_records_to(&family_path, &family_records) {
         eprintln!("warning: could not persist per-family frontier trajectory: {e}");
     }
+    let obs_path = trajectory_path_named(OBS_TRAJECTORY);
+    println!("obs-overhead rows appended to {}", obs_path.display());
+    if let Err(e) = append_records_to(&obs_path, &obs_records) {
+        eprintln!("warning: could not persist obs-overhead trajectory: {e}");
+    }
     lr_bench::write_results("exp_throughput", &rows);
     ExitCode::SUCCESS
+}
+
+/// Maximum slowdown, in percent, the *disabled* observability path may
+/// show against the PR 8 frontier baseline before `--verify` fails.
+const MAX_OFF_OVERHEAD_PCT: f64 = 3.0;
+
+/// Minimum measured wall-clock for an obs-off row to participate in
+/// the overhead gate. A 3% bound on a ~2 ms window is below timer and
+/// scheduler noise (the PR 8 baselines' own run-to-run spread on such
+/// rows exceeds 20%); at 10 ms and above the bound is meaningful.
+const MIN_GATED_ELAPSED_NS: u64 = 10_000_000;
+
+/// The PR 9 overhead gate: for every `(algorithm, family, n)` measured
+/// in the obs series, the **best non-smoke `mode = "off"`** throughput
+/// must be within [`MAX_OFF_OVERHEAD_PCT`] of the **best** matching
+/// non-smoke `frontier_engine` row in `BENCH_pr8.json` — i.e. compiling
+/// the instrumentation in (but leaving it off) may not tax the hot
+/// loop. Best-vs-best cancels machine noise the way best-of-N sampling
+/// does within a run, while a genuinely slower disabled path can never
+/// catch a baseline it is structurally behind. Smoke rows and rows
+/// shorter than [`MIN_GATED_ELAPSED_NS`] keep the file well-formed but
+/// are never gated (the CI container has 1 CPU, and sub-10 ms timings
+/// are noise); skipped keys are reported, not silently dropped.
+fn verify_obs_overhead(obs: &[ObsOverheadRecord], pr8: &[FrontierRecord]) -> bool {
+    use std::collections::BTreeMap;
+    let mut best_off: BTreeMap<(String, String, usize), f64> = BTreeMap::new();
+    let mut too_short: BTreeMap<(String, String, usize), ()> = BTreeMap::new();
+    for row in obs.iter().filter(|r| !r.smoke && r.mode == "off") {
+        let key = (row.algorithm.clone(), row.family.clone(), row.n);
+        if row.elapsed_ns < MIN_GATED_ELAPSED_NS {
+            too_short.insert(key, ());
+            continue;
+        }
+        let best = best_off.entry(key).or_insert(0.0);
+        *best = best.max(row.steps_per_sec);
+    }
+    let mut ok = true;
+    let mut gated = 0usize;
+    for ((alg, family, n), off_sps) in &best_off {
+        let base_sps = pr8
+            .iter()
+            .filter(|b| {
+                !b.smoke
+                    && b.series == "frontier_engine"
+                    && b.algorithm == *alg
+                    && b.family == *family
+                    && b.n == *n
+            })
+            .map(|b| b.steps_per_sec)
+            .fold(0.0f64, f64::max);
+        if base_sps <= 0.0 {
+            continue;
+        }
+        gated += 1;
+        let slowdown_pct = (base_sps / off_sps - 1.0) * 100.0;
+        if slowdown_pct > MAX_OFF_OVERHEAD_PCT {
+            eprintln!(
+                "{OBS_TRAJECTORY} GATE FAILED: obs-off {alg} {family} n={n} runs \
+                 {slowdown_pct:.1}% below the {FRONTIER_FAMILY_TRAJECTORY} frontier baseline \
+                 (bound: {MAX_OFF_OVERHEAD_PCT}%)"
+            );
+            ok = false;
+        }
+    }
+    for (alg, family, n) in too_short
+        .keys()
+        .filter(|k| !best_off.contains_key(*k))
+        .collect::<Vec<_>>()
+    {
+        println!(
+            "{OBS_TRAJECTORY} gate: skipping {alg} {family} n={n} — every off row is \
+             shorter than {} ms (noise-dominated)",
+            MIN_GATED_ELAPSED_NS / 1_000_000
+        );
+    }
+    if ok && gated > 0 {
+        println!(
+            "{OBS_TRAJECTORY} gate OK: {gated} obs-off key(s) within {MAX_OFF_OVERHEAD_PCT}% \
+             of their {FRONTIER_FAMILY_TRAJECTORY} baselines"
+        );
+    }
+    ok
 }
 
 /// Resident bytes of the **retired** pre-PR-7 representation on an

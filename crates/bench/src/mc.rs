@@ -48,12 +48,25 @@ impl BatteryRow {
 }
 
 /// Runs `checks` at size `n` with the given options, timing each sweep.
+///
+/// When an `lr-obs` session is recording, each check gets a
+/// `modelcheck.check <key>` span, and the battery publishes
+/// `modelcheck.*` counters derived from the deterministic summaries —
+/// the sweeps themselves are bit-identical at every thread count, so
+/// the published metrics are too.
 pub fn run_battery(n: usize, checks: &[CheckKind], opts: &McOptions) -> Vec<BatteryRow> {
-    checks
+    let rows: Vec<BatteryRow> = checks
         .iter()
         .map(|&kind| {
+            let mut span = lr_obs::enabled()
+                .then(|| lr_obs::span("modelcheck", format!("modelcheck.check {}", kind.key())));
             let start = Instant::now();
             let summary = kind.run(n, opts);
+            if let Some(span) = span.as_mut() {
+                span.arg("n", n as u64);
+                span.arg("instances", summary.instances as u64);
+                span.arg("states", summary.states_visited as u64);
+            }
             BatteryRow {
                 kind,
                 n,
@@ -62,7 +75,32 @@ pub fn run_battery(n: usize, checks: &[CheckKind], opts: &McOptions) -> Vec<Batt
                 elapsed_ns: start.elapsed().as_nanos() as u64,
             }
         })
-        .collect()
+        .collect();
+    if lr_obs::enabled() {
+        battery_metrics(&rows).publish();
+    }
+    rows
+}
+
+/// Derives the battery's deterministic metrics shard from its rows —
+/// a projection of the summaries, never a second tally.
+pub fn battery_metrics(rows: &[BatteryRow]) -> lr_obs::MetricsShard {
+    let mut m = lr_obs::MetricsShard::new();
+    for row in rows {
+        m.add("modelcheck.checks", 1);
+        m.add("modelcheck.instances", row.summary.instances as u64);
+        m.add("modelcheck.states", row.summary.states_visited as u64);
+        m.add("modelcheck.transitions", row.summary.transitions as u64);
+        m.add(
+            "modelcheck.verified_checks",
+            u64::from(row.summary.verified()),
+        );
+        m.record_max(
+            "modelcheck.max_states_per_check",
+            row.summary.states_visited as u64,
+        );
+    }
+    m
 }
 
 /// Converts battery rows into trajectory records.
@@ -93,5 +131,25 @@ mod tests {
             assert_eq!(rec.instances, 54);
             assert_eq!(rec.bench, "unit-test");
         }
+    }
+
+    #[test]
+    fn battery_metrics_are_a_projection_of_the_summaries() {
+        let opts = McOptions::default();
+        let rows = run_battery(3, &[CheckKind::NewPr], &opts);
+        let m = battery_metrics(&rows);
+        assert_eq!(m.count("modelcheck.checks"), 1);
+        assert_eq!(
+            m.count("modelcheck.instances"),
+            rows[0].summary.instances as u64
+        );
+        assert_eq!(
+            m.count("modelcheck.states"),
+            rows[0].summary.states_visited as u64
+        );
+        assert_eq!(
+            m.max("modelcheck.max_states_per_check"),
+            rows[0].summary.states_visited as u64
+        );
     }
 }

@@ -25,7 +25,12 @@
 //!   [`FrontierRecord`] map-vs-frontier rows for **every** algorithm
 //!   family (PR 8): the same before/after shape as `BENCH_pr7.json`,
 //!   one pair per family × instance size now that all six families
-//!   have CSR-native frontier engines.
+//!   have CSR-native frontier engines;
+//! * `BENCH_pr9.json` ([`OBS_TRAJECTORY`]) — [`ObsOverheadRecord`]
+//!   rows from the observability overhead series (PR 9): the same
+//!   frontier run measured with `lr-obs` off vs recording, so the
+//!   "disabled tracing is free" claim is a gated trajectory, not a
+//!   comment.
 //!
 //! The file name is caller-chosen ([`trajectory_path_named`],
 //! [`append_records_to`], [`load_records_from`]); the original
@@ -339,8 +344,60 @@ pub struct FrontierRecord {
     pub smoke: bool,
 }
 
+/// One observability-overhead measurement (PR 9): a frontier-engine run
+/// measured under a specific `lr-obs` mode. Rows come in per-instance
+/// groups sharing `(algorithm, family, n)` — one `mode = "off"`
+/// baseline plus one row per recording mode, each carrying its
+/// slowdown relative to the group's baseline. Appended to
+/// [`OBS_TRAJECTORY`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsOverheadRecord {
+    /// Which harness produced the record (`exp_throughput`).
+    pub bench: String,
+    /// Measurement series (`obs_overhead`).
+    pub series: String,
+    /// Algorithm name as reported by the engine ("PR", "FR", …).
+    pub algorithm: String,
+    /// Instance family ("chain_away", "grid_away").
+    pub family: String,
+    /// Node count of the instance.
+    pub n: usize,
+    /// Observability mode the run was measured under (`off`, `summary`,
+    /// `chrome`).
+    pub mode: String,
+    /// Worker threads (1 for the sequential series).
+    pub threads: usize,
+    /// CPUs available to the process when the record was taken.
+    pub cpus: usize,
+    /// Distinct metrics registered in the global registry when the
+    /// session finished (counters + gauges + histograms + span stats);
+    /// 0 for the `off` baseline, which never opens a session.
+    pub registry_metrics: usize,
+    /// Sink the session's report was rendered through (`none` for the
+    /// `off` baseline, else `summary`/`json`/`chrome`). Render time is
+    /// outside the measured window; the field records provenance.
+    pub sink: String,
+    /// Node-steps executed in the measured run.
+    pub steps: usize,
+    /// Wall-clock time of the measured run, nanoseconds.
+    pub elapsed_ns: u64,
+    /// `steps / elapsed` — the throughput figure.
+    pub steps_per_sec: f64,
+    /// Slowdown of this row relative to its group's `off` baseline, in
+    /// percent (`(t_mode / t_off - 1) × 100`; 0 for the baseline
+    /// itself). Negative values mean the run happened to beat the
+    /// baseline.
+    pub overhead_vs_off_pct: f64,
+    /// Whether the run was taken in `LR_BENCH_SMOKE=1` one-sample mode.
+    pub smoke: bool,
+}
+
 /// File name of the scenario trajectory at the repository root.
 pub const SCENARIO_TRAJECTORY: &str = "BENCH_pr4.json";
+
+/// File name of the observability-overhead trajectory at the repository
+/// root.
+pub const OBS_TRAJECTORY: &str = "BENCH_pr9.json";
 
 /// File name of the frontier/representation trajectory at the
 /// repository root.
@@ -609,6 +666,33 @@ mod tests {
         let pf = trajectory_path_named(FRONTIER_FAMILY_TRAJECTORY);
         assert!(pf.ends_with("BENCH_pr8.json"));
         assert_eq!(pf.parent(), trajectory_path().parent());
+    }
+
+    #[test]
+    fn obs_overhead_records_round_trip_through_vendored_serde_json() {
+        let rows = vec![ObsOverheadRecord {
+            bench: "exp_throughput".into(),
+            series: "obs_overhead".into(),
+            algorithm: "PR".into(),
+            family: "grid_away".into(),
+            n: 65_536,
+            mode: "summary".into(),
+            threads: 1,
+            cpus: BenchRecord::available_cpus(),
+            registry_metrics: 6,
+            sink: "summary".into(),
+            steps: 130_050,
+            elapsed_ns: 18_000_000,
+            steps_per_sec: BenchRecord::throughput(130_050, 18_000_000),
+            overhead_vs_off_pct: 1.7,
+            smoke: false,
+        }];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<ObsOverheadRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows);
+        let p = trajectory_path_named(OBS_TRAJECTORY);
+        assert!(p.ends_with("BENCH_pr9.json"));
+        assert_eq!(p.parent(), trajectory_path().parent());
     }
 
     #[test]

@@ -129,14 +129,16 @@ impl FrontierFamily {
     /// that has (or can stream) a [`CsrInstance`] should come through
     /// here.
     pub fn engine(self, inst: CsrInstance) -> Box<dyn FrontierEngine> {
-        match self {
+        let engine: Box<dyn FrontierEngine> = match self {
             FrontierFamily::FullReversal => Box::new(FrontierFrEngine::new(inst)),
             FrontierFamily::PartialReversal => Box::new(FrontierPrEngine::new(inst)),
             FrontierFamily::NewPr => Box::new(FrontierNewPrEngine::new(inst)),
             FrontierFamily::PairHeights => Box::new(FrontierPairHeightsEngine::new(inst)),
             FrontierFamily::TripleHeights => Box::new(FrontierTripleHeightsEngine::new(inst)),
             FrontierFamily::Bll(labeling) => Box::new(FrontierBllEngine::new(inst, labeling)),
-        }
+        };
+        observe_engine_build(self.name(), engine.as_ref());
+        engine
     }
 
     /// Constructs the map-backed reference engine for this family —
@@ -155,6 +157,30 @@ impl FrontierFamily {
             FrontierFamily::Bll(labeling) => Box::new(BllEngine::new(inst, labeling)),
         }
     }
+}
+
+/// Records build-time gauges (steady-state resident footprint, graph
+/// extent) and an instant trace marker for a freshly built flat
+/// engine. Costs one relaxed load when no obs session is recording;
+/// the engine's step path is untouched either way.
+fn observe_engine_build(family: &'static str, engine: &dyn FrontierEngine) {
+    if !lr_obs::enabled() {
+        return;
+    }
+    let csr = engine.csr_instance().csr();
+    let resident = engine.resident_bytes() as u64;
+    lr_obs::gauge("engine.resident_bytes").record_max(resident);
+    lr_obs::gauge("engine.nodes").record_max(csr.node_count() as u64);
+    lr_obs::gauge("engine.half_edges").record_max(csr.half_edge_count() as u64);
+    lr_obs::instant(
+        "engine",
+        format!("engine.build {family}"),
+        &[
+            ("resident_bytes", resident),
+            ("nodes", csr.node_count() as u64),
+            ("half_edges", csr.half_edge_count() as u64),
+        ],
+    );
 }
 
 impl From<AlgorithmKind> for FrontierFamily {

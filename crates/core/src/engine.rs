@@ -37,6 +37,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lr_graph::{CsrGraph, DirectedView, NodeId};
+use lr_obs::MetricsShard;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -80,6 +81,12 @@ pub struct RunStats {
     /// work vector of the game-theoretic analysis (each node's "cost").
     /// Use [`RunStats::work_per_node`] for the node-keyed map view.
     pub work: Vec<usize>,
+    /// Sum over scheduling iterations of the enabled-set size at the
+    /// start of the iteration (the "frontier occupancy" integral).
+    /// Under [`SchedulePolicy::GreedyRounds`] with no budget cut this
+    /// equals [`RunStats::steps`] exactly — every snapshotted sink
+    /// steps once — which the obs agreement suite asserts per family.
+    pub frontier_occupancy: usize,
     /// Whether the run reached quiescence within the step budget.
     pub terminated: bool,
 }
@@ -105,6 +112,24 @@ impl RunStats {
             .map(|(i, u)| (u, self.work[i]))
             .collect()
     }
+
+    /// The run's deterministic metrics, **derived** from the stats the
+    /// run loop already books — the obs counters are a projection of
+    /// `RunStats`, never a second tally, so per-step work cannot be
+    /// double-booked between the work vector and the observability
+    /// layer (the agreement suite in `tests/obs_metrics.rs` pins this
+    /// for every family × policy, sharded runs included).
+    pub fn metrics(&self) -> MetricsShard {
+        let mut m = MetricsShard::new();
+        m.add("engine.steps", self.steps as u64);
+        m.add("engine.reversals", self.total_reversals as u64);
+        m.add("engine.dummy_steps", self.dummy_steps as u64);
+        m.add("engine.rounds", self.rounds as u64);
+        m.add("engine.frontier_occupancy", self.frontier_occupancy as u64);
+        m.add("engine.terminated_runs", u64::from(self.terminated));
+        m.record_max("engine.max_node_work", self.max_node_work() as u64);
+        m
+    }
 }
 
 /// Default safety budget: generous for Θ(n²) workloads on benchmark sizes.
@@ -119,6 +144,7 @@ struct StepBook {
     total_reversals: usize,
     dummy_steps: usize,
     work: Vec<usize>,
+    frontier_occupancy: usize,
 }
 
 impl StepBook {
@@ -128,6 +154,7 @@ impl StepBook {
             total_reversals: 0,
             dummy_steps: 0,
             work: vec![0; node_count],
+            frontier_occupancy: 0,
         }
     }
 
@@ -148,6 +175,7 @@ impl StepBook {
             dummy_steps: self.dummy_steps,
             rounds,
             work: self.work,
+            frontier_occupancy: self.frontier_occupancy,
             terminated,
         }
     }
@@ -259,6 +287,28 @@ enum Sharding {
     NodeRanges,
 }
 
+/// Obs handles for one `drive` invocation, resolved once at run start
+/// and only when a session is recording. When no session records the
+/// `Option` is `None` and each scheduling iteration pays one
+/// predictable local branch — the per-step hot loops
+/// ([`greedy_round_zero_alloc`], the plan/apply phases) are not
+/// instrumented at all.
+struct DriveObs {
+    run_span: lr_obs::Span,
+    round_span: lr_obs::SpanHandle,
+    frontier_hist: lr_obs::Histogram,
+}
+
+impl DriveObs {
+    fn resolve(algorithm: &'static str) -> DriveObs {
+        DriveObs {
+            run_span: lr_obs::span("engine", format!("engine.run {algorithm}")),
+            round_span: lr_obs::span_handle("engine", "engine.round"),
+            frontier_hist: lr_obs::histogram("engine.round_frontier"),
+        }
+    }
+}
+
 fn drive(
     engine: &mut dyn ReversalEngine,
     policy: SchedulePolicy,
@@ -268,6 +318,7 @@ fn drive(
     parallel: Option<(ParallelConfig, Sharding)>,
 ) -> RunStats {
     let algorithm = engine.algorithm_name();
+    let mut obs = lr_obs::enabled().then(|| DriveObs::resolve(algorithm));
     let csr = Arc::clone(engine.csr());
     let mut book = StepBook::new(csr.node_count());
     let mut rounds = 0usize;
@@ -304,6 +355,23 @@ fn drive(
         if book.steps >= max_steps {
             break;
         }
+        // Frontier occupancy at the start of the iteration: the
+        // enabled-set size every scheduling arm is about to draw from.
+        // Identical for `Incremental` and `Scan` (same set), for map
+        // and flat engines, and for serial and sharded rounds (same
+        // snapshot) — so the differential suites keep comparing whole
+        // `RunStats` values.
+        let frontier_len = match source {
+            EnabledSource::Scan => snapshot.len(),
+            EnabledSource::Incremental => engine.enabled().len(),
+        };
+        book.frontier_occupancy += frontier_len;
+        let _round_span = obs.as_ref().map(|o| {
+            o.frontier_hist.observe(frontier_len as u64);
+            let mut span = o.round_span.start();
+            span.arg("frontier", frontier_len as u64);
+            span
+        });
         match policy {
             SchedulePolicy::GreedyRounds => {
                 // A maximal simultaneous step: every sink in the snapshot
@@ -374,7 +442,16 @@ fn drive(
             }
         }
     }
-    book.into_stats(algorithm, rounds, terminated)
+    let stats = book.into_stats(algorithm, rounds, terminated);
+    if let Some(obs) = obs.as_mut() {
+        obs.run_span.arg("steps", stats.steps as u64);
+        obs.run_span.arg("rounds", stats.rounds as u64);
+        obs.run_span.arg("reversals", stats.total_reversals as u64);
+        // Publish the derived (never re-tallied) metrics shard into the
+        // global recorder so the sinks show them next to the timing.
+        stats.metrics().publish();
+    }
+    stats
 }
 
 /// Drives `engine` until termination (no enabled node) or until

@@ -73,6 +73,12 @@ pub struct ExplorationReport<A: Automaton> {
     pub max_depth_reached: usize,
     /// Number of quiescent (terminal) states found.
     pub quiescent_states: usize,
+    /// Sum of frontier widths over all expanded layers (the layer-width
+    /// integral). Layer contents are canonical, so this is identical
+    /// for serial and parallel exploration.
+    pub frontier_sum: usize,
+    /// Widest single layer expanded.
+    pub frontier_max: usize,
     /// First invariant violation found (canonically first in BFS admission
     /// order), with a counterexample execution when trace recording was
     /// enabled.
@@ -92,6 +98,8 @@ impl<A: Automaton> std::fmt::Debug for ExplorationReport<A> {
             .field("transitions", &self.transitions)
             .field("max_depth_reached", &self.max_depth_reached)
             .field("quiescent_states", &self.quiescent_states)
+            .field("frontier_sum", &self.frontier_sum)
+            .field("frontier_max", &self.frontier_max)
             .field("violation", &self.violation)
             .field("truncated", &self.truncated)
             .finish()
@@ -104,6 +112,8 @@ impl<A: Automaton> PartialEq for ExplorationReport<A> {
             && self.transitions == other.transitions
             && self.max_depth_reached == other.max_depth_reached
             && self.quiescent_states == other.quiescent_states
+            && self.frontier_sum == other.frontier_sum
+            && self.frontier_max == other.frontier_max
             && self.violation == other.violation
             && self.truncated == other.truncated
     }
@@ -116,6 +126,34 @@ impl<A: Automaton> ExplorationReport<A> {
     /// was violated.
     pub fn verified(&self) -> bool {
         self.violation.is_none() && !self.truncated
+    }
+
+    /// The exploration's deterministic metrics, **derived** from the
+    /// report. Every input field is bit-identical between serial and
+    /// parallel exploration, so the shard (and its rendered bytes) is
+    /// too — worker-side quantities like [`ShardedVisited`] probe
+    /// counts are deliberately *not* included, because concurrent
+    /// admission makes them schedule-dependent.
+    pub fn metrics(&self) -> lr_obs::MetricsShard {
+        let mut m = lr_obs::MetricsShard::new();
+        m.add("explore.states", self.states_visited as u64);
+        m.add("explore.transitions", self.transitions as u64);
+        m.add("explore.quiescent_states", self.quiescent_states as u64);
+        m.add("explore.frontier_states", self.frontier_sum as u64);
+        // Transitions whose successor was not admitted as a new state:
+        // duplicates caught by the visited set, plus budget/depth
+        // rejections (the initial state is admitted before any
+        // transition fires, hence the `- 1`).
+        m.add(
+            "explore.duplicate_hits",
+            (self.transitions as u64)
+                .saturating_sub((self.states_visited as u64).saturating_sub(1)),
+        );
+        m.add("explore.violations", u64::from(self.violation.is_some()));
+        m.add("explore.truncated_runs", u64::from(self.truncated));
+        m.record_max("explore.max_frontier", self.frontier_max as u64);
+        m.record_max("explore.max_depth", self.max_depth_reached as u64);
+        m
     }
 }
 
@@ -470,6 +508,8 @@ fn init_exploration<A: Automaton>(
             transitions: 0,
             max_depth_reached: 0,
             quiescent_states: 0,
+            frontier_sum: 0,
+            frontier_max: 0,
             violation: None,
             truncated: false,
         },
@@ -497,8 +537,19 @@ pub fn explore<A: Automaton>(
 ) -> ExplorationReport<A> {
     let (mut st, visited, mut frontier) = init_exploration(automaton, invariants, opts);
     let mut depth = 0usize;
+    // Resolved once per exploration, and only when a session records —
+    // the disabled path costs one relaxed load per call.
+    let layer_span = lr_obs::enabled().then(|| lr_obs::span_handle("explore", "explore.layer"));
     while !frontier.is_empty() && st.report.violation.is_none() {
         st.report.max_depth_reached = st.report.max_depth_reached.max(depth);
+        st.report.frontier_sum += frontier.len();
+        st.report.frontier_max = st.report.frontier_max.max(frontier.len());
+        let _sp = layer_span.as_ref().map(|h| {
+            let mut span = h.start();
+            span.arg("depth", depth as u64);
+            span.arg("frontier", frontier.len() as u64);
+            span
+        });
         let ranges = shard_ranges(frontier.len(), 1);
         let mut fold = LayerFold::new(opts, &frontier, &visited, &mut st);
         for (i, range) in ranges.iter().enumerate() {
@@ -516,6 +567,9 @@ pub fn explore<A: Automaton>(
         let next = fold.next;
         frontier = next;
         depth += 1;
+    }
+    if layer_span.is_some() {
+        st.report.metrics().publish();
     }
     st.report
 }
@@ -547,8 +601,17 @@ where
     }
     let (mut st, visited, mut frontier) = init_exploration(automaton, invariants, opts);
     let mut depth = 0usize;
+    let layer_span = lr_obs::enabled().then(|| lr_obs::span_handle("explore", "explore.layer"));
     while !frontier.is_empty() && st.report.violation.is_none() {
         st.report.max_depth_reached = st.report.max_depth_reached.max(depth);
+        st.report.frontier_sum += frontier.len();
+        st.report.frontier_max = st.report.frontier_max.max(frontier.len());
+        let _sp = layer_span.as_ref().map(|h| {
+            let mut span = h.start();
+            span.arg("depth", depth as u64);
+            span.arg("frontier", frontier.len() as u64);
+            span
+        });
         let ranges = shard_ranges(frontier.len(), threads);
         let fold = Mutex::new(LayerFold::new(opts, &frontier, &visited, &mut st));
         let cursor = AtomicUsize::new(0);
@@ -576,6 +639,9 @@ where
         let next = fold.into_inner().expect("workers joined").next;
         frontier = next;
         depth += 1;
+    }
+    if layer_span.is_some() {
+        st.report.metrics().publish();
     }
     st.report
 }

@@ -43,8 +43,23 @@ fn assert_reports_identical<A: Automaton>(
         serial.violation, parallel.violation,
         "violation/counterexample diverged: {context}"
     );
+    assert_eq!(
+        serial.frontier_sum, parallel.frontier_sum,
+        "frontier_sum diverged: {context}"
+    );
+    assert_eq!(
+        serial.frontier_max, parallel.frontier_max,
+        "frontier_max diverged: {context}"
+    );
     // And the blanket comparison, in case the report grows fields.
     assert_eq!(serial, parallel, "report diverged: {context}");
+    // The derived metrics shard must render byte-identically too — it is
+    // what sinks and sweep folds consume.
+    assert_eq!(
+        serial.metrics().render(),
+        parallel.metrics().render(),
+        "rendered metrics diverged: {context}"
+    );
 }
 
 /// Every instance of every family at n = 3, plus a spot-check at n = 4,

@@ -1,0 +1,438 @@
+//! The lock-free metric registry and its atomic handles.
+//!
+//! Registration (name → slot) takes a mutex, but registration happens
+//! once per metric per call site — instrumented loops resolve their
+//! handles before entering the loop. After registration every
+//! operation is relaxed `AtomicU64` arithmetic gated behind a single
+//! relaxed load of the global level, so the disabled path costs one
+//! predictable branch.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Recording disabled: handles are inert.
+pub(crate) const LEVEL_OFF: u8 = 0;
+/// Aggregates only (counters/gauges/histograms/span stats).
+pub(crate) const LEVEL_STATS: u8 = 1;
+/// Aggregates plus the bounded per-event trace buffer.
+pub(crate) const LEVEL_EVENTS: u8 = 2;
+
+/// The process-wide recording level, written only by
+/// [`crate::ObsSession`]. Instrumentation reads it with one relaxed
+/// load.
+pub(crate) static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_OFF);
+
+/// Whether an observation session is currently recording. This is the
+/// single relaxed load every instrumentation site is gated behind.
+#[inline]
+pub fn enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) != LEVEL_OFF
+}
+
+/// Whether individual trace events (not just aggregates) are captured.
+#[inline]
+pub(crate) fn capture_events() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= LEVEL_EVENTS
+}
+
+/// A monotonically increasing counter handle.
+///
+/// Cloning shares the underlying slot; `add` is a no-op unless a
+/// session is recording.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` when recording is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one when recording is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value (test/sink helper; racy under concurrency by
+    /// design).
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value / high-watermark gauge handle.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the gauge when recording is enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger, when recording is enabled.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if enabled() {
+            self.0.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two bucket cells backing a [`Histogram`].
+///
+/// Bucket `0` holds observations of `0`; bucket `k ≥ 1` holds
+/// observations in `[2^(k-1), 2^k)`. 65 buckets cover the full `u64`
+/// range.
+pub(crate) struct HistogramCells {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCells {
+    fn new() -> HistogramCells {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Index of the power-of-two bucket holding `v`.
+pub(crate) fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// A log₂-bucketed histogram handle.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Records one observation of `v` when recording is enabled.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if enabled() {
+            self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.0.count.fetch_add(1, Ordering::Relaxed);
+            self.0.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram, as reported by
+/// [`crate::ObsReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket index, count)`; bucket `0` is the
+    /// value `0`, bucket `k ≥ 1` covers `[2^(k-1), 2^k)`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Inclusive-exclusive value range of bucket `index`, for display.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        if index == 0 {
+            (0, 1)
+        } else {
+            (1u64 << (index - 1), (1u64 << (index - 1)).saturating_mul(2))
+        }
+    }
+}
+
+/// Aggregate timing for one span name (durations in nanoseconds).
+pub(crate) struct SpanStat {
+    pub(crate) count: AtomicU64,
+    pub(crate) total_ns: AtomicU64,
+    pub(crate) min_ns: AtomicU64,
+    pub(crate) max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    fn new() -> SpanStat {
+        SpanStat {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, dur_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(dur_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of one span aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStatSnapshot {
+    /// How many spans with this name closed during the session.
+    pub count: u64,
+    /// Total time across all of them, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest single span, nanoseconds (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<HistogramCells>>,
+    spans: BTreeMap<String, Arc<SpanStat>>,
+}
+
+/// The process-wide metric registry.
+///
+/// Name → slot resolution takes the internal mutex; the returned
+/// handles never do. Slots persist for the life of the process (so a
+/// handle resolved in one session keeps pointing at the live slot in
+/// the next); [`Registry::reset`] zeroes values without invalidating
+/// handles.
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+/// Everything in the registry, copied out by value, sorted by name.
+pub(crate) struct RegistrySnapshot {
+    pub(crate) counters: Vec<(String, u64)>,
+    pub(crate) gauges: Vec<(String, u64)>,
+    pub(crate) histograms: Vec<(String, HistogramSnapshot)>,
+    pub(crate) spans: Vec<(String, SpanStatSnapshot)>,
+}
+
+impl Registry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Resolves (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.lock();
+        let slot = inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(slot))
+    }
+
+    /// Resolves (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.lock();
+        let slot = inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge(Arc::clone(slot))
+    }
+
+    /// Resolves (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.lock();
+        let slot = inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCells::new()));
+        Histogram(Arc::clone(slot))
+    }
+
+    pub(crate) fn span_stat(&self, name: &str) -> Arc<SpanStat> {
+        let mut inner = self.lock();
+        let slot = inner
+            .spans
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(SpanStat::new()));
+        Arc::clone(slot)
+    }
+
+    /// Zeroes every registered value, keeping the slots (and therefore
+    /// all outstanding handles) alive.
+    pub fn reset(&self) {
+        let inner = self.lock();
+        for slot in inner.counters.values() {
+            slot.store(0, Ordering::Relaxed);
+        }
+        for slot in inner.gauges.values() {
+            slot.store(0, Ordering::Relaxed);
+        }
+        for slot in inner.histograms.values() {
+            slot.reset();
+        }
+        for slot in inner.spans.values() {
+            slot.reset();
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.lock();
+        RegistrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(name, slot)| (name.clone(), slot.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(name, slot)| (name.clone(), slot.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(name, cells)| {
+                    let buckets = cells
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let v = b.load(Ordering::Relaxed);
+                            (v != 0).then_some((i, v))
+                        })
+                        .collect();
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            count: cells.count.load(Ordering::Relaxed),
+                            sum: cells.sum.load(Ordering::Relaxed),
+                            buckets,
+                        },
+                    )
+                })
+                .collect(),
+            spans: inner
+                .spans
+                .iter()
+                .map(|(name, stat)| {
+                    let count = stat.count.load(Ordering::Relaxed);
+                    (
+                        name.clone(),
+                        SpanStatSnapshot {
+                            count,
+                            total_ns: stat.total_ns.load(Ordering::Relaxed),
+                            min_ns: if count == 0 {
+                                0
+                            } else {
+                                stat.min_ns.load(Ordering::Relaxed)
+                            },
+                            max_ns: stat.max_ns.load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-wide registry all free functions resolve against.
+pub(crate) fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry {
+        inner: Mutex::new(RegistryInner::default()),
+    })
+}
+
+/// Resolves the global counter named `name`. Resolve once, outside the
+/// loop being instrumented.
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Resolves the global gauge named `name`.
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Resolves the global histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// Resolves a reusable span handle (see [`crate::SpanHandle`]) for the
+/// category/name pair. Resolve once, outside the loop.
+pub fn span_handle(cat: &'static str, name: &str) -> crate::SpanHandle {
+    crate::SpanHandle::new(cat, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_the_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for k in 0..64u32 {
+            let lo = 1u64 << k;
+            assert_eq!(bucket_index(lo), k as usize + 1);
+            assert_eq!(bucket_index(lo + (lo - 1)), k as usize + 1);
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_match_indexing() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, 1u64 << 40] {
+            let idx = bucket_index(v);
+            let (lo, hi) = HistogramSnapshot::bucket_range(idx);
+            assert!(lo <= v, "bucket {idx} low bound {lo} > {v}");
+            assert!(v < hi, "bucket {idx} high bound {hi} <= {v}");
+        }
+    }
+
+    #[test]
+    fn handles_share_slots_by_name() {
+        // Go through a real session so the global level flips under the
+        // process-wide gate and cannot interleave with other tests.
+        let session = crate::ObsSession::start(crate::ObsMode::Summary);
+        let a = global().counter("test.registry.shared");
+        let b = global().counter("test.registry.shared");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+        assert_eq!(a.value(), b.value());
+        drop(session.finish());
+    }
+}

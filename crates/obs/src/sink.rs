@@ -1,0 +1,325 @@
+//! Session output: the human summary table, the newline-JSON event
+//! log, and the Chrome/Perfetto `trace_events` exporter (plus the
+//! validator the CI trace gate runs).
+
+use serde_json::{Map, Value};
+
+use crate::registry::{HistogramSnapshot, SpanStatSnapshot};
+use crate::span::TraceEvent;
+use crate::ObsMode;
+
+/// Everything one [`crate::ObsSession`] recorded, ready to render.
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// The mode the session ran at.
+    pub mode: ObsMode,
+    /// All registered counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// All registered gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// All registered histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Per-span-name timing aggregates, sorted by name.
+    pub spans: Vec<(String, SpanStatSnapshot)>,
+    /// Individual trace events (empty unless the mode captures them).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded past the buffer cap.
+    pub dropped_events: usize,
+}
+
+/// Renders nanoseconds with an adaptive unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl ObsReport {
+    /// Number of registered metric slots (counters + gauges +
+    /// histograms + span names) — the "registry size" recorded in the
+    /// overhead bench rows.
+    pub fn metric_count(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len() + self.spans.len()
+    }
+
+    /// The human `--obs summary` table.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== observability summary ==\n");
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            out.push_str(&format!(
+                "  {:<34} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "total", "mean", "min", "max"
+            ));
+            for (name, s) in &self.spans {
+                let mean = s.total_ns.checked_div(s.count).unwrap_or(0);
+                out.push_str(&format!(
+                    "  {:<34} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    name,
+                    s.count,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(mean),
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.max_ns),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<34} {v:>14}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<34} {v:>14}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!("  {name}: count={} sum={}\n", h.count, h.sum));
+                for (idx, n) in &h.buckets {
+                    let (lo, hi) = HistogramSnapshot::bucket_range(*idx);
+                    out.push_str(&format!("    [{lo},{hi}): {n}\n"));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "events: {} captured, {} dropped\n",
+            self.events.len(),
+            self.dropped_events
+        ));
+        out
+    }
+
+    /// The newline-JSON event log: one JSON object per line — a `meta`
+    /// header, then every aggregate, then every captured event.
+    pub fn render_json_lines(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        let mut meta = Map::new();
+        meta.insert("type".to_string(), Value::from("meta"));
+        meta.insert("mode".to_string(), Value::from(self.mode.name()));
+        meta.insert("events".to_string(), Value::from(self.events.len()));
+        meta.insert(
+            "dropped_events".to_string(),
+            Value::from(self.dropped_events),
+        );
+        lines.push(value_line(Value::Object(meta)));
+        for (name, v) in &self.counters {
+            lines.push(value_line(kv_value("counter", name, *v)));
+        }
+        for (name, v) in &self.gauges {
+            lines.push(value_line(kv_value("gauge", name, *v)));
+        }
+        for (name, s) in &self.spans {
+            let mut m = Map::new();
+            m.insert("type".to_string(), Value::from("span"));
+            m.insert("name".to_string(), Value::from(name.clone()));
+            m.insert("count".to_string(), Value::from(s.count));
+            m.insert("total_ns".to_string(), Value::from(s.total_ns));
+            m.insert("min_ns".to_string(), Value::from(s.min_ns));
+            m.insert("max_ns".to_string(), Value::from(s.max_ns));
+            lines.push(value_line(Value::Object(m)));
+        }
+        for e in &self.events {
+            lines.push(value_line(event_value(e)));
+        }
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// The Chrome/Perfetto `trace_events` JSON document: an object with
+    /// a `traceEvents` array of complete (`"X"`) and instant (`"i"`)
+    /// events, loadable by `chrome://tracing` and `ui.perfetto.dev`.
+    pub fn render_chrome_trace(&self) -> String {
+        let mut doc = Map::new();
+        let events: Vec<Value> = self.events.iter().map(event_value).collect();
+        doc.insert("traceEvents".to_string(), Value::Array(events));
+        doc.insert("displayTimeUnit".to_string(), Value::from("ms"));
+        let mut other = Map::new();
+        other.insert("mode".to_string(), Value::from(self.mode.name()));
+        other.insert(
+            "dropped_events".to_string(),
+            Value::from(self.dropped_events),
+        );
+        let counters: Map<String, Value> = self
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), Value::from(*v)))
+            .collect();
+        other.insert("counters".to_string(), Value::Object(counters));
+        doc.insert("otherData".to_string(), Value::Object(other));
+        serde_json::to_string(&Value::Object(doc)).expect("trace document serializes")
+    }
+}
+
+fn value_line(v: Value) -> String {
+    serde_json::to_string(&v).expect("json line serializes")
+}
+
+fn kv_value(kind: &str, name: &str, v: u64) -> Value {
+    let mut m = Map::new();
+    m.insert("type".to_string(), Value::from(kind));
+    m.insert("name".to_string(), Value::from(name));
+    m.insert("value".to_string(), Value::from(v));
+    Value::Object(m)
+}
+
+/// One trace event in Chrome `trace_events` shape.
+fn event_value(e: &TraceEvent) -> Value {
+    let mut m = Map::new();
+    m.insert("name".to_string(), Value::from(e.name.clone()));
+    m.insert("cat".to_string(), Value::from(e.cat));
+    m.insert("ph".to_string(), Value::from(e.ph.to_string()));
+    m.insert("ts".to_string(), Value::from(e.ts_us));
+    if e.ph == 'X' {
+        m.insert("dur".to_string(), Value::from(e.dur_us));
+    }
+    if e.ph == 'i' {
+        // Instant scope: thread.
+        m.insert("s".to_string(), Value::from("t"));
+    }
+    m.insert("pid".to_string(), Value::from(1u64));
+    m.insert("tid".to_string(), Value::from(e.tid));
+    if !e.args.is_empty() {
+        let args: Map<String, Value> = e
+            .args
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::from(*v)))
+            .collect();
+        m.insert("args".to_string(), Value::Object(args));
+    }
+    Value::Object(m)
+}
+
+/// Validates `text` as a Chrome `trace_events` document (either the
+/// object form with a `traceEvents` array or a bare event array) and
+/// returns the number of events. This is what `lr obs validate` and
+/// the CI trace gate run.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match &doc {
+        Value::Array(events) => events,
+        Value::Object(m) => m
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .ok_or("top-level object has no `traceEvents` array")?,
+        _ => return Err("top level must be an object or an array".to_string()),
+    };
+    for (i, event) in events.iter().enumerate() {
+        let obj = event
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} has no string `ph`"))?;
+        if obj.get("name").and_then(Value::as_str).is_none() {
+            return Err(format!("event {i} has no string `name`"));
+        }
+        if obj.get("ts").and_then(Value::as_u64).is_none() {
+            return Err(format!("event {i} has no numeric `ts`"));
+        }
+        for field in ["pid", "tid"] {
+            if obj.get(field).and_then(Value::as_u64).is_none() {
+                return Err(format!("event {i} has no numeric `{field}`"));
+            }
+        }
+        if ph == "X" && obj.get("dur").and_then(Value::as_u64).is_none() {
+            return Err(format!("complete event {i} has no numeric `dur`"));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsMode, ObsSession};
+
+    fn sample_report() -> ObsReport {
+        let session = ObsSession::start(ObsMode::Chrome);
+        crate::counter("sink.test.counter").add(11);
+        crate::gauge("sink.test.gauge").set(4);
+        crate::histogram("sink.test.hist").observe(3);
+        let mut s = crate::span("sinktest", "sink.test.span");
+        s.arg("round", 2);
+        drop(s);
+        crate::instant("sinktest", "sink.test.marker", &[("x", 1)]);
+        session.finish()
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_the_validator() {
+        let report = sample_report();
+        let doc = report.render_chrome_trace();
+        let n = validate_chrome_trace(&doc).expect("emitted trace validates");
+        assert_eq!(n, report.events.len());
+        assert!(n >= 2, "span + instant events expected");
+    }
+
+    #[test]
+    fn bare_array_form_validates_too() {
+        assert_eq!(
+            validate_chrome_trace(r#"[{"name":"a","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}]"#),
+            Ok(1)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace(r#"{"events":[]}"#).is_err());
+        assert!(validate_chrome_trace(r#"[{"ph":"X"}]"#).is_err());
+        assert!(
+            validate_chrome_trace(r#"[{"name":"a","ph":"X","ts":1,"pid":1,"tid":1}]"#).is_err(),
+            "complete event without dur must fail"
+        );
+    }
+
+    #[test]
+    fn json_lines_are_individually_parseable() {
+        let report = sample_report();
+        let lines = report.render_json_lines();
+        let mut kinds = std::collections::BTreeSet::new();
+        for line in lines.lines() {
+            let v: Value = serde_json::from_str(line).expect("line parses");
+            let kind = v.get("type").and_then(Value::as_str);
+            if let Some(kind) = kind {
+                kinds.insert(kind.to_string());
+            } else {
+                // Event lines carry `ph` instead of `type`.
+                assert!(v.get("ph").and_then(Value::as_str).is_some());
+            }
+        }
+        assert!(kinds.contains("meta"));
+        assert!(kinds.contains("counter"));
+        assert!(kinds.contains("span"));
+    }
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let report = sample_report();
+        let text = report.render_summary();
+        for needle in [
+            "observability summary",
+            "sink.test.counter",
+            "sink.test.gauge",
+            "sink.test.hist",
+            "sink.test.span",
+            "events:",
+        ] {
+            assert!(text.contains(needle), "summary missing {needle}: {text}");
+        }
+    }
+}

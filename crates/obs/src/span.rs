@@ -1,0 +1,263 @@
+//! RAII span guards, instant markers, and the bounded trace buffer.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and its
+//! drop on a monotonic clock. Closing a span always folds into the
+//! per-name aggregate ([`crate::SpanStatSnapshot`]); when the session
+//! level captures events (`--obs json|chrome`) it additionally pushes a
+//! [`TraceEvent`] into a bounded buffer. The buffer cap keeps
+//! million-round runs from ballooning: past [`MAX_TRACE_EVENTS`] events
+//! are counted, not stored, and the drop count is reported in the
+//! [`crate::ObsReport`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::registry::{self, SpanStat};
+
+/// Hard cap on buffered trace events per session (2^18). Everything
+/// past it is dropped and counted.
+pub const MAX_TRACE_EVENTS: usize = 1 << 18;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small dense per-thread id for trace events (first-use order).
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// One recorded trace event, already normalized to the session epoch.
+///
+/// `ph` follows the Chrome `trace_events` phase alphabet: `'X'` for a
+/// complete (duration) event, `'i'` for an instant marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (span name or marker name).
+    pub name: String,
+    /// Coarse category, e.g. `"engine"`, `"sweep"`, `"explore"`.
+    pub cat: &'static str,
+    /// Chrome phase: `'X'` (complete) or `'i'` (instant).
+    pub ph: char,
+    /// Microseconds since the session opened.
+    pub ts_us: u64,
+    /// Duration in microseconds (0 for instants).
+    pub dur_us: u64,
+    /// Dense per-thread id.
+    pub tid: u64,
+    /// Numeric key/value payload.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+struct TraceBuf {
+    epoch: Instant,
+    events: Vec<TraceEvent>,
+    dropped: usize,
+}
+
+fn trace_buf() -> &'static Mutex<TraceBuf> {
+    static BUF: OnceLock<Mutex<TraceBuf>> = OnceLock::new();
+    BUF.get_or_init(|| {
+        Mutex::new(TraceBuf {
+            epoch: Instant::now(),
+            events: Vec::new(),
+            dropped: 0,
+        })
+    })
+}
+
+fn lock_buf() -> std::sync::MutexGuard<'static, TraceBuf> {
+    trace_buf()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Clears the buffer and re-anchors the epoch (called on session start).
+pub(crate) fn reset_trace() {
+    let mut buf = lock_buf();
+    buf.epoch = Instant::now();
+    buf.events.clear();
+    buf.dropped = 0;
+}
+
+/// Takes every buffered event plus the dropped count (session finish).
+pub(crate) fn drain_trace() -> (Vec<TraceEvent>, usize) {
+    let mut buf = lock_buf();
+    let dropped = buf.dropped;
+    buf.dropped = 0;
+    (std::mem::take(&mut buf.events), dropped)
+}
+
+fn push_event(mut event: TraceEvent, begin: Option<Instant>) {
+    let mut buf = lock_buf();
+    if buf.events.len() >= MAX_TRACE_EVENTS {
+        buf.dropped += 1;
+        return;
+    }
+    let at = begin.unwrap_or_else(Instant::now);
+    event.ts_us = at
+        .checked_duration_since(buf.epoch)
+        .unwrap_or_default()
+        .as_micros() as u64;
+    buf.events.push(event);
+}
+
+struct LiveSpan {
+    name: Arc<str>,
+    cat: &'static str,
+    stat: Arc<SpanStat>,
+    begin: Instant,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// An open span; the measured interval closes when the guard drops.
+///
+/// When no session is recording this is an inert zero-field wrapper —
+/// creating and dropping it does nothing beyond one relaxed load.
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+impl Span {
+    /// Attaches a numeric argument to the span's trace event. Inert
+    /// when the span is disabled.
+    pub fn arg(&mut self, key: &'static str, value: u64) {
+        if let Some(live) = &mut self.live {
+            live.args.push((key, value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let dur = live.begin.elapsed();
+        live.stat.record(dur.as_nanos() as u64);
+        if registry::capture_events() {
+            push_event(
+                TraceEvent {
+                    name: live.name.as_ref().to_string(),
+                    cat: live.cat,
+                    ph: 'X',
+                    ts_us: 0,
+                    dur_us: dur.as_micros() as u64,
+                    tid: current_tid(),
+                    args: live.args,
+                },
+                Some(live.begin),
+            );
+        }
+    }
+}
+
+/// A pre-resolved span site: one registry lookup at construction, then
+/// [`SpanHandle::start`] is lock-free (aggregate slot already in hand).
+#[derive(Clone)]
+pub struct SpanHandle {
+    name: Arc<str>,
+    cat: &'static str,
+    stat: Arc<SpanStat>,
+}
+
+impl SpanHandle {
+    pub(crate) fn new(cat: &'static str, name: &str) -> SpanHandle {
+        SpanHandle {
+            name: Arc::from(name),
+            cat,
+            stat: registry::global().span_stat(name),
+        }
+    }
+
+    /// Opens a span at this site; inert unless a session is recording.
+    #[inline]
+    pub fn start(&self) -> Span {
+        if !registry::enabled() {
+            return Span { live: None };
+        }
+        Span {
+            live: Some(LiveSpan {
+                name: Arc::clone(&self.name),
+                cat: self.cat,
+                stat: Arc::clone(&self.stat),
+                begin: Instant::now(),
+                args: Vec::new(),
+            }),
+        }
+    }
+}
+
+/// One-shot span for cold call sites (resolves the aggregate slot per
+/// call — use [`crate::span_handle`] inside loops).
+pub fn span(cat: &'static str, name: impl AsRef<str>) -> Span {
+    if !registry::enabled() {
+        return Span { live: None };
+    }
+    let name = name.as_ref();
+    Span {
+        live: Some(LiveSpan {
+            name: Arc::from(name),
+            cat,
+            stat: registry::global().span_stat(name),
+            begin: Instant::now(),
+            args: Vec::new(),
+        }),
+    }
+}
+
+/// Emits an instant marker event (only lands in event-capturing modes).
+pub fn instant(cat: &'static str, name: impl AsRef<str>, args: &[(&'static str, u64)]) {
+    if !registry::capture_events() {
+        return;
+    }
+    push_event(
+        TraceEvent {
+            name: name.as_ref().to_string(),
+            cat,
+            ph: 'i',
+            ts_us: 0,
+            dur_us: 0,
+            tid: current_tid(),
+            args: args.to_vec(),
+        },
+        None,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsMode, ObsSession};
+
+    #[test]
+    fn trace_buffer_caps_and_counts_drops() {
+        let session = ObsSession::start(ObsMode::Json);
+        // Fill past the cap cheaply with instants.
+        for _ in 0..MAX_TRACE_EVENTS + 10 {
+            instant("test", "flood", &[]);
+        }
+        let report = session.finish();
+        assert_eq!(report.events.len(), MAX_TRACE_EVENTS);
+        assert_eq!(report.dropped_events, 10);
+    }
+
+    #[test]
+    fn span_timestamps_are_session_relative_and_ordered() {
+        let session = ObsSession::start(ObsMode::Chrome);
+        let handle = crate::span_handle("test", "ordered");
+        drop(handle.start());
+        drop(handle.start());
+        let report = session.finish();
+        let spans: Vec<&TraceEvent> = report
+            .events
+            .iter()
+            .filter(|e| e.name == "ordered")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].ts_us <= spans[1].ts_us);
+    }
+}

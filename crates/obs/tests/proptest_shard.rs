@@ -1,0 +1,159 @@
+//! Property tests for [`lr_obs::MetricsShard`] merge: the algebra the
+//! thread-count equivalence suites lean on. Counters are saturating
+//! `u64` adds and marks are maxima, so merge must be exactly
+//! associative, commutative, identity-preserving, and — the property
+//! the sweep/explore folds actually use — order-insensitive: folding
+//! any permutation of any partition of the same observations yields a
+//! byte-identical [`lr_obs::MetricsShard::render`].
+
+use lr_obs::MetricsShard;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One recorded observation: a key index, a value, and whether it is a
+/// counter add or a high-water mark.
+#[derive(Debug, Clone, Copy)]
+struct Obs {
+    key: usize,
+    value: u64,
+    is_max: bool,
+}
+
+const KEYS: [&str; 6] = [
+    "engine.steps",
+    "engine.rounds",
+    "sweep.cells",
+    "explore.states",
+    "work.max",
+    "frontier.max",
+];
+
+/// Deterministic observation stream from entropy. Values are drawn
+/// near `u64::MAX` occasionally so saturation is exercised.
+fn observations(seed: u64, len: usize) -> Vec<Obs> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let key = rng.gen_range(0..KEYS.len());
+            let value = if rng.gen_range(0u32..50) == 0 {
+                u64::MAX - rng.gen_range(0u64..4)
+            } else {
+                rng.gen_range(0u64..10_000)
+            };
+            Obs {
+                key,
+                value,
+                is_max: rng.gen_range(0u32..3) == 0,
+            }
+        })
+        .collect()
+}
+
+fn apply(shard: &mut MetricsShard, obs: &[Obs]) {
+    for o in obs {
+        if o.is_max {
+            shard.record_max(KEYS[o.key], o.value);
+        } else {
+            shard.add(KEYS[o.key], o.value);
+        }
+    }
+}
+
+fn shard_of(obs: &[Obs]) -> MetricsShard {
+    let mut s = MetricsShard::new();
+    apply(&mut s, obs);
+    s
+}
+
+/// Deterministic permutation of `0..n` (the vendored proptest has no
+/// `prop_shuffle`).
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0B5E_55AB_1E00);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Splits `obs` into `chunks` contiguous chunks (possibly empty — empty
+/// shards must merge as identities).
+fn chunked(obs: &[Obs], chunks: usize) -> Vec<&[Obs]> {
+    let chunks = chunks.max(1);
+    let per = obs.len().div_ceil(chunks).max(1);
+    let mut out: Vec<&[Obs]> = obs.chunks(per).collect();
+    while out.len() < chunks {
+        out.push(&[]);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Order-insensitivity: folding per-chunk shards in a shuffled
+    /// order reproduces the single-pass shard byte-for-byte.
+    #[test]
+    fn shuffled_fold_is_byte_identical_to_single_pass(
+        seed in any::<u64>(),
+        len in 0usize..400,
+        chunks in 1usize..12,
+        order_seed in any::<u64>(),
+    ) {
+        let obs = observations(seed, len);
+        let single = shard_of(&obs);
+        let parts: Vec<MetricsShard> =
+            chunked(&obs, chunks).iter().map(|c| shard_of(c)).collect();
+        let mut folded = MetricsShard::new();
+        for &i in &permutation(parts.len(), order_seed) {
+            folded.merge(&parts[i]);
+        }
+        prop_assert_eq!(&folded, &single);
+        prop_assert_eq!(folded.render(), single.render());
+    }
+
+    /// Associativity: (a ∪ b) ∪ c = a ∪ (b ∪ c), exactly.
+    #[test]
+    fn merge_is_associative(seed in any::<u64>(), len in 3usize..300) {
+        let obs = observations(seed, len);
+        let third = len / 3;
+        let (a, b, c) = (
+            shard_of(&obs[..third]),
+            shard_of(&obs[third..2 * third]),
+            shard_of(&obs[2 * third..]),
+        );
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.render(), right.render());
+    }
+
+    /// Commutativity and the empty identity, under saturation too.
+    #[test]
+    fn merge_is_commutative_with_identity(
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+        len in 0usize..200,
+    ) {
+        let a = shard_of(&observations(seed_a, len));
+        let b = shard_of(&observations(seed_b, len / 2));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut with_empty = a.clone();
+        with_empty.merge(&MetricsShard::new());
+        prop_assert_eq!(&with_empty, &a);
+        let mut from_empty = MetricsShard::new();
+        from_empty.merge(&a);
+        prop_assert_eq!(&from_empty, &a);
+    }
+}

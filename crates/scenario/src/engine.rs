@@ -855,6 +855,11 @@ pub fn run_scenario(
     trial: usize,
     smoke: bool,
 ) -> Result<RunOutcome, ScenarioError> {
+    // Whole-run span (inert without a recording session); dropped on
+    // every return path, error paths included.
+    let mut run_span = lr_obs::span("scenario", format!("scenario.run {}", spec.name));
+    run_span.arg("seed", seed);
+    run_span.arg("trial", trial as u64);
     let run_seed = derive_run_seed(seed, trial);
     let inst = build_instance(&spec.topology, run_seed)?;
     spec.validate_against(&inst, seed, trial)
@@ -940,7 +945,10 @@ pub fn run_scenario(
     // tora/mutex/election harnesses converge in their constructors, so
     // this phase is instantly quiescent for them and `now()` already
     // carries their convergence time.)
-    let (quiesced, _) = settle_phase(driver.as_mut(), 0, "initial convergence")?;
+    let (quiesced, _) = {
+        let _sp = lr_obs::span("scenario", "scenario.settle start");
+        settle_phase(driver.as_mut(), 0, "initial convergence")?
+    };
     let mut rec = base_record("event", 0, "start", 0);
     rec.convergence_ticks = if quiesced { driver.now() } else { spec.settle };
     rec.quiesced = quiesced;
@@ -963,6 +971,12 @@ pub fn run_scenario(
             ActionKind::Traffic(_) => driver.inject_wave(&sources),
             ActionKind::Churn(i) => {
                 let fired_at = driver.now();
+                // Per-churn-event span: covers the mutation and the
+                // settle phase that measures its convergence.
+                let mut churn_span = lr_obs::span(
+                    "scenario",
+                    format!("scenario.churn {}", spec.churn[i].kind.describe()),
+                );
                 apply_churn(
                     &spec.churn[i].kind,
                     driver.as_mut(),
@@ -971,6 +985,11 @@ pub fn run_scenario(
                 )?;
                 let (quiesced, ticks) =
                     settle_phase(driver.as_mut(), fired_at, &format!("churn[{i}]"))?;
+                churn_span.arg("event", i as u64 + 1);
+                churn_span.arg("at", fired_at);
+                churn_span.arg("convergence_ticks", ticks);
+                churn_span.arg("quiesced", u64::from(quiesced));
+                drop(churn_span);
                 let mut rec = base_record("event", i + 1, &spec.churn[i].kind.describe(), fired_at);
                 rec.convergence_ticks = ticks;
                 rec.quiesced = quiesced;
@@ -981,7 +1000,10 @@ pub fn run_scenario(
     }
 
     let drain_from = driver.now();
-    let (quiesced, _) = settle_phase(driver.as_mut(), drain_from, "final drain")?;
+    let (quiesced, _) = {
+        let _sp = lr_obs::span("scenario", "scenario.settle drain");
+        settle_phase(driver.as_mut(), drain_from, "final drain")?
+    };
     let mut summary = base_record("summary", spec.churn.len(), "summary", driver.now());
     summary.convergence_ticks = driver.now();
     summary.quiesced = quiesced;

@@ -38,6 +38,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use lr_bench::trajectory::{ScenarioRecord, SweepRecord};
+use lr_obs::MetricsShard;
 
 use crate::engine::{run_scenario, RunOutcome, ScenarioError};
 use crate::spec::{MatrixPoint, ScenarioSpec};
@@ -60,6 +61,9 @@ pub struct SweepOutcome {
     /// Per-run outcomes (same order), for callers that want the raw
     /// simulator stats.
     pub runs: Vec<RunOutcome>,
+    /// The folded deterministic metrics shard: per-run shards (derived
+    /// from the record rows) merged in run order.
+    pub metrics: MetricsShard,
 }
 
 /// Runs the whole `seeds × trials` sweep declared by `spec`, serially,
@@ -88,12 +92,19 @@ pub fn run_sweep(
     let smoke = options.smoke;
     let mut records = Vec::new();
     let mut runs = Vec::new();
+    let mut metrics = MetricsShard::new();
     for &(seed, trial) in &spec.sweep_runs(smoke) {
         let outcome = run_scenario(spec, seed, trial, smoke)?;
+        metrics.merge(&cell_metrics(&outcome.records));
         records.extend(outcome.records.iter().cloned());
         runs.push(outcome);
     }
-    Ok(SweepOutcome { records, runs })
+    metrics.publish();
+    Ok(SweepOutcome {
+        records,
+        runs,
+        metrics,
+    })
 }
 
 // ───────────────────────── matrix sweep ─────────────────────────
@@ -128,6 +139,11 @@ pub struct MatrixOutcome {
     /// One streaming-summary row per matrix point plus the final
     /// whole-sweep roll-up row — the `BENCH_pr5.json` payload.
     pub records: Vec<SweepRecord>,
+    /// The folded deterministic metrics shard: per-cell shards merged
+    /// strictly in canonical cell order by the reorder-buffer folder,
+    /// so it is bit-identical at every thread count
+    /// (`tests/equivalence.rs` asserts the rendered bytes).
+    pub metrics: MetricsShard,
 }
 
 /// One unit of sweep work: a `(matrix point, seed, trial)` cell. The
@@ -167,7 +183,10 @@ pub fn run_matrix_sweep(
         })
         .collect();
 
-    let point_stats = run_and_fold(&points, &cells, spec.settle, options.threads.max(1), smoke)?;
+    let (point_stats, mut metrics) =
+        run_and_fold(&points, &cells, spec.settle, options.threads.max(1), smoke)?;
+    metrics.add("sweep.points", points.len() as u64);
+    metrics.publish();
 
     // Row metadata mirrors the smoke shrink of `sweep_runs` (first
     // seed, first trial); counting the runs themselves would misreport
@@ -223,7 +242,36 @@ pub fn run_matrix_sweep(
         cells: cells.len(),
         points,
         records,
+        metrics,
     })
+}
+
+/// The deterministic per-cell metrics shard, derived from the same
+/// record rows the streaming summaries absorb — one tally, two
+/// projections. Event rows contribute convergence observations; the
+/// summary row contributes the run's cumulative traffic totals (its
+/// counters are cumulative across the run, so summing event rows would
+/// double-count).
+fn cell_metrics(records: &[ScenarioRecord]) -> MetricsShard {
+    let mut m = MetricsShard::new();
+    m.add("sweep.cells", 1);
+    for r in records {
+        if r.row == "event" {
+            m.add("sweep.events", 1);
+            m.add("sweep.convergence_ticks", r.convergence_ticks);
+            m.record_max("sweep.max_convergence_ticks", r.convergence_ticks);
+            if !r.quiesced {
+                m.add("sweep.censored_events", 1);
+            }
+        } else {
+            m.add("sweep.messages", r.messages);
+            m.add("sweep.reversals", r.total_reversals);
+            m.add("sweep.injected", r.injected);
+            m.add("sweep.delivered", r.delivered);
+            m.add("sweep.dropped", r.dropped);
+        }
+    }
+    m
 }
 
 /// Reduces one finished cell to its fixed-size streaming summary. The
@@ -246,11 +294,16 @@ struct Folder {
     /// Next cell index to fold.
     next: usize,
     /// Finished-but-out-of-order cells.
-    parked: BTreeMap<usize, Result<PointStats, ScenarioError>>,
+    parked: BTreeMap<usize, Result<(PointStats, MetricsShard), ScenarioError>>,
     /// Cell index → matrix point index.
     cell_points: Vec<usize>,
     /// Per-point accumulators (the fold target).
     points: Vec<PointStats>,
+    /// The whole-sweep metrics accumulator, folded in the same
+    /// canonical order as the stats (shard merge is order-insensitive
+    /// by algebra — the obs proptests — but sharing the discipline
+    /// keeps the determinism argument one argument).
+    metrics: MetricsShard,
     /// The lowest-indexed cell error, if any.
     error: Option<ScenarioError>,
 }
@@ -262,15 +315,19 @@ impl Folder {
             parked: BTreeMap::new(),
             cell_points,
             points: (0..point_count).map(|_| PointStats::new(settle)).collect(),
+            metrics: MetricsShard::new(),
             error: None,
         }
     }
 
-    fn submit(&mut self, index: usize, result: Result<PointStats, ScenarioError>) {
+    fn submit(&mut self, index: usize, result: Result<(PointStats, MetricsShard), ScenarioError>) {
         self.parked.insert(index, result);
         while let Some(result) = self.parked.remove(&self.next) {
             match result {
-                Ok(stats) => self.points[self.cell_points[self.next]].merge(&stats),
+                Ok((stats, shard)) => {
+                    self.points[self.cell_points[self.next]].merge(&stats);
+                    self.metrics.merge(&shard);
+                }
                 Err(e) => {
                     if self.error.is_none() {
                         self.error = Some(e);
@@ -293,10 +350,20 @@ fn run_and_fold(
     settle: u64,
     threads: usize,
     smoke: bool,
-) -> Result<Vec<PointStats>, ScenarioError> {
+) -> Result<(Vec<PointStats>, MetricsShard), ScenarioError> {
     let run_cell = |c: &Cell| {
-        run_scenario(&points[c.point].spec, c.seed, c.trial, smoke)
-            .map(|outcome| reduce_cell(settle, &outcome))
+        // Per-cell span: one RAII guard around the whole simulation
+        // (inert without a recording session).
+        let mut span = lr_obs::span("sweep", "sweep.cell");
+        span.arg("point", c.point as u64);
+        span.arg("seed", c.seed);
+        span.arg("trial", c.trial as u64);
+        run_scenario(&points[c.point].spec, c.seed, c.trial, smoke).map(|outcome| {
+            (
+                reduce_cell(settle, &outcome),
+                cell_metrics(&outcome.records),
+            )
+        })
     };
     let cell_points: Vec<usize> = cells.iter().map(|c| c.point).collect();
     let mut folder = Mutex::new(Folder::new(settle, points.len(), cell_points));
@@ -356,7 +423,7 @@ fn run_and_fold(
     let folder = folder.into_inner().expect("workers joined");
     match folder.error {
         Some(e) => Err(e),
-        None => Ok(folder.points),
+        None => Ok((folder.points, folder.metrics)),
     }
 }
 

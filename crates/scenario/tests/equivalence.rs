@@ -47,7 +47,21 @@ fn assert_serial_parallel_equivalent(json: &str) {
             parallel_json, serial_json,
             "{threads} threads: serialized BENCH_pr5.json rows must be byte-identical"
         );
+        assert_eq!(
+            parallel.metrics.render(),
+            serial.metrics.render(),
+            "{threads} threads: folded metrics shard must render byte-identical to serial"
+        );
     }
+    assert!(
+        !serial.metrics.is_empty(),
+        "sweep must fold a non-empty metrics shard"
+    );
+    assert_eq!(
+        serial.metrics.count("sweep.cells"),
+        serial.cells as u64,
+        "folded shard counts every cell exactly once"
+    );
 }
 
 #[test]
@@ -186,6 +200,11 @@ fn smoke_sweeps_are_thread_count_invariant_too() {
         )
         .unwrap();
         assert_eq!(parallel.records, serial.records, "{threads} threads");
+        assert_eq!(
+            parallel.metrics.render(),
+            serial.metrics.render(),
+            "{threads} threads: smoke metrics shard must render byte-identical"
+        );
     }
 }
 

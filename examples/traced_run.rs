@@ -1,0 +1,56 @@
+//! Observability end-to-end: run a frontier engine under a recording
+//! `lr-obs` session and export the per-round spans as a Chrome trace.
+//!
+//! ```sh
+//! cargo run --release --example traced_run
+//! ```
+//!
+//! The example prints the session's summary table and writes
+//! `results/traced_run_trace.json` — open it in `chrome://tracing` or
+//! <https://ui.perfetto.dev> to see the round spans on a timeline, each
+//! carrying its frontier size as an argument.
+
+use lr_core::alg::FrontierFamily;
+use lr_core::engine::{run_engine_frontier, SchedulePolicy, DEFAULT_MAX_STEPS};
+use lr_graph::stream;
+use lr_obs::{validate_chrome_trace, ObsMode, ObsSession};
+
+fn main() {
+    // A 64×64 grid with every edge pointing away from the destination:
+    // big enough for a few hundred rounds, small enough that the full
+    // event trace stays far below the bounded buffer.
+    let inst = stream::grid_away(64, 64);
+    println!(
+        "instance: grid_away 64x64 — {} nodes, {} half-edges",
+        inst.node_count(),
+        inst.half_edge_count()
+    );
+
+    // Chrome mode records span aggregates AND the full event timeline.
+    let session = ObsSession::start(ObsMode::Chrome);
+    let mut engine = FrontierFamily::PartialReversal.engine(inst);
+    let stats = run_engine_frontier(
+        engine.as_mut(),
+        SchedulePolicy::GreedyRounds,
+        DEFAULT_MAX_STEPS,
+    );
+    let report = session.finish();
+
+    assert!(stats.terminated, "grid run must terminate");
+    println!(
+        "run: {} steps, {} reversals, {} rounds\n",
+        stats.steps, stats.total_reversals, stats.rounds
+    );
+
+    // Sink 1: the human summary table.
+    print!("{}", report.render_summary());
+
+    // Sink 2: the Chrome trace document, validated before writing —
+    // the same check `lr obs validate` applies.
+    let trace = report.render_chrome_trace();
+    let events = validate_chrome_trace(&trace).expect("emitted trace must be valid");
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = "results/traced_run_trace.json";
+    std::fs::write(path, &trace).expect("trace written");
+    println!("\n{events} trace event(s) written to {path} (load in chrome://tracing)");
+}

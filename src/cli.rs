@@ -27,6 +27,7 @@ use lr_core::invariants::{
 };
 use lr_core::trace::Trace;
 use lr_graph::{dot, generate, parse, CsrInstance, DirectedView, ReversalInstance};
+use lr_obs::{ObsMode, ObsSession};
 
 /// A CLI-level error: message for the user, non-zero exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +83,18 @@ USAGE:
                                       --checks a,b,..: subset by key;
                                       --no-append); rows append to
                                       BENCH_pr6.json
+    lr obs validate <trace>...        check files are valid Chrome trace_events
+                                      JSON (the CI gate over exported traces)
+
+OBSERVABILITY (run | scenario | modelcheck):
+    --obs <off|summary|json|chrome>   record the command with lr-obs (default
+                                      off — a single relaxed atomic load on the
+                                      hot path): summary appends a span/counter
+                                      table, json emits newline-delimited event
+                                      records, chrome exports a trace_events
+                                      document for chrome://tracing
+    --obs-out <path>                  write the json/chrome (and summary) sink
+                                      to a file instead of stdout
 ";
 
 fn parse_alg(s: &str) -> Result<AlgorithmKind, CliError> {
@@ -126,13 +139,172 @@ pub fn run_cli(args: &[&str], stdin: &str) -> Result<String, CliError> {
     match args {
         [] | ["help"] | ["--help"] | ["-h"] => Ok(USAGE.to_string()),
         ["generate", rest @ ..] => cmd_generate(rest),
-        ["run", rest @ ..] => cmd_run(rest, stdin),
+        ["run" | "scenario" | "modelcheck", ..] => {
+            // The obs-aware commands: `--obs`/`--obs-out` are stripped
+            // here, before the per-command parsers see the arguments.
+            let (mode, obs_out, inner) = parse_obs_flags(args)?;
+            run_with_obs(&inner, stdin, mode, obs_out.as_deref())
+        }
         ["trace", rest @ ..] => cmd_trace(rest, stdin),
         ["check"] => cmd_check(stdin),
         ["dot"] => cmd_dot(stdin),
-        ["scenario", rest @ ..] => cmd_scenario(rest),
-        ["modelcheck", rest @ ..] => cmd_modelcheck(rest),
+        ["obs", rest @ ..] => cmd_obs(rest),
         [other, ..] => Err(err(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+/// Strips `--obs <mode>` / `--obs=<mode>` and `--obs-out <path>` /
+/// `--obs-out=<path>` from `args`, returning the mode, the sink path,
+/// and the remaining arguments in order.
+fn parse_obs_flags<'a>(
+    args: &[&'a str],
+) -> Result<(ObsMode, Option<String>, Vec<&'a str>), CliError> {
+    let parse_mode = |v: &str| {
+        ObsMode::parse(v).ok_or_else(|| {
+            err(format!(
+                "unknown --obs mode {v:?}; expected off, summary, json, or chrome"
+            ))
+        })
+    };
+    let mut mode = ObsMode::Off;
+    let mut obs_out: Option<String> = None;
+    let mut inner: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(&a) = it.next() {
+        match a {
+            "--obs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--obs needs a value (off, summary, json, or chrome)"))?;
+                mode = parse_mode(v)?;
+            }
+            "--obs-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| err("--obs-out needs a file path"))?;
+                obs_out = Some((*v).to_string());
+            }
+            _ => {
+                if let Some(v) = a.strip_prefix("--obs=") {
+                    mode = parse_mode(v)?;
+                } else if let Some(v) = a.strip_prefix("--obs-out=") {
+                    obs_out = Some(v.to_string());
+                } else {
+                    inner.push(a);
+                }
+            }
+        }
+    }
+    Ok((mode, obs_out, inner))
+}
+
+/// Runs an obs-aware command, recording it under `mode` and rendering
+/// the session's report through the selected sink: `summary` appends a
+/// human table to the command's output (and to `--obs-out` when given),
+/// `json`/`chrome` write to `--obs-out` (or append to the output when
+/// no path is given). Chrome documents are validated before they are
+/// written — `lr obs validate` can never fail on a file this produced.
+fn run_with_obs(
+    args: &[&str],
+    stdin: &str,
+    mode: ObsMode,
+    obs_out: Option<&str>,
+) -> Result<String, CliError> {
+    fn dispatch(args: &[&str], stdin: &str) -> Result<String, CliError> {
+        match args {
+            ["run", rest @ ..] => cmd_run(rest, stdin),
+            ["scenario", rest @ ..] => cmd_scenario(rest),
+            ["modelcheck", rest @ ..] => cmd_modelcheck(rest),
+            _ => Err(err(format!("unknown command\n\n{USAGE}"))),
+        }
+    }
+    if mode == ObsMode::Off {
+        if obs_out.is_some() {
+            return Err(err("--obs-out needs --obs summary, json, or chrome"));
+        }
+        return dispatch(args, stdin);
+    }
+    let session = ObsSession::start(mode);
+    let result = dispatch(args, stdin);
+    // Finish unconditionally so a failed command still lowers the
+    // recording level before the error propagates.
+    let report = session.finish();
+    let mut out = result?;
+    let write_sink = |path: &str, text: &str| -> Result<(), CliError> {
+        std::fs::write(path, text).map_err(|e| err(format!("cannot write {path}: {e}")))
+    };
+    match mode {
+        ObsMode::Summary => {
+            let text = report.render_summary();
+            if let Some(path) = obs_out {
+                write_sink(path, &text)?;
+            }
+            out.push('\n');
+            out.push_str(&text);
+        }
+        ObsMode::Json => {
+            let text = report.render_json_lines();
+            match obs_out {
+                Some(path) => {
+                    write_sink(path, &text)?;
+                    let _ = writeln!(
+                        out,
+                        "\nobs: {} metric(s), {} event(s) written to {path}",
+                        report.metric_count(),
+                        report.events.len()
+                    );
+                }
+                None => {
+                    out.push('\n');
+                    out.push_str(&text);
+                }
+            }
+        }
+        ObsMode::Chrome => {
+            let text = report.render_chrome_trace();
+            let events = lr_obs::validate_chrome_trace(&text)
+                .map_err(|e| err(format!("internal error: emitted chrome trace invalid: {e}")))?;
+            match obs_out {
+                Some(path) => {
+                    write_sink(path, &text)?;
+                    let _ = writeln!(
+                        out,
+                        "\nobs: chrome trace with {events} event(s) written to {path} \
+                         (load in chrome://tracing or ui.perfetto.dev)"
+                    );
+                }
+                None => {
+                    out.push('\n');
+                    out.push_str(&text);
+                }
+            }
+        }
+        ObsMode::Off => unreachable!("handled above"),
+    }
+    Ok(out)
+}
+
+/// `lr obs validate <trace.json>`: the CI gate over exported Chrome
+/// traces.
+fn cmd_obs(args: &[&str]) -> Result<String, CliError> {
+    match args {
+        ["validate", paths @ ..] if !paths.is_empty() => {
+            let mut out = String::new();
+            for path in paths {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+                let events = lr_obs::validate_chrome_trace(&text)
+                    .map_err(|e| err(format!("{path}: invalid Chrome trace: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "{path}: OK — valid Chrome trace_events JSON with {events} event(s)"
+                );
+            }
+            Ok(out)
+        }
+        _ => Err(err(format!(
+            "obs needs `validate <trace.json>...`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -1066,6 +1238,92 @@ mod tests {
         assert_eq!(resolve_mc_threads(None, Some("8")), 8);
         assert_eq!(resolve_mc_threads(None, Some("garbage")), 1);
         assert_eq!(resolve_mc_threads(None, None), 1);
+    }
+
+    #[test]
+    fn obs_flags_are_parsed_and_stripped() {
+        let (mode, out, inner) =
+            parse_obs_flags(&["run", "PR", "--obs", "summary", "--obs-out", "t.json"]).unwrap();
+        assert_eq!(mode, ObsMode::Summary);
+        assert_eq!(out.as_deref(), Some("t.json"));
+        assert_eq!(inner, ["run", "PR"]);
+        let (mode, out, inner) =
+            parse_obs_flags(&["run", "PR", "--obs=chrome", "--obs-out=x"]).unwrap();
+        assert_eq!(mode, ObsMode::Chrome);
+        assert_eq!(out.as_deref(), Some("x"));
+        assert_eq!(inner, ["run", "PR"]);
+        let (mode, out, inner) = parse_obs_flags(&["run", "PR", "first"]).unwrap();
+        assert_eq!(mode, ObsMode::Off);
+        assert_eq!(out, None);
+        assert_eq!(inner, ["run", "PR", "first"]);
+        assert!(parse_obs_flags(&["run", "--obs", "warp"]).is_err());
+        assert!(parse_obs_flags(&["run", "--obs"]).is_err());
+        assert!(parse_obs_flags(&["run", "--obs-out"]).is_err());
+    }
+
+    #[test]
+    fn run_with_obs_summary_appends_a_report() {
+        let inst = run_cli(&["generate", "chain-away", "6"], "").unwrap();
+        let out = run_cli(&["run", "PR", "--obs", "summary"], &inst).unwrap();
+        assert!(out.contains("total reversals:  5"), "{out}");
+        assert!(out.contains("observability summary"), "{out}");
+        assert!(out.contains("engine.round"), "{out}");
+        assert!(out.contains("engine.steps"), "{out}");
+        // The run's stats are unchanged by recording.
+        let quiet = run_cli(&["run", "PR"], &inst).unwrap();
+        assert!(out.starts_with(&quiet), "obs output must only append");
+    }
+
+    #[test]
+    fn run_with_obs_chrome_writes_a_valid_trace() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lr_cli_trace_{}.json", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        let inst = run_cli(&["generate", "chain-away", "8"], "").unwrap();
+        let out = run_cli(
+            &["run", "PR", "--obs", "chrome", "--obs-out", path_s],
+            &inst,
+        )
+        .unwrap();
+        assert!(out.contains("chrome trace"), "{out}");
+        let validated = run_cli(&["obs", "validate", path_s], "").unwrap();
+        assert!(validated.contains("OK"), "{validated}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("traceEvents"), "{text}");
+        assert!(text.contains("engine.round"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn obs_validate_rejects_garbage_and_bad_usage() {
+        let e = run_cli(&["obs"], "").unwrap_err();
+        assert!(e.0.contains("validate"), "{e}");
+        let e = run_cli(&["obs", "validate"], "").unwrap_err();
+        assert!(e.0.contains("validate"), "{e}");
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("lr_cli_bad_trace_{}.json", std::process::id()));
+        std::fs::write(&bad, "{\"traceEvents\": [{\"name\": 3}]}").unwrap();
+        let e = run_cli(&["obs", "validate", bad.to_str().unwrap()], "").unwrap_err();
+        assert!(e.0.contains("invalid Chrome trace"), "{e}");
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn obs_out_without_a_recording_mode_is_rejected() {
+        let inst = run_cli(&["generate", "chain-away", "4"], "").unwrap();
+        let e = run_cli(&["run", "PR", "--obs-out", "t.json"], &inst).unwrap_err();
+        assert!(e.0.contains("--obs-out needs --obs"), "{e}");
+    }
+
+    #[test]
+    fn modelcheck_with_obs_summary_reports_check_spans() {
+        let out = run_cli(&["modelcheck", "3", "--no-append", "--obs", "summary"], "").unwrap();
+        assert!(
+            out.contains("all checks passed") || out.contains("n = 3"),
+            "{out}"
+        );
+        assert!(out.contains("modelcheck.check"), "{out}");
+        assert!(out.contains("modelcheck.states"), "{out}");
     }
 
     #[test]

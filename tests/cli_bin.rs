@@ -47,6 +47,19 @@ fn help_flags_match_help_command() {
         assert!(stderr.is_empty(), "`lr {flag}` must not write to stderr");
         assert_eq!(stdout, reference, "`lr {flag}` and `lr help` must agree");
     }
+    // The help text must document every `lr run` execution flag and the
+    // observability plumbing — a flag the help doesn't mention is a flag
+    // users can't find.
+    for needle in [
+        "--engine map|frontier",
+        "default frontier",
+        "--threads N",
+        "--obs <off|summary|json|chrome>",
+        "--obs-out <path>",
+        "lr obs validate",
+    ] {
+        assert!(reference.contains(needle), "help is missing {needle:?}");
+    }
 }
 
 /// The README's smoke-test pipeline: generate a worst-case chain, run
@@ -127,6 +140,40 @@ fn run_threads_flag_is_bit_identical_through_the_binary() {
         run_with_stdin(&["run", "GB-triple", "first", "--threads", "2"], &instance);
     assert!(!ok);
     assert!(stderr.contains("greedy"), "{stderr}");
+}
+
+/// `--obs` end-to-end: a traced run exports a Chrome trace through a
+/// real process, `lr obs validate` accepts it, and the run's own stats
+/// are unchanged by recording. This is the same pipeline the CI obs
+/// smoke step drives.
+#[test]
+fn obs_chrome_trace_round_trips_through_the_binary() {
+    let trace_path = std::env::temp_dir().join(format!("lr_bin_trace_{}.json", std::process::id()));
+    let trace_s = trace_path.to_str().unwrap();
+    let (instance, _, ok) = run_with_stdin(&["generate", "grid", "6"], "");
+    assert!(ok);
+    let (quiet, _, ok) = run_with_stdin(&["run", "PR"], &instance);
+    assert!(ok);
+    let (traced, stderr, ok) = run_with_stdin(
+        &["run", "PR", "--obs", "chrome", "--obs-out", trace_s],
+        &instance,
+    );
+    assert!(ok, "traced run failed: {stderr}");
+    assert!(traced.starts_with(&quiet), "recording must only append");
+    assert!(traced.contains("chrome trace"), "{traced}");
+    let (validated, stderr, ok) = run_with_stdin(&["obs", "validate", trace_s], "");
+    assert!(ok, "validate failed: {stderr}");
+    assert!(validated.contains(": OK"), "{validated}");
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(text.contains("traceEvents"), "{text}");
+    assert!(text.contains("engine.round"), "{text}");
+    let _ = std::fs::remove_file(&trace_path);
+
+    // Summary mode appends the table to stdout instead.
+    let (summary, stderr, ok) = run_with_stdin(&["run", "PR", "--obs", "summary"], &instance);
+    assert!(ok, "summary run failed: {stderr}");
+    assert!(summary.contains("observability summary"), "{summary}");
+    assert!(summary.contains("engine.steps"), "{summary}");
 }
 
 #[test]
