@@ -23,17 +23,21 @@
 //! `--verify` parses every trajectory with the vendored `serde_json`
 //! and exits non-zero if any is malformed — the CI gate that keeps the
 //! persisted trajectories readable. It additionally bounds the PR 9
-//! obs-off rows against their `BENCH_pr8.json` frontier baselines:
-//! disabled instrumentation may cost the hot loop at most 3%.
+//! obs-off rows against their `BENCH_pr8.json` frontier baselines
+//! (disabled instrumentation may cost the hot loop at most 3%) and
+//! sanity-gates the PR 10 `BENCH_pr10.json` serve rows (admission
+//! accounting and quantile ordering; the rows themselves come from
+//! `lr serve` — `lr-scenario` depends on `lr-bench`, so the serve loop
+//! cannot run from this binary without a package cycle).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use lr_bench::trajectory::{
     append_records, append_records_to, load_records, load_records_from, trajectory_path_named,
-    BenchRecord, FrontierRecord, ModelCheckRecord, ObsOverheadRecord, ScenarioRecord, SweepRecord,
-    FRONTIER_FAMILY_TRAJECTORY, FRONTIER_TRAJECTORY, MODEL_CHECK_TRAJECTORY, OBS_TRAJECTORY,
-    SCENARIO_TRAJECTORY, SWEEP_TRAJECTORY,
+    BenchRecord, FrontierRecord, ModelCheckRecord, ObsOverheadRecord, ScenarioRecord, ServeRecord,
+    SweepRecord, FRONTIER_FAMILY_TRAJECTORY, FRONTIER_TRAJECTORY, MODEL_CHECK_TRAJECTORY,
+    OBS_TRAJECTORY, SCENARIO_TRAJECTORY, SERVE_TRAJECTORY, SWEEP_TRAJECTORY,
 };
 use lr_core::alg::{
     FrontierFamily, FrontierPrEngine, PrEngine, ReversalEngine, TripleHeightsEngine,
@@ -216,6 +220,22 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("{OBS_TRAJECTORY} FAILED to parse: {e}");
+                ok = false;
+            }
+        }
+        let serve_path = trajectory_path_named(SERVE_TRAJECTORY);
+        match load_records_from::<ServeRecord>(&serve_path) {
+            Ok(records) => {
+                println!(
+                    "{SERVE_TRAJECTORY} OK: {} record(s) parse with the vendored serde_json",
+                    records.len()
+                );
+                if !verify_serve_rows(&records) {
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("{SERVE_TRAJECTORY} FAILED to parse: {e}");
                 ok = false;
             }
         }
@@ -789,6 +809,54 @@ fn verify_obs_overhead(obs: &[ObsOverheadRecord], pr8: &[FrontierRecord]) -> boo
         println!(
             "{OBS_TRAJECTORY} gate OK: {gated} obs-off key(s) within {MAX_OFF_OVERHEAD_PCT}% \
              of their {FRONTIER_FAMILY_TRAJECTORY} baselines"
+        );
+    }
+    ok
+}
+
+/// The PR 10 serve gate: every `BENCH_pr10.json` row — produced by
+/// `lr serve` rather than this binary, since `lr-scenario` depends on
+/// `lr-bench` for the row types and the serve loop therefore cannot be
+/// called from here without a package cycle — has to satisfy the serve
+/// loop's own accounting: every admitted request was answered or found
+/// unroutable, admissions plus drops never exceed the offered load,
+/// quantiles are ordered (p50 ≤ p99), and the thread count is ≥ 1.
+/// A violated row means the serve loop or its rendering drifted from
+/// the counters it reports.
+fn verify_serve_rows(rows: &[ServeRecord]) -> bool {
+    let mut ok = true;
+    for (i, r) in rows.iter().enumerate() {
+        let mut fail = |what: &str| {
+            eprintln!(
+                "{SERVE_TRAJECTORY} GATE FAILED: row {i} ({} rate={} seed={}): {what}",
+                r.scenario, r.rate, r.seed
+            );
+            ok = false;
+        };
+        if r.answered + r.unroutable != r.admitted {
+            fail("answered + unroutable != admitted");
+        }
+        if r.admitted + r.dropped > r.offered {
+            fail("admitted + dropped exceed the offered load");
+        }
+        if r.latency_p50 > r.latency_p99 {
+            fail("latency p50 above p99");
+        }
+        if r.hops_p50 > r.hops_p99 {
+            fail("hops p50 above p99");
+        }
+        if r.threads == 0 {
+            fail("thread count of 0");
+        }
+        if r.requests_per_sec < 0.0 || !r.requests_per_sec.is_finite() {
+            fail("non-finite or negative requests/s");
+        }
+    }
+    if ok && !rows.is_empty() {
+        println!(
+            "{SERVE_TRAJECTORY} gate OK: {} serve row(s) satisfy the admission accounting \
+             and quantile ordering",
+            rows.len()
         );
     }
     ok

@@ -30,7 +30,11 @@
 //!   rows from the observability overhead series (PR 9): the same
 //!   frontier run measured with `lr-obs` off vs recording, so the
 //!   "disabled tracing is free" claim is a gated trajectory, not a
-//!   comment.
+//!   comment;
+//! * `BENCH_pr10.json` ([`SERVE_TRAJECTORY`]) — [`ServeRecord`] rows
+//!   from the resident serve loop (PR 10): one row per `lr serve` run
+//!   with the sustained request rate and the steady-state
+//!   latency/hops/stretch percentiles under open-loop load.
 //!
 //! The file name is caller-chosen ([`trajectory_path_named`],
 //! [`append_records_to`], [`load_records_from`]); the original
@@ -392,8 +396,98 @@ pub struct ObsOverheadRecord {
     pub smoke: bool,
 }
 
+/// One resident-serve measurement (PR 10): a whole `lr serve` run —
+/// an open-loop request workload admitted in per-tick batches against
+/// a live protocol instance — rolled up into sustained-throughput and
+/// steady-state percentile figures. Appended to [`SERVE_TRAJECTORY`].
+///
+/// Everything except `threads`, `cpus`, `elapsed_ns`, and
+/// `requests_per_sec` is a deterministic function of
+/// `(spec, seed, workload flags)`: the serve loop folds request
+/// statistics in admission order no matter how many worker threads
+/// answer probes, so rows for the same workload are bit-comparable
+/// across thread counts (the wall-clock fields describe *how fast*,
+/// never *what*).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRecord {
+    /// Which harness produced the record (`lr serve`).
+    pub bench: String,
+    /// Scenario name from the spec.
+    pub scenario: String,
+    /// Protocol served ("routing", "reversal", "tora", "mutex",
+    /// "election").
+    pub protocol: String,
+    /// Topology family of the instance.
+    pub family: String,
+    /// Node count of the instance.
+    pub n: usize,
+    /// Undirected edge count of the instance.
+    pub edges: usize,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// Open-loop generator rate, requests per simulation tick.
+    pub rate: u64,
+    /// Served ticks (after the spec's settle window).
+    pub duration_ticks: u64,
+    /// Admission batch cap per tick.
+    pub batch: usize,
+    /// Bounded request-queue capacity.
+    pub queue: usize,
+    /// Worker threads that answered probes (how fast, not what).
+    pub threads: usize,
+    /// CPUs available to the process when the record was taken.
+    pub cpus: usize,
+    /// Requests offered (generator + feed).
+    pub offered: u64,
+    /// Requests admitted past the bounded queue.
+    pub admitted: u64,
+    /// Admitted requests answered from the live orientation.
+    pub answered: u64,
+    /// Admitted requests with no current route (NULL height, no lower
+    /// neighbor, walk exceeded its bound mid-convergence).
+    pub unroutable: u64,
+    /// Requests dropped by queue overflow (counted, never a panic).
+    pub dropped: u64,
+    /// Link fail/heal (and node crash/restore) events applied from the
+    /// workload feed.
+    pub link_events: u64,
+    /// Median per-request latency in virtual ticks (queue wait + path
+    /// delay), sketch estimate.
+    pub latency_p50: f64,
+    /// 90th-percentile latency (sketch estimate).
+    pub latency_p90: f64,
+    /// 99th-percentile latency (sketch estimate).
+    pub latency_p99: f64,
+    /// Mean latency (exact, from the moments accumulator).
+    pub latency_mean: f64,
+    /// Largest observed latency (exact).
+    pub latency_max: f64,
+    /// Median route length in hops (sketch estimate).
+    pub hops_p50: f64,
+    /// 99th-percentile route length (sketch estimate).
+    pub hops_p99: f64,
+    /// Mean route length (exact).
+    pub hops_mean: f64,
+    /// Median route stretch vs the live BFS distance (sketch
+    /// estimate; 0 when the protocol has no fixed destination sink).
+    pub stretch_p50: f64,
+    /// 99th-percentile route stretch (sketch estimate, same caveat).
+    pub stretch_p99: f64,
+    /// Wall-clock time of the serve loop, nanoseconds (how fast, not
+    /// what).
+    pub elapsed_ns: u64,
+    /// `answered / elapsed` in requests per wall-clock second — the
+    /// sustained-throughput headline (how fast, not what).
+    pub requests_per_sec: f64,
+    /// Whether the run was taken in smoke mode.
+    pub smoke: bool,
+}
+
 /// File name of the scenario trajectory at the repository root.
 pub const SCENARIO_TRAJECTORY: &str = "BENCH_pr4.json";
+
+/// File name of the resident-serve trajectory at the repository root.
+pub const SERVE_TRAJECTORY: &str = "BENCH_pr10.json";
 
 /// File name of the observability-overhead trajectory at the repository
 /// root.
@@ -692,6 +786,50 @@ mod tests {
         assert_eq!(back, rows);
         let p = trajectory_path_named(OBS_TRAJECTORY);
         assert!(p.ends_with("BENCH_pr9.json"));
+        assert_eq!(p.parent(), trajectory_path().parent());
+    }
+
+    #[test]
+    fn serve_records_round_trip_through_vendored_serde_json() {
+        let rows = vec![ServeRecord {
+            bench: "lr serve".into(),
+            scenario: "serve-100k".into(),
+            protocol: "routing".into(),
+            family: "grid".into(),
+            n: 99_856,
+            edges: 199_080,
+            seed: 7,
+            rate: 50,
+            duration_ticks: 40,
+            batch: 256,
+            queue: 1024,
+            threads: 2,
+            cpus: BenchRecord::available_cpus(),
+            offered: 2_000,
+            admitted: 2_000,
+            answered: 1_996,
+            unroutable: 4,
+            dropped: 0,
+            link_events: 2,
+            latency_p50: 311.5,
+            latency_p90: 420.25,
+            latency_p99: 466.0,
+            latency_mean: 317.8,
+            latency_max: 471.0,
+            hops_p50: 310.0,
+            hops_p99: 464.0,
+            hops_mean: 315.9,
+            stretch_p50: 1.01,
+            stretch_p99: 1.12,
+            elapsed_ns: 1_250_000_000,
+            requests_per_sec: 1_596.8,
+            smoke: false,
+        }];
+        let json = serde_json::to_string_pretty(&rows).unwrap();
+        let back: Vec<ServeRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rows);
+        let p = trajectory_path_named(SERVE_TRAJECTORY);
+        assert!(p.ends_with("BENCH_pr10.json"));
         assert_eq!(p.parent(), trajectory_path().parent());
     }
 

@@ -196,13 +196,32 @@ impl<P: Protocol> EventSim<P> {
         self.now
     }
 
-    /// Advances the virtual clock to `t` (no-op when `t` is not in the
-    /// future). Lets an external driver — e.g. the scenario engine —
-    /// fire scheduled actions at their nominal times even when the
-    /// network is quiescent and no event would otherwise move the
-    /// clock.
+    /// Advances the virtual clock to `t`. Lets an external driver —
+    /// the scenario engine, the serve loop — fire scheduled actions at
+    /// their nominal times even when the network is quiescent and no
+    /// event would otherwise move the clock.
+    ///
+    /// A `t` at or before the current clock is a **documented no-op**:
+    /// the clock never rewinds and no event is re-delivered. Drivers
+    /// that batch (the serve loop calls this once per tick) can
+    /// therefore call it unconditionally.
+    ///
+    /// When `t` lies beyond the next pending live event, the clock
+    /// advances only *to that event's time*, never past it —
+    /// [`EventSim::step`] stamps the clock with the event it delivers,
+    /// so overshooting here would make the very next `step` a clock
+    /// rewind. Callers that want the clock pinned at `t` drain first
+    /// with [`EventSim::run_until_capped`]`(t, …)`, as the scenario
+    /// engine and serve loop both do.
     pub fn advance_to(&mut self, t: u64) {
-        self.now = self.now.max(t);
+        if t <= self.now {
+            return;
+        }
+        let target = match self.next_live_event_time() {
+            Some(next) => t.min(next),
+            None => t,
+        };
+        self.now = self.now.max(target);
     }
 
     /// Statistics so far.
@@ -734,6 +753,62 @@ mod tests {
             "stale entries are not in-flight work"
         );
         assert_eq!(sim.node(n(2)).received, 1);
+    }
+
+    /// `advance_to` with `t` at or before the clock is a documented
+    /// no-op: no rewind, no re-delivery, quiescence undisturbed.
+    #[test]
+    fn advance_to_at_or_before_the_clock_is_a_no_op() {
+        let mut sim = flood_sim(3, LinkConfig::default(), 0);
+        sim.start();
+        assert!(sim.run_to_quiescence(1_000));
+        let now = sim.now();
+        let stats = sim.stats();
+        sim.advance_to(now); // equal
+        assert_eq!(sim.now(), now, "equal t must not move the clock");
+        sim.advance_to(now - 1); // earlier
+        sim.advance_to(0);
+        assert_eq!(sim.now(), now, "earlier t must not rewind the clock");
+        assert_eq!(sim.stats(), stats, "no event may be re-delivered");
+        assert!(sim.run_to_quiescence(0), "still quiescent");
+        // A genuinely future t still advances a quiescent clock.
+        sim.advance_to(now + 25);
+        assert_eq!(sim.now(), now + 25);
+    }
+
+    /// Regression (pre-fix failure): `advance_to` past a pending live
+    /// event used to set the clock beyond it, so the next `step()` —
+    /// which stamps the clock with the delivered event's time — moved
+    /// time *backwards*. The clamp caps the advance at the next live
+    /// event instead.
+    #[test]
+    fn advance_to_never_overshoots_pending_events_into_a_rewind() {
+        let mut sim = flood_sim(
+            2,
+            LinkConfig {
+                delay: 100,
+                jitter: 0,
+                loss: 0.0,
+            },
+            0,
+        );
+        sim.start(); // node 0's token to node 1 is in flight, due t = 100
+        sim.advance_to(500);
+        assert!(
+            sim.now() <= 100,
+            "advance_to must not pass the pending t = 100 delivery (now = {})",
+            sim.now()
+        );
+        let before = sim.now();
+        assert!(sim.step(), "the delivery is still pending");
+        assert!(
+            sim.now() >= before,
+            "step rewound the clock: {} -> {}",
+            before,
+            sim.now()
+        );
+        assert_eq!(sim.now(), 100, "the token arrives at its due time");
+        assert_eq!(sim.node(n(1)).received, 1, "delivered exactly once");
     }
 
     #[test]

@@ -175,15 +175,26 @@ fn kv_value(kind: &str, name: &str, v: u64) -> Value {
     Value::Object(m)
 }
 
+/// Rounds nanoseconds to microseconds, half-up — the single place the
+/// obs pipeline leaves its canonical nanosecond unit. Chrome
+/// `trace_events` timestamps are microseconds; truncation here is what
+/// used to flatten sub-µs spans to `dur: 0`.
+fn ns_to_us_half_up(ns: u64) -> u64 {
+    (ns + 500) / 1000
+}
+
 /// One trace event in Chrome `trace_events` shape.
 fn event_value(e: &TraceEvent) -> Value {
     let mut m = Map::new();
     m.insert("name".to_string(), Value::from(e.name.clone()));
     m.insert("cat".to_string(), Value::from(e.cat));
     m.insert("ph".to_string(), Value::from(e.ph.to_string()));
-    m.insert("ts".to_string(), Value::from(e.ts_us));
+    m.insert("ts".to_string(), Value::from(ns_to_us_half_up(e.ts_ns)));
     if e.ph == 'X' {
-        m.insert("dur".to_string(), Value::from(e.dur_us));
+        // A timed span never renders as `dur: 0` — a sub-µs span is
+        // short, not absent, and Chrome drops zero-width slices.
+        let dur = ns_to_us_half_up(e.dur_ns).max(u64::from(e.dur_ns > 0));
+        m.insert("dur".to_string(), Value::from(dur));
     }
     if e.ph == 'i' {
         // Instant scope: thread.
@@ -305,6 +316,33 @@ mod tests {
         assert!(kinds.contains("meta"));
         assert!(kinds.contains("counter"));
         assert!(kinds.contains("span"));
+    }
+
+    /// The sink is the only ns → µs boundary: half-up rounding, and a
+    /// timed span never renders as `dur: 0`.
+    #[test]
+    fn sink_converts_nanoseconds_half_up_and_keeps_short_spans_visible() {
+        let event = |ts_ns: u64, dur_ns: u64| TraceEvent {
+            name: "e".to_string(),
+            cat: "test",
+            ph: 'X',
+            ts_ns,
+            dur_ns,
+            tid: 1,
+            args: Vec::new(),
+        };
+        let field = |e: &TraceEvent, key: &str| -> u64 {
+            event_value(e).get(key).and_then(Value::as_u64).unwrap()
+        };
+        assert_eq!(field(&event(1_499, 0), "ts"), 1, "1 499 ns rounds down");
+        assert_eq!(field(&event(1_500, 0), "ts"), 2, "1 500 ns rounds up");
+        assert_eq!(field(&event(0, 2_700), "dur"), 3);
+        assert_eq!(
+            field(&event(0, 120), "dur"),
+            1,
+            "sub-µs span must not vanish"
+        );
+        assert_eq!(field(&event(0, 0), "dur"), 0, "instant-length span stays 0");
     }
 
     #[test]

@@ -34,6 +34,12 @@ fn current_tid() -> u64 {
 ///
 /// `ph` follows the Chrome `trace_events` phase alphabet: `'X'` for a
 /// complete (duration) event, `'i'` for an instant marker.
+///
+/// Time is **nanoseconds everywhere** inside lr-obs — the same unit the
+/// per-name [`crate::SpanStatSnapshot`] aggregates use — so an event's
+/// `dur_ns` and its span's recorded duration are literally the same
+/// number. Chrome's microsecond `ts`/`dur` fields are produced by the
+/// sink at render time, nowhere else.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Event name (span name or marker name).
@@ -42,10 +48,10 @@ pub struct TraceEvent {
     pub cat: &'static str,
     /// Chrome phase: `'X'` (complete) or `'i'` (instant).
     pub ph: char,
-    /// Microseconds since the session opened.
-    pub ts_us: u64,
-    /// Duration in microseconds (0 for instants).
-    pub dur_us: u64,
+    /// Nanoseconds since the session opened.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
     /// Dense per-thread id.
     pub tid: u64,
     /// Numeric key/value payload.
@@ -98,10 +104,10 @@ fn push_event(mut event: TraceEvent, begin: Option<Instant>) {
         return;
     }
     let at = begin.unwrap_or_else(Instant::now);
-    event.ts_us = at
+    event.ts_ns = at
         .checked_duration_since(buf.epoch)
         .unwrap_or_default()
-        .as_micros() as u64;
+        .as_nanos() as u64;
     buf.events.push(event);
 }
 
@@ -137,15 +143,16 @@ impl Drop for Span {
             return;
         };
         let dur = live.begin.elapsed();
-        live.stat.record(dur.as_nanos() as u64);
+        let dur_ns = dur.as_nanos() as u64;
+        live.stat.record(dur_ns);
         if registry::capture_events() {
             push_event(
                 TraceEvent {
                     name: live.name.as_ref().to_string(),
                     cat: live.cat,
                     ph: 'X',
-                    ts_us: 0,
-                    dur_us: dur.as_micros() as u64,
+                    ts_ns: 0,
+                    dur_ns,
                     tid: current_tid(),
                     args: live.args,
                 },
@@ -219,8 +226,8 @@ pub fn instant(cat: &'static str, name: impl AsRef<str>, args: &[(&'static str, 
             name: name.as_ref().to_string(),
             cat,
             ph: 'i',
-            ts_us: 0,
-            dur_us: 0,
+            ts_ns: 0,
+            dur_ns: 0,
             tid: current_tid(),
             args: args.to_vec(),
         },
@@ -258,6 +265,43 @@ mod tests {
             .filter(|e| e.name == "ordered")
             .collect();
         assert_eq!(spans.len(), 2);
-        assert!(spans[0].ts_us <= spans[1].ts_us);
+        assert!(spans[0].ts_ns <= spans[1].ts_ns);
+    }
+
+    /// Regression (pre-fix failure): the per-name aggregate recorded
+    /// nanoseconds while the trace event carried truncated
+    /// microseconds, so the two disagreed for every span and sub-µs
+    /// spans flattened to duration 0. With ns end-to-end, a single
+    /// span's trace-event duration and its aggregate total are the
+    /// same number — and never 0 for a timed span.
+    #[test]
+    fn span_aggregate_and_trace_event_share_one_unit() {
+        let session = ObsSession::start(ObsMode::Chrome);
+        {
+            let _span = crate::span("test", "unit.consistency");
+            // Busy-wait a few µs so the duration is unambiguously
+            // nonzero in both representations.
+            let begin = Instant::now();
+            while begin.elapsed().as_nanos() < 5_000 {
+                std::hint::spin_loop();
+            }
+        }
+        let report = session.finish();
+        let event = report
+            .events
+            .iter()
+            .find(|e| e.name == "unit.consistency" && e.ph == 'X')
+            .expect("span event captured");
+        let (_, stat) = report
+            .spans
+            .iter()
+            .find(|(name, _)| name == "unit.consistency")
+            .expect("span aggregate registered");
+        assert_eq!(stat.count, 1);
+        assert_eq!(
+            event.dur_ns, stat.total_ns,
+            "trace event and aggregate must express the same unit"
+        );
+        assert!(event.dur_ns >= 5_000, "span duration lost precision");
     }
 }

@@ -72,7 +72,7 @@ pub struct RunOutcome {
 
 /// Cumulative metrics snapshot taken at a quiescent point.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Metrics {
+pub(crate) struct Metrics {
     injected: u64,
     delivered: u64,
     dropped: u64,
@@ -88,8 +88,23 @@ struct Metrics {
     acyclic: bool,
 }
 
-/// What every protocol adapter exposes to the shared timeline executor.
-trait Driver {
+/// One synchronous route answer read off the live orientation (no
+/// protocol messages, no clock movement): how many hops a greedy
+/// height-descent walk takes from the probed source to its sink, and
+/// the summed per-link delay along that walk. Produced by
+/// [`Driver::route_probe`] for the resident serve loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RouteProbe {
+    /// Links crossed from the source to the sink.
+    pub hops: u64,
+    /// Sum of the configured per-link delays along the walk (each
+    /// clamped to ≥ 1 tick, matching the simulator's delivery clamp).
+    pub path_delay: u64,
+}
+
+/// What every protocol adapter exposes to the shared timeline executor
+/// (and, since the resident serve loop, to [`crate::serve`]).
+pub(crate) trait Driver: Sync {
     fn now(&self) -> u64;
     /// Delivers live events due at or before `deadline`, at most
     /// `max_events` of them; returns `(delivered, capped)` where
@@ -108,12 +123,66 @@ trait Driver {
     /// Injects one unit of traffic (packet / route query / CS request)
     /// at each source.
     fn inject_wave(&mut self, sources: &[NodeId]);
+    /// Answers one route query from `src` against the *current* node
+    /// states, without sending a message or moving the clock: walks
+    /// greedily downhill (holder pointers for mutex) until the
+    /// protocol's sink is reached. `None` means the query is
+    /// unanswerable right now — no known lower neighbor, a NULL TORA
+    /// height, or a walk that exceeds its hop bound mid-convergence.
+    fn route_probe(&self, src: NodeId) -> Option<RouteProbe>;
     fn metrics(&self, live: &UndirectedGraph) -> Metrics;
     fn sim_stats(&self) -> SimStats;
 }
 
+/// Greedy height-descent walk shared by the routing / reversal /
+/// election probes: from `src`, repeatedly step to the live neighbor
+/// with the smallest *known* height below the current node's own,
+/// until `is_sink` accepts the current node. The hop bound mirrors the
+/// routing protocol's packet hop limit, so a probe mid-convergence
+/// (stale `known` entries can form transient loops) terminates with
+/// `None` instead of walking forever.
+fn descend_heights<P, H, K, S>(
+    sim: &EventSim<P>,
+    src: NodeId,
+    height: H,
+    known: K,
+    is_sink: S,
+) -> Option<RouteProbe>
+where
+    P: Protocol,
+    H: Fn(&P::Node) -> TripleHeight,
+    K: Fn(&P::Node) -> &BTreeMap<NodeId, TripleHeight>,
+    S: Fn(NodeId, &P::Node) -> bool,
+{
+    let limit = u64::from((4 * sim.graph().node_count() as u32).max(16));
+    let mut cur = src;
+    let mut hops = 0u64;
+    let mut path_delay = 0u64;
+    while !is_sink(cur, sim.node(cur)) {
+        if hops >= limit {
+            return None;
+        }
+        let node = sim.node(cur);
+        let h_cur = height(node);
+        let table = known(node);
+        let (_, next) = sim
+            .live_neighbors(cur)
+            .iter()
+            .filter_map(|&v| table.get(&v).map(|&h| (h, v)))
+            .filter(|&(h, _)| h < h_cur)
+            .min()?;
+        path_delay += sim.link_config(cur, next).delay.max(1);
+        hops += 1;
+        cur = next;
+    }
+    Some(RouteProbe { hops, path_delay })
+}
+
 /// BFS distances from `from` over the *live* links of the simulator.
-fn live_distances<P: Protocol>(sim: &EventSim<P>, from: NodeId) -> BTreeMap<NodeId, u64> {
+pub(crate) fn live_distances<P: Protocol>(
+    sim: &EventSim<P>,
+    from: NodeId,
+) -> BTreeMap<NodeId, u64> {
     let mut dist = BTreeMap::new();
     dist.insert(from, 0u64);
     let mut queue = VecDeque::from([from]);
@@ -262,6 +331,16 @@ impl Driver for RoutingDriver {
         }
     }
 
+    fn route_probe(&self, src: NodeId) -> Option<RouteProbe> {
+        descend_heights(
+            &self.sim,
+            src,
+            |n| n.rev.height,
+            |n| &n.rev.known,
+            |u, _| u == self.dest,
+        )
+    }
+
     fn metrics(&self, live: &UndirectedGraph) -> Metrics {
         let delivered_pkts = &self.sim.node(self.dest).delivered;
         let delivered = delivered_pkts.len() as u64;
@@ -379,6 +458,10 @@ impl Driver for ReversalDriver {
         unreachable!("reversal scenarios carry no traffic (rejected at parse time)")
     }
 
+    fn route_probe(&self, src: NodeId) -> Option<RouteProbe> {
+        descend_heights(&self.sim, src, |n| n.height, |n| &n.known, |_, n| n.is_dest)
+    }
+
     fn metrics(&self, live: &UndirectedGraph) -> Metrics {
         let (total, max, mean) = work_stats(self.sim.nodes().map(|(_, n)| n.reversals));
         let heights: BTreeMap<NodeId, TripleHeight> =
@@ -473,6 +556,38 @@ impl Driver for ToraDriver {
         }
     }
 
+    fn route_probe(&self, src: NodeId) -> Option<RouteProbe> {
+        // TORA heights are optional: NULL (`None`) means unrouted — a
+        // probe from or through such a node has no answer. Otherwise
+        // the walk descends the neighbor-height table exactly like the
+        // triple-height protocols.
+        let sim = self.harness.sim();
+        let limit = u64::from((4 * sim.graph().node_count() as u32).max(16));
+        let mut cur = src;
+        let mut hops = 0u64;
+        let mut path_delay = 0u64;
+        while !sim.node(cur).is_dest {
+            if hops >= limit {
+                return None;
+            }
+            let node = sim.node(cur);
+            let h_cur = node.height?;
+            let (_, next) = sim
+                .live_neighbors(cur)
+                .iter()
+                .filter_map(|&v| match node.nbr_heights.get(&v) {
+                    Some(&Some(h)) => Some((h, v)),
+                    _ => None,
+                })
+                .filter(|&(h, _)| h < h_cur)
+                .min()?;
+            path_delay += sim.link_config(cur, next).delay.max(1);
+            hops += 1;
+            cur = next;
+        }
+        Some(RouteProbe { hops, path_delay })
+    }
+
     fn metrics(&self, _live: &UndirectedGraph) -> Metrics {
         let (routed_graph, o) = self.harness.routed_orientation();
         let acyclic =
@@ -551,6 +666,28 @@ impl Driver for MutexDriver {
             self.injected += 1;
             self.harness.sim_mut().inject(src, src, MutexMsg::Local);
         }
+    }
+
+    fn route_probe(&self, src: NodeId) -> Option<RouteProbe> {
+        // Raymond's tree: each node's `holder` pointer leads toward
+        // the token. The walk follows holder pointers to the node that
+        // holds the token (holder == itself); a chain longer than the
+        // node count means the pointers cycle mid-handoff — no answer.
+        let sim = self.harness.sim();
+        let bound = sim.graph().node_count() as u64;
+        let mut cur = src;
+        let mut hops = 0u64;
+        let mut path_delay = 0u64;
+        while sim.node(cur).holder != cur {
+            if hops >= bound {
+                return None;
+            }
+            let next = sim.node(cur).holder;
+            path_delay += sim.link_config(cur, next).delay.max(1);
+            hops += 1;
+            cur = next;
+        }
+        Some(RouteProbe { hops, path_delay })
     }
 
     fn metrics(&self, _live: &UndirectedGraph) -> Metrics {
@@ -648,6 +785,19 @@ impl Driver for ElectionDriver {
         unreachable!("election scenarios carry no traffic (rejected at parse time)")
     }
 
+    fn route_probe(&self, src: NodeId) -> Option<RouteProbe> {
+        // The elected leader is the orientation's sink: a node that
+        // believes itself leader. Heights descend toward it exactly as
+        // in the reversal protocol.
+        descend_heights(
+            self.harness.sim(),
+            src,
+            |n| n.height,
+            |n| &n.known,
+            |u, n| n.leader == u,
+        )
+    }
+
     fn metrics(&self, live: &UndirectedGraph) -> Metrics {
         let sim = self.harness.sim();
         let (total, max, mean) = work_stats(sim.nodes().map(|(_, n)| n.reversals));
@@ -721,7 +871,7 @@ fn resolve_sources(spec: &ScenarioSpec, inst: &ReversalInstance) -> Vec<NodeId> 
 /// tora/mutex/election harness constructors run their own start (and
 /// initial convergence) internally; their overrides take effect from
 /// the first scenario action onward.
-fn make_driver(
+pub(crate) fn make_driver(
     spec: &ScenarioSpec,
     inst: &ReversalInstance,
     link: LinkConfig,
@@ -776,7 +926,7 @@ fn make_driver(
     }
 }
 
-fn spec_link_config(l: &LinkSpec) -> LinkConfig {
+pub(crate) fn spec_link_config(l: &LinkSpec) -> LinkConfig {
     LinkConfig {
         delay: l.delay,
         jitter: l.jitter,
@@ -786,20 +936,20 @@ fn spec_link_config(l: &LinkSpec) -> LinkConfig {
 
 /// Shared churn bookkeeping: the engine mirrors the failed-link set so
 /// partitions cut only live links and random churn samples correctly.
-struct LinkLedger {
-    edges: Vec<(NodeId, NodeId)>,
-    failed: BTreeSet<(NodeId, NodeId)>,
+pub(crate) struct LinkLedger {
+    pub(crate) edges: Vec<(NodeId, NodeId)>,
+    pub(crate) failed: BTreeSet<(NodeId, NodeId)>,
 }
 
 impl LinkLedger {
-    fn new(graph: &UndirectedGraph) -> Self {
+    pub(crate) fn new(graph: &UndirectedGraph) -> Self {
         LinkLedger {
             edges: graph.edges().collect(),
             failed: BTreeSet::new(),
         }
     }
 
-    fn canon(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    pub(crate) fn canon(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
         if u < v {
             (u, v)
         } else {
@@ -807,19 +957,19 @@ impl LinkLedger {
         }
     }
 
-    fn fail(&mut self, driver: &mut dyn Driver, u: NodeId, v: NodeId) {
+    pub(crate) fn fail(&mut self, driver: &mut dyn Driver, u: NodeId, v: NodeId) {
         if self.failed.insert(Self::canon(u, v)) {
             driver.fail_link(u, v);
         }
     }
 
-    fn heal(&mut self, driver: &mut dyn Driver, u: NodeId, v: NodeId) {
+    pub(crate) fn heal(&mut self, driver: &mut dyn Driver, u: NodeId, v: NodeId) {
         if self.failed.remove(&Self::canon(u, v)) {
             driver.heal_link(u, v);
         }
     }
 
-    fn live_edges(&self) -> Vec<(NodeId, NodeId)> {
+    pub(crate) fn live_edges(&self) -> Vec<(NodeId, NodeId)> {
         self.edges
             .iter()
             .copied()
@@ -828,7 +978,7 @@ impl LinkLedger {
     }
 
     /// The graph restricted to live links (every node kept).
-    fn live_graph(&self, full: &UndirectedGraph) -> UndirectedGraph {
+    pub(crate) fn live_graph(&self, full: &UndirectedGraph) -> UndirectedGraph {
         let mut g = UndirectedGraph::new();
         for u in full.nodes() {
             g.ensure_node(u);

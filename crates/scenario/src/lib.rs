@@ -35,6 +35,14 @@
 //! sweep is bit-identical to a serial one. Summaries persist to
 //! `BENCH_pr5.json` as [`lr_bench::trajectory::SweepRecord`] rows.
 //!
+//! The [`serve`] module is the resident complement to the batch
+//! engine: `lr serve` keeps one protocol instance live and feeds it a
+//! streaming open-loop workload (seeded generator and/or newline-JSON
+//! feed) through a bounded admission queue, reporting steady-state
+//! latency/hops/stretch percentiles that are bit-identical for a fixed
+//! seed across runs and thread counts. Rows persist to
+//! `BENCH_pr10.json` as [`lr_bench::trajectory::ServeRecord`].
+//!
 //! ```
 //! use lr_scenario::spec::ScenarioSpec;
 //! use lr_scenario::sweep::{run_sweep, SweepOptions};
@@ -58,12 +66,16 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod serve;
 pub mod spec;
 pub mod stats;
 pub mod sweep;
 pub mod topology;
 
 pub use engine::{run_scenario, RunOutcome, ScenarioError};
+pub use serve::{
+    parse_feed, run_serve, FeedAction, FeedEvent, ServeError, ServeOptions, ServeReport,
+};
 pub use spec::{MatrixPoint, MatrixSpec, ScenarioSpec, SpecError};
 pub use sweep::{
     render_matrix_table, render_table, run_matrix_sweep, run_sweep, MatrixOptions, MatrixOutcome,

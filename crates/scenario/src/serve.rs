@@ -1,0 +1,1014 @@
+//! `lr serve` — the resident simulation driver: one live protocol
+//! instance under a **streaming** request workload.
+//!
+//! Every earlier execution mode is batch: a scenario runs its fixed
+//! timeline and exits. This module keeps the instance resident and
+//! feeds it an *open-loop* stream of work — route queries, link
+//! fail/heal events, node churn — admitted in per-tick batches against
+//! a bounded queue, answered synchronously from the live orientation,
+//! and folded into streaming latency/hops/stretch sketches, so the
+//! steady-state p50/p99 under load is a reportable number instead of a
+//! post-hoc aggregate.
+//!
+//! ## Workload sources
+//!
+//! * The **generator**: a seeded open-loop arrival process producing
+//!   `rate` route queries per simulation tick from uniformly sampled
+//!   sources. Open-loop means arrivals do not wait for answers — when
+//!   the instance cannot keep up, the bounded queue overflows and the
+//!   overflow is a *counted drop*, never a panic and never back
+//!   pressure.
+//! * An optional **newline-JSON feed** (stdin or a file): one event
+//!   per line, each `{"at": T, ...}` with exactly one action key —
+//!   `"route": SRC`, `"fail": [U, V]`, `"heal": [U, V]`,
+//!   `"crash": NODE` (fails every live incident link),
+//!   `"restore": NODE` (heals every failed incident link), or
+//!   `"crash_leader": true` (election only).
+//!
+//! ## Tick discipline and determinism
+//!
+//! Each served tick drains the simulator to the tick boundary
+//! (`run_until_capped` then `advance_to`), applies the feed's churn
+//! for that tick, enqueues the tick's arrivals, then admits up to
+//! `batch` queued requests and answers them via
+//! [`Driver::route_probe`] — a pure read of the current node states. A
+//! request's latency is its queue wait in ticks plus the probed path's
+//! summed link delay; its stretch is the probed hop count over the
+//! live BFS distance at answer time. Probes are fanned out over worker
+//! threads but **folded in admission order**, so the report — and its
+//! rendering — is byte-identical for a fixed `(spec, seed, flags)`
+//! across runs *and across `--threads` values*. Wall-clock throughput
+//! (`requests_per_sec`) lives only in the persisted
+//! [`ServeRecord`](lr_bench::trajectory::ServeRecord) row, which
+//! records how fast, never what.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+use lr_bench::trajectory::{BenchRecord, ServeRecord};
+use lr_graph::{NodeId, UndirectedGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+
+use crate::engine::{make_driver, spec_link_config, Driver, LinkLedger, ScenarioError};
+use crate::spec::{derive_run_seed, ProtocolKind, ScenarioSpec};
+use crate::stats::{MetricSketch, STRETCH_GRID_HI};
+use crate::topology::build_instance;
+
+/// Mixer xored into the run seed to derive the workload generator's
+/// RNG stream (kept distinct from the engine's churn stream the same
+/// way [`crate::spec::derive_churn_seed`] is).
+const WORKLOAD_SEED_MIX: u64 = 0x5EBB_1E5E_ED00_C0DE;
+
+/// A failure while parsing the feed or running the serve loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError(pub String);
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ScenarioError> for ServeError {
+    fn from(e: ScenarioError) -> Self {
+        ServeError(e.to_string())
+    }
+}
+
+/// Knobs of one serve run (everything except the spec itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Generator rate: route queries per simulation tick (0 = feed
+    /// only).
+    pub rate: u64,
+    /// Served ticks after the spec's settle window.
+    pub duration: u64,
+    /// Worker threads answering probes (≥ 1; changes wall-clock only).
+    pub threads: usize,
+    /// Admission batch cap per tick (≥ 1).
+    pub batch: usize,
+    /// Bounded queue capacity (≥ 1); overflow is a counted drop.
+    pub queue: usize,
+    /// Overrides the spec's first seed when set.
+    pub seed: Option<u64>,
+    /// Marks the emitted record as a smoke row.
+    pub smoke: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            rate: 10,
+            duration: 100,
+            threads: 1,
+            batch: 256,
+            queue: 1024,
+            seed: None,
+            smoke: false,
+        }
+    }
+}
+
+/// One action of the streaming feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedAction {
+    /// A route query from this source node.
+    Route(u32),
+    /// Fail the link `{u, v}`.
+    Fail(u32, u32),
+    /// Heal the link `{u, v}`.
+    Heal(u32, u32),
+    /// Node churn: fail every live link incident to this node.
+    Crash(u32),
+    /// Node churn: heal every failed link incident to this node.
+    Restore(u32),
+    /// Crash the current leader (election protocol only).
+    CrashLeader,
+}
+
+/// One line of the feed: an action scheduled for a served tick
+/// (1-based; tick 0 is the settled initial state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedEvent {
+    /// The served tick the action fires at (≥ 1).
+    pub at: u64,
+    /// What fires.
+    pub action: FeedAction,
+}
+
+fn feed_err(line_no: usize, msg: impl std::fmt::Display) -> ServeError {
+    ServeError(format!("feed line {line_no}: {msg}"))
+}
+
+fn feed_node(v: &Value, line_no: usize, key: &str) -> Result<u32, ServeError> {
+    v.as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| feed_err(line_no, format!("\"{key}\" needs a node id")))
+}
+
+fn feed_edge(v: &Value, line_no: usize, key: &str) -> Result<(u32, u32), ServeError> {
+    let arr = v
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| feed_err(line_no, format!("\"{key}\" needs a [u, v] pair")))?;
+    Ok((
+        feed_node(&arr[0], line_no, key)?,
+        feed_node(&arr[1], line_no, key)?,
+    ))
+}
+
+/// Parses a newline-JSON feed. Blank lines are skipped; every other
+/// line must be an object with `"at"` (a served tick ≥ 1) and exactly
+/// one action key.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] naming the 1-based line of the first
+/// malformed entry.
+pub fn parse_feed(text: &str) -> Result<Vec<FeedEvent>, ServeError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| feed_err(line_no, format!("malformed JSON: {e}")))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| feed_err(line_no, "expected a JSON object"))?;
+        let at = obj
+            .get("at")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| feed_err(line_no, "missing or non-integer \"at\""))?;
+        if at == 0 {
+            return Err(feed_err(line_no, "\"at\" must be ≥ 1 (ticks are 1-based)"));
+        }
+        let actions: Vec<&String> = obj.keys().filter(|k| k.as_str() != "at").collect();
+        let [key] = actions[..] else {
+            return Err(feed_err(
+                line_no,
+                "expected exactly one action key next to \"at\" \
+                 (route | fail | heal | crash | restore | crash_leader)",
+            ));
+        };
+        let v = &obj[key.as_str()];
+        let action = match key.as_str() {
+            "route" => FeedAction::Route(feed_node(v, line_no, "route")?),
+            "fail" => {
+                let (u, w) = feed_edge(v, line_no, "fail")?;
+                FeedAction::Fail(u, w)
+            }
+            "heal" => {
+                let (u, w) = feed_edge(v, line_no, "heal")?;
+                FeedAction::Heal(u, w)
+            }
+            "crash" => FeedAction::Crash(feed_node(v, line_no, "crash")?),
+            "restore" => FeedAction::Restore(feed_node(v, line_no, "restore")?),
+            "crash_leader" => {
+                if v.as_bool() != Some(true) {
+                    return Err(feed_err(line_no, "\"crash_leader\" must be true"));
+                }
+                FeedAction::CrashLeader
+            }
+            other => return Err(feed_err(line_no, format!("unknown action \"{other}\""))),
+        };
+        events.push(FeedEvent { at, action });
+    }
+    Ok(events)
+}
+
+/// The outcome of one serve run: counts, streaming sketches, and the
+/// deterministic rendering. Wall-clock lives only in `elapsed_ns` and
+/// never reaches [`ServeReport::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Scenario name from the spec.
+    pub scenario: String,
+    /// Protocol served.
+    pub protocol: String,
+    /// Topology family.
+    pub family: String,
+    /// Node count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Base seed the run derived from.
+    pub seed: u64,
+    /// Generator rate (requests/tick).
+    pub rate: u64,
+    /// Served ticks.
+    pub duration: u64,
+    /// Admission batch cap.
+    pub batch: usize,
+    /// Bounded queue capacity.
+    pub queue: usize,
+    /// Worker threads used (excluded from the rendering).
+    pub threads: usize,
+    /// Settle window that preceded serving.
+    pub settle: u64,
+    /// Route queries produced by the generator.
+    pub offered_generator: u64,
+    /// Route queries taken from the feed.
+    pub offered_feed: u64,
+    /// Feed events whose tick fell past the served horizon (ignored).
+    pub feed_ignored: u64,
+    /// Requests admitted past the bounded queue.
+    pub admitted: u64,
+    /// Admitted requests answered from the live orientation.
+    pub answered: u64,
+    /// Admitted requests with no current route.
+    pub unroutable: u64,
+    /// Requests dropped on queue overflow.
+    pub dropped: u64,
+    /// Requests still queued when the horizon was reached.
+    pub leftover: u64,
+    /// Churn events applied from the feed.
+    pub link_events: u64,
+    /// Protocol messages the simulator sent over the whole run.
+    pub messages: u64,
+    /// Per-request latency in virtual ticks (queue wait + path delay).
+    pub latency: MetricSketch,
+    /// Per-request route length in hops.
+    pub hops: MetricSketch,
+    /// Per-request stretch vs the live BFS distance (empty for
+    /// protocols without a fixed destination sink).
+    pub stretch: MetricSketch,
+    /// Wall-clock nanoseconds of the serve loop (record only).
+    pub elapsed_ns: u64,
+    /// Whether this was a smoke run.
+    pub smoke: bool,
+}
+
+fn sketch_line(name: &str, s: &MetricSketch) -> String {
+    if s.moments.count() == 0 {
+        return format!("{name}: (no observations)");
+    }
+    format!(
+        "{name}: p50 {:.3}  p90 {:.3}  p99 {:.3}  mean {:.3}  max {:.3}  ({} obs)",
+        s.quantile(0.50),
+        s.quantile(0.90),
+        s.quantile(0.99),
+        s.moments.mean(),
+        s.moments.max(),
+        s.moments.count(),
+    )
+}
+
+impl ServeReport {
+    /// Renders the deterministic summary: every line is a pure
+    /// function of `(spec, seed, workload flags)` — no thread count,
+    /// no wall-clock — so output is byte-identical across runs and
+    /// `--threads` values.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serve {}: {} on {} (n = {}, edges = {}), seed {}\n",
+            self.scenario, self.protocol, self.family, self.n, self.edges, self.seed
+        ));
+        out.push_str(&format!(
+            "workload: rate {}/tick × {} ticks (after settle {}), batch ≤ {}, queue ≤ {}\n",
+            self.rate, self.duration, self.settle, self.batch, self.queue
+        ));
+        out.push_str(&format!(
+            "offered {} (generator {}, feed {}{})  admitted {}  answered {}  \
+             unroutable {}  dropped {}  leftover {}\n",
+            self.offered_generator + self.offered_feed,
+            self.offered_generator,
+            self.offered_feed,
+            if self.feed_ignored > 0 {
+                format!(", {} past horizon ignored", self.feed_ignored)
+            } else {
+                String::new()
+            },
+            self.admitted,
+            self.answered,
+            self.unroutable,
+            self.dropped,
+            self.leftover,
+        ));
+        out.push_str(&format!(
+            "churn events applied {}  protocol messages {}\n",
+            self.link_events, self.messages
+        ));
+        out.push_str(&sketch_line("latency (ticks)", &self.latency));
+        out.push('\n');
+        out.push_str(&sketch_line("hops", &self.hops));
+        out.push('\n');
+        out.push_str(&sketch_line("stretch", &self.stretch));
+        out.push('\n');
+        out
+    }
+
+    /// The persisted trajectory row for this run.
+    pub fn to_record(&self) -> ServeRecord {
+        ServeRecord {
+            bench: "lr serve".into(),
+            scenario: self.scenario.clone(),
+            protocol: self.protocol.clone(),
+            family: self.family.clone(),
+            n: self.n,
+            edges: self.edges,
+            seed: self.seed,
+            rate: self.rate,
+            duration_ticks: self.duration,
+            batch: self.batch,
+            queue: self.queue,
+            threads: self.threads,
+            cpus: BenchRecord::available_cpus(),
+            offered: self.offered_generator + self.offered_feed,
+            admitted: self.admitted,
+            answered: self.answered,
+            unroutable: self.unroutable,
+            dropped: self.dropped,
+            link_events: self.link_events,
+            latency_p50: self.latency.quantile(0.50),
+            latency_p90: self.latency.quantile(0.90),
+            latency_p99: self.latency.quantile(0.99),
+            latency_mean: self.latency.moments.mean(),
+            latency_max: self.latency.moments.max(),
+            hops_p50: self.hops.quantile(0.50),
+            hops_p99: self.hops.quantile(0.99),
+            hops_mean: self.hops.moments.mean(),
+            stretch_p50: self.stretch.quantile(0.50),
+            stretch_p99: self.stretch.quantile(0.99),
+            elapsed_ns: self.elapsed_ns,
+            requests_per_sec: if self.elapsed_ns == 0 {
+                0.0
+            } else {
+                self.answered as f64 * 1e9 / self.elapsed_ns as f64
+            },
+            smoke: self.smoke,
+        }
+    }
+}
+
+/// BFS distances over an undirected graph (serve keeps one from the
+/// destination over the *live* graph, refreshed after churn, to price
+/// stretch).
+fn bfs_distances(g: &UndirectedGraph, from: NodeId) -> BTreeMap<NodeId, u64> {
+    let mut dist = BTreeMap::new();
+    dist.insert(from, 0u64);
+    let mut queue = VecDeque::from([from]);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[&u];
+        for v in g.neighbors(u) {
+            if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
+                e.insert(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Answers one batch of probes: fans the reads out over `threads`
+/// workers in contiguous chunks but returns results **in request
+/// order** — the fold downstream is therefore independent of the
+/// thread count.
+fn probe_batch(
+    driver: &dyn Driver,
+    batch: &[(NodeId, u64)],
+    threads: usize,
+) -> Vec<Option<crate::engine::RouteProbe>> {
+    if threads <= 1 || batch.len() <= 1 {
+        return batch
+            .iter()
+            .map(|&(src, _)| driver.route_probe(src))
+            .collect();
+    }
+    let chunk = batch.len().div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = batch
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move |_| {
+                    part.iter()
+                        .map(|&(src, _)| driver.route_probe(src))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("probe worker panicked"))
+            .collect()
+    })
+    .expect("probe scope panicked")
+}
+
+fn churn_allowed(protocol: ProtocolKind) -> bool {
+    matches!(
+        protocol,
+        ProtocolKind::Routing | ProtocolKind::Reversal | ProtocolKind::Tora
+    )
+}
+
+/// Semantic validation of a parsed feed against the instance and the
+/// protocol's churn rules (mirrors the spec-level parse-time rules:
+/// link churn only for routing/reversal/tora, `crash_leader` only for
+/// election).
+fn validate_feed(
+    feed: &[FeedEvent],
+    spec: &ScenarioSpec,
+    graph: &UndirectedGraph,
+    dest: NodeId,
+) -> Result<(), ServeError> {
+    let check_node = |id: u32, i: usize| -> Result<NodeId, ServeError> {
+        let u = NodeId::new(id);
+        if graph.contains_node(u) {
+            Ok(u)
+        } else {
+            Err(ServeError(format!(
+                "feed event {}: node {id} is not in the topology",
+                i + 1
+            )))
+        }
+    };
+    let check_churn = |i: usize| -> Result<(), ServeError> {
+        if churn_allowed(spec.protocol) {
+            Ok(())
+        } else {
+            Err(ServeError(format!(
+                "feed event {}: {} scenarios accept no link/node churn",
+                i + 1,
+                spec.protocol.name()
+            )))
+        }
+    };
+    for (i, e) in feed.iter().enumerate() {
+        match e.action {
+            FeedAction::Route(src) => {
+                let u = check_node(src, i)?;
+                if u == dest && spec.protocol != ProtocolKind::Mutex {
+                    return Err(ServeError(format!(
+                        "feed event {}: node {src} is the destination — it cannot be a \
+                         route source",
+                        i + 1
+                    )));
+                }
+            }
+            FeedAction::Fail(u, v) | FeedAction::Heal(u, v) => {
+                check_churn(i)?;
+                let (a, b) = (check_node(u, i)?, check_node(v, i)?);
+                if !graph.contains_edge(a, b) {
+                    return Err(ServeError(format!(
+                        "feed event {}: [{u}, {v}] is not an edge of the topology",
+                        i + 1
+                    )));
+                }
+            }
+            FeedAction::Crash(u) | FeedAction::Restore(u) => {
+                check_churn(i)?;
+                check_node(u, i)?;
+            }
+            FeedAction::CrashLeader => {
+                if spec.protocol != ProtocolKind::Election {
+                    return Err(ServeError(format!(
+                        "feed event {}: crash_leader is only supported by election \
+                         scenarios",
+                        i + 1
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs the resident serve loop: settles the instance, then serves
+/// `options.duration` ticks of open-loop workload (generator +
+/// `feed`), answering admitted requests from the live orientation.
+///
+/// # Errors
+///
+/// Returns a [`ServeError`] for an unbuildable topology, an invalid
+/// feed, or an exhausted per-tick event budget (`spec.max_events`).
+pub fn run_serve(
+    spec: &ScenarioSpec,
+    options: &ServeOptions,
+    feed: &[FeedEvent],
+) -> Result<ServeReport, ServeError> {
+    let seed = options
+        .seed
+        .unwrap_or_else(|| spec.seeds.first().copied().unwrap_or(0));
+    let run_seed = derive_run_seed(seed, 0);
+    let inst = build_instance(&spec.topology, run_seed).map_err(|e| ServeError(e.to_string()))?;
+    spec.validate_against(&inst, seed, 0)
+        .map_err(|e| ServeError(format!("invalid scenario: {e}")))?;
+    validate_feed(feed, spec, &inst.graph, inst.dest)?;
+    if options.batch == 0 || options.queue == 0 || options.threads == 0 {
+        return Err(ServeError(
+            "batch, queue, and threads must all be ≥ 1".into(),
+        ));
+    }
+
+    let mut run_span = lr_obs::span("serve", format!("serve.run {}", spec.name));
+    run_span.arg("seed", seed);
+    run_span.arg("rate", options.rate);
+    run_span.arg("duration", options.duration);
+
+    let link = spec_link_config(&spec.links.default);
+    let mut driver = make_driver(spec, &inst, link, run_seed);
+    let mut ledger = LinkLedger::new(&inst.graph);
+
+    // Initial convergence, exactly like the scenario engine's settle
+    // phase: drain up to the settle window, then pin the clock there so
+    // served tick `k` is virtual time `settle + k` regardless of how
+    // fast convergence went.
+    {
+        let _sp = lr_obs::span("serve", "serve.settle");
+        let (delivered, capped) = driver.run_until_capped(spec.settle, spec.max_events);
+        if capped {
+            return Err(ServeError(format!(
+                "initial convergence: event budget exhausted after {delivered} deliveries \
+                 (max_events = {})",
+                spec.max_events
+            )));
+        }
+        // TORA builds routes on demand: heights stay NULL until a node
+        // issues a query, so a freshly converged instance would answer
+        // every probe with "unroutable". Prime the DAG with one query
+        // wave from every non-destination node (NeedRoute is idempotent
+        // for already-routed nodes) and drain it inside the settle
+        // window.
+        if spec.protocol == ProtocolKind::Tora {
+            let sources: Vec<NodeId> = inst.graph.nodes().filter(|&u| u != inst.dest).collect();
+            driver.inject_wave(&sources);
+            let (delivered, capped) = driver.run_until_capped(spec.settle, spec.max_events);
+            if capped {
+                return Err(ServeError(format!(
+                    "tora route priming: event budget exhausted after {delivered} \
+                     deliveries (max_events = {})",
+                    spec.max_events
+                )));
+            }
+        }
+        driver.advance_to(spec.settle);
+    }
+    let base = spec.settle;
+
+    // Stretch is priced against BFS distances from the destination
+    // over the live graph, recomputed only when churn changes it. Only
+    // protocols with a fixed destination sink get stretch (the mutex
+    // token and an electable leader move).
+    let priced = matches!(
+        spec.protocol,
+        ProtocolKind::Routing | ProtocolKind::Reversal | ProtocolKind::Tora
+    );
+    let mut dist = bfs_distances(&ledger.live_graph(&inst.graph), inst.dest);
+
+    // Sketch grids are sized from the settled topology: the eccentricity
+    // of the destination bounds the typical path, the spec's largest
+    // link delay scales it into ticks. Out-of-range observations clamp
+    // into the edge bins; the moments keep the exact mean/max.
+    let ecc = dist.values().copied().max().unwrap_or(0).max(1);
+    let max_delay = spec
+        .links
+        .overrides
+        .iter()
+        .map(|o| o.link.delay)
+        .chain([spec.links.default.delay])
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let lat_hi = (ecc * max_delay + options.duration + 1) as f64;
+    let hops_hi = (4 * ecc + 8) as f64;
+    let mut latency = MetricSketch::new(0.0, lat_hi);
+    let mut hops = MetricSketch::new(0.0, hops_hi);
+    let mut stretch = MetricSketch::new(0.0, STRETCH_GRID_HI);
+
+    // The generator samples sources uniformly from the non-destination
+    // nodes (every node for mutex, where the "destination" is just the
+    // initial token holder and a legal requester).
+    let eligible: Vec<NodeId> = inst
+        .graph
+        .nodes()
+        .filter(|&u| u != inst.dest || spec.protocol == ProtocolKind::Mutex)
+        .collect();
+    if eligible.is_empty() && options.rate > 0 {
+        return Err(ServeError(
+            "the topology has no eligible request sources".into(),
+        ));
+    }
+    let mut workload_rng = SmallRng::seed_from_u64(run_seed ^ WORKLOAD_SEED_MIX);
+
+    // Feed events bucketed by tick, preserving input order within one.
+    let mut by_tick: BTreeMap<u64, Vec<FeedAction>> = BTreeMap::new();
+    let mut feed_ignored = 0u64;
+    for e in feed {
+        if e.at > options.duration {
+            feed_ignored += 1;
+        } else {
+            by_tick.entry(e.at).or_default().push(e.action);
+        }
+    }
+
+    let mut pending: VecDeque<(NodeId, u64)> = VecDeque::new();
+    let (mut offered_generator, mut offered_feed) = (0u64, 0u64);
+    let (mut admitted, mut answered, mut unroutable) = (0u64, 0u64, 0u64);
+    let (mut dropped, mut link_events) = (0u64, 0u64);
+    let batch_span = lr_obs::span_handle("serve", "serve.batch");
+    let began = Instant::now();
+
+    for tick in 1..=options.duration {
+        let t = base + tick;
+        // Drain protocol traffic (height floods from earlier churn) to
+        // the tick boundary, then pin the clock at it.
+        if t > driver.now() {
+            let (delivered, capped) = driver.run_until_capped(t, spec.max_events);
+            if capped {
+                return Err(ServeError(format!(
+                    "tick {tick}: event budget exhausted after {delivered} deliveries \
+                     (max_events = {})",
+                    spec.max_events
+                )));
+            }
+            driver.advance_to(t);
+        }
+
+        // Feed actions for this tick: churn mutates the instance (and
+        // invalidates the stretch pricing), routes join the queue ahead
+        // of the generator's arrivals.
+        let mut churned = false;
+        let enqueue = |src: NodeId, pending: &mut VecDeque<(NodeId, u64)>, dropped: &mut u64| {
+            if pending.len() < options.queue {
+                pending.push_back((src, tick));
+            } else {
+                *dropped += 1;
+            }
+        };
+        for action in by_tick.get(&tick).map_or(&[][..], Vec::as_slice) {
+            match *action {
+                FeedAction::Route(src) => {
+                    offered_feed += 1;
+                    enqueue(NodeId::new(src), &mut pending, &mut dropped);
+                }
+                FeedAction::Fail(u, v) => {
+                    ledger.fail(driver.as_mut(), NodeId::new(u), NodeId::new(v));
+                    link_events += 1;
+                    churned = true;
+                }
+                FeedAction::Heal(u, v) => {
+                    ledger.heal(driver.as_mut(), NodeId::new(u), NodeId::new(v));
+                    link_events += 1;
+                    churned = true;
+                }
+                FeedAction::Crash(u) => {
+                    let node = NodeId::new(u);
+                    for (a, b) in ledger.live_edges() {
+                        if a == node || b == node {
+                            ledger.fail(driver.as_mut(), a, b);
+                        }
+                    }
+                    link_events += 1;
+                    churned = true;
+                }
+                FeedAction::Restore(u) => {
+                    let node = NodeId::new(u);
+                    let incident: Vec<(NodeId, NodeId)> = ledger
+                        .failed
+                        .iter()
+                        .copied()
+                        .filter(|&(a, b)| a == node || b == node)
+                        .collect();
+                    for (a, b) in incident {
+                        ledger.heal(driver.as_mut(), a, b);
+                    }
+                    link_events += 1;
+                    churned = true;
+                }
+                FeedAction::CrashLeader => {
+                    driver.crash_leader().map_err(ServeError)?;
+                    link_events += 1;
+                }
+            }
+        }
+        if churned && priced {
+            dist = bfs_distances(&ledger.live_graph(&inst.graph), inst.dest);
+        }
+
+        // Open-loop generator arrivals for this tick.
+        for _ in 0..options.rate {
+            let src = eligible[workload_rng.gen_range(0..eligible.len())];
+            offered_generator += 1;
+            enqueue(src, &mut pending, &mut dropped);
+        }
+
+        // Admit up to the batch cap and answer from the live
+        // orientation — probes are pure reads, folded in admission
+        // order regardless of the worker thread count.
+        let take = options.batch.min(pending.len());
+        let batch: Vec<(NodeId, u64)> = pending.drain(..take).collect();
+        if batch.is_empty() {
+            continue;
+        }
+        let mut span = batch_span.start();
+        span.arg("tick", tick);
+        span.arg("admitted", batch.len() as u64);
+        span.arg("queued", pending.len() as u64);
+        admitted += batch.len() as u64;
+        let probes = probe_batch(driver.as_ref(), &batch, options.threads);
+        for (&(src, arrival), probe) in batch.iter().zip(&probes) {
+            match probe {
+                Some(p) => {
+                    answered += 1;
+                    let wait = tick - arrival;
+                    latency.push((wait + p.path_delay) as f64);
+                    hops.push(p.hops as f64);
+                    if priced {
+                        if let Some(&d) = dist.get(&src) {
+                            if d > 0 {
+                                stretch.push(p.hops as f64 / d as f64);
+                            }
+                        }
+                    }
+                }
+                None => unroutable += 1,
+            }
+        }
+        span.arg("answered", answered);
+        drop(span);
+    }
+    let elapsed_ns = began.elapsed().as_nanos() as u64;
+
+    Ok(ServeReport {
+        scenario: spec.name.clone(),
+        protocol: spec.protocol.name().to_string(),
+        family: spec.topology.family_name().to_string(),
+        n: inst.node_count(),
+        edges: inst.graph.edge_count(),
+        seed,
+        rate: options.rate,
+        duration: options.duration,
+        batch: options.batch,
+        queue: options.queue,
+        threads: options.threads,
+        settle: base,
+        offered_generator,
+        offered_feed,
+        feed_ignored,
+        admitted,
+        answered,
+        unroutable,
+        dropped,
+        leftover: pending.len() as u64,
+        link_events,
+        messages: driver.sim_stats().sent,
+        latency,
+        hops,
+        stretch,
+        elapsed_ns,
+        smoke: options.smoke,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(json: &str) -> ScenarioSpec {
+        ScenarioSpec::from_json(json).expect("valid spec")
+    }
+
+    fn grid_spec() -> ScenarioSpec {
+        spec(
+            r#"{
+                "name": "serve-test",
+                "topology": {"family": "grid", "rows": 4, "cols": 4},
+                "seeds": [7]
+            }"#,
+        )
+    }
+
+    fn opts(rate: u64, duration: u64) -> ServeOptions {
+        ServeOptions {
+            rate,
+            duration,
+            ..ServeOptions::default()
+        }
+    }
+
+    #[test]
+    fn serve_is_bit_reproducible_for_a_fixed_seed() {
+        let spec = grid_spec();
+        let a = run_serve(&spec, &opts(5, 30), &[]).unwrap();
+        let b = run_serve(&spec, &opts(5, 30), &[]).unwrap();
+        assert_eq!(a.render(), b.render());
+        assert!(a.answered > 0, "steady grid answers its load");
+        assert_eq!(a.answered + a.unroutable, a.admitted);
+        assert_eq!(
+            a.offered_generator,
+            5 * 30,
+            "open-loop generator offers rate × duration"
+        );
+    }
+
+    #[test]
+    fn serve_reports_are_identical_across_thread_counts() {
+        let spec = grid_spec();
+        let base = run_serve(&spec, &opts(8, 25), &[]).unwrap();
+        for threads in [2usize, 4] {
+            let par = run_serve(
+                &spec,
+                &ServeOptions {
+                    threads,
+                    ..opts(8, 25)
+                },
+                &[],
+            )
+            .unwrap();
+            assert_eq!(
+                par.render(),
+                base.render(),
+                "thread count must not change the rendered report"
+            );
+            assert_eq!(par.latency, base.latency);
+            assert_eq!(par.hops, base.hops);
+            assert_eq!(par.stretch, base.stretch);
+        }
+    }
+
+    #[test]
+    fn queue_overflow_is_a_counted_drop_not_a_panic() {
+        let spec = grid_spec();
+        let report = run_serve(
+            &spec,
+            &ServeOptions {
+                rate: 50,
+                duration: 10,
+                batch: 2,
+                queue: 8,
+                ..ServeOptions::default()
+            },
+            &[],
+        )
+        .unwrap();
+        assert!(report.dropped > 0, "an overloaded queue must drop");
+        assert_eq!(
+            report.offered_generator,
+            report.admitted + report.dropped + report.leftover,
+            "every offered request is admitted, dropped, or left over"
+        );
+        assert!(report.admitted <= 2 * 10, "batch cap bounds admissions");
+    }
+
+    #[test]
+    fn feed_routes_and_churn_drive_the_live_instance() {
+        let spec = grid_spec();
+        // Fail a corner link, route from the corner once the reversal
+        // wave has re-converged, heal, route again.
+        let feed = parse_feed(
+            "{\"at\": 2, \"fail\": [0, 1]}\n\
+             {\"at\": 6, \"route\": 3}\n\
+             \n\
+             {\"at\": 8, \"heal\": [0, 1]}\n\
+             {\"at\": 12, \"route\": 3}\n",
+        )
+        .unwrap();
+        assert_eq!(feed.len(), 4);
+        let report = run_serve(&spec, &opts(0, 14), &feed).unwrap();
+        assert_eq!(report.offered_feed, 2);
+        assert_eq!(report.link_events, 2);
+        assert_eq!(report.answered, 2, "both probed routes resolve");
+    }
+
+    #[test]
+    fn node_crash_and_restore_translate_to_incident_link_churn() {
+        let spec = grid_spec();
+        let feed = parse_feed(
+            "{\"at\": 2, \"crash\": 5}\n\
+             {\"at\": 6, \"restore\": 5}\n",
+        )
+        .unwrap();
+        let report = run_serve(&spec, &opts(3, 12), &feed).unwrap();
+        assert_eq!(report.link_events, 2);
+        assert!(report.answered > 0);
+    }
+
+    #[test]
+    fn feed_validation_rejects_bad_events() {
+        let spec = grid_spec();
+        for (feed_line, needle) in [
+            ("{\"at\": 0, \"route\": 3}", "1-based"),
+            ("{\"at\": 1}", "exactly one action"),
+            (
+                "{\"at\": 1, \"route\": 3, \"fail\": [0, 1]}",
+                "exactly one action",
+            ),
+            ("{\"at\": 1, \"warp\": 3}", "unknown action"),
+            ("{\"at\": 1, \"fail\": [0]}", "[u, v] pair"),
+            ("not json", "malformed JSON"),
+        ] {
+            let err = parse_feed(feed_line).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "{feed_line:?} should fail with {needle:?}, got {err}"
+            );
+        }
+        // Semantic failures surface from run_serve.
+        for (line, needle) in [
+            ("{\"at\": 1, \"route\": 99}", "not in the topology"),
+            ("{\"at\": 1, \"fail\": [0, 5]}", "not an edge"),
+            ("{\"at\": 1, \"crash_leader\": true}", "election"),
+        ] {
+            let feed = parse_feed(line).unwrap();
+            let err = run_serve(&spec, &opts(0, 4), &feed).unwrap_err();
+            assert!(
+                err.0.contains(needle),
+                "{line:?} should fail with {needle:?}, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_protocol_family_serves_route_probes() {
+        // 2×3 grid for the link-churn protocols; inline path for
+        // mutex/election (mutex requires a tree).
+        for (protocol, topology) in [
+            ("routing", r#"{"family": "grid", "rows": 2, "cols": 3}"#),
+            ("reversal", r#"{"family": "grid", "rows": 2, "cols": 3}"#),
+            ("tora", r#"{"family": "grid", "rows": 2, "cols": 3}"#),
+            (
+                "mutex",
+                r#"{"family": "inline", "edges": [[0,1],[1,2],[2,3]]}"#,
+            ),
+            (
+                "election",
+                r#"{"family": "inline", "edges": [[0,1],[1,2],[2,3]]}"#,
+            ),
+        ] {
+            let s = spec(&format!(
+                r#"{{"name": "serve-{protocol}", "protocol": "{protocol}",
+                     "topology": {topology}, "seeds": [3]}}"#
+            ));
+            let report = run_serve(&s, &opts(2, 15), &[]).unwrap();
+            assert!(
+                report.answered > 0,
+                "{protocol}: a settled instance answers probes \
+                 (answered = {}, unroutable = {})",
+                report.answered,
+                report.unroutable
+            );
+            assert_eq!(report.answered + report.unroutable, report.admitted);
+        }
+    }
+
+    #[test]
+    fn serve_record_round_trips_and_carries_wall_clock_only_fields() {
+        let spec = grid_spec();
+        let report = run_serve(&spec, &opts(4, 10), &[]).unwrap();
+        let record = report.to_record();
+        assert_eq!(record.bench, "lr serve");
+        assert_eq!(record.offered, report.offered_generator);
+        assert!(record.latency_p50 <= record.latency_p99 + 1e-9);
+        assert!(record.hops_p50 <= record.hops_p99 + 1e-9);
+        let json = serde_json::to_string_pretty(&vec![record.clone()]).unwrap();
+        let back: Vec<lr_bench::trajectory::ServeRecord> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, vec![record]);
+    }
+}

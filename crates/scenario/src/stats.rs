@@ -203,9 +203,14 @@ impl FixedGridQuantiles {
 
     /// Estimated `q`-quantile (`q` clamped into `[0, 1]`): walks the
     /// cumulative bin counts to the target rank and interpolates
-    /// linearly inside the bin. Returns 0 when empty; accuracy is
-    /// bounded by the bin width, and observations outside the grid
-    /// range clamp to its edges.
+    /// linearly inside the bin, placing rank `r` of a `c`-count bin at
+    /// its `(r − ½)/c` point. The midpoint placement keeps every
+    /// estimate *strictly inside* its bin — `quantile(0.0)` cannot
+    /// report the first occupied bin's upper edge, and a single
+    /// observation at a bin's lower edge is no longer reported a full
+    /// bin-width high. Returns 0 when empty; accuracy is bounded by the
+    /// bin width, and observations outside the grid range clamp to its
+    /// edges.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -221,7 +226,7 @@ impl FixedGridQuantiles {
                 continue;
             }
             if seen + c >= rank {
-                let into = (rank - seen) as f64 / c as f64;
+                let into = ((rank - seen) as f64 - 0.5) / c as f64;
                 return self.lo + (i as f64 + into) * width;
             }
             seen += c;
@@ -401,10 +406,11 @@ mod tests {
         for i in 0..64 {
             q.push(i as f64 + 0.5);
         }
-        // One observation per bin: the q-quantile lands in bin ⌈64q⌉-1.
-        assert!((q.quantile(0.5) - 32.0).abs() < 1.0 + 1e-9);
-        assert!((q.quantile(0.0) - 1.0).abs() < 1e-9);
-        assert!((q.quantile(1.0) - 64.0).abs() < 1e-9);
+        // One observation per bin, each at its bin midpoint: with the
+        // (rank − ½)/c placement the estimates ARE the samples.
+        assert!((q.quantile(0.5) - 31.5).abs() < 1e-9);
+        assert!((q.quantile(0.0) - 0.5).abs() < 1e-9);
+        assert!((q.quantile(1.0) - 63.5).abs() < 1e-9);
         assert_eq!(q.count(), 64);
     }
 
@@ -414,8 +420,93 @@ mod tests {
         q.push(-5.0);
         q.push(100.0);
         assert_eq!(q.count(), 2);
-        assert!(q.quantile(0.0) <= 10.0 / QUANTILE_BINS as f64);
-        assert_eq!(q.quantile(1.0), 10.0);
+        let width = 10.0 / QUANTILE_BINS as f64;
+        // Below-range clamps into bin 0, above-range into the top bin;
+        // the estimates sit at those bins' midpoints.
+        assert!((q.quantile(0.0) - width / 2.0).abs() < 1e-9);
+        assert!((q.quantile(1.0) - (10.0 - width / 2.0)).abs() < 1e-9);
+    }
+
+    /// Regression (pre-fix failure): `(rank − seen)/c` interpolation
+    /// reported the *upper* edge of the occupied bin, so a single
+    /// observation at a bin's lower edge came back a full bin-width
+    /// high and `quantile(0.0)` could exceed the true minimum by a
+    /// whole bin.
+    #[test]
+    fn single_sample_quantile_stays_strictly_inside_its_bin() {
+        let mut q = FixedGridQuantiles::new(0.0, 64.0);
+        q.push(0.0); // lower edge of bin 0
+        let width = 64.0 / QUANTILE_BINS as f64;
+        for p in [0.0, 0.5, 1.0] {
+            let est = q.quantile(p);
+            assert!(
+                est < width,
+                "q{p} = {est} escaped bin 0 (width {width}) for a single sample at 0"
+            );
+        }
+    }
+
+    /// Edge pin: samples exactly at `hi` land in the top bin (not an
+    /// out-of-bounds bin), and every quantile of such a fill reports
+    /// from inside that bin.
+    #[test]
+    fn samples_exactly_at_hi_land_in_the_top_bin() {
+        let mut q = FixedGridQuantiles::new(0.0, 8.0);
+        for _ in 0..4 {
+            q.push(8.0);
+        }
+        assert_eq!(q.count(), 4);
+        let width = 8.0 / QUANTILE_BINS as f64;
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            let est = q.quantile(p);
+            assert!(
+                est > 8.0 - width && est <= 8.0,
+                "q{p} = {est} outside the top bin ({}, 8]",
+                8.0 - width
+            );
+        }
+    }
+
+    /// Edge pin: with every sample identical, all raw grid estimates
+    /// stay inside the one occupied bin, and the [`MetricSketch`]
+    /// clamp turns every quantile into exactly the observed value.
+    #[test]
+    fn all_identical_samples_answer_every_quantile_identically() {
+        let mut s = MetricSketch::new(0.0, 100.0);
+        for _ in 0..1000 {
+            s.push(42.0);
+        }
+        let width = 100.0 / QUANTILE_BINS as f64;
+        let bin_lo = (42.0 / width).floor() * width;
+        for p in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let raw = s.quantiles.quantile(p);
+            assert!(
+                raw > bin_lo && raw < bin_lo + width,
+                "raw q{p} = {raw} left the occupied bin [{bin_lo}, {})",
+                bin_lo + width
+            );
+            assert_eq!(s.quantile(p), 42.0, "clamped estimate at q{p}");
+        }
+    }
+
+    /// Edge pin: after merging two sketches whose data occupy disjoint
+    /// halves of the grid, `quantile(0.0)` answers from the lowest
+    /// occupied bin and `quantile(1.0)` from the highest — the merge
+    /// cannot smear the extremes across the gap.
+    #[test]
+    fn extreme_quantiles_after_merging_disjoint_fills() {
+        let mut low = FixedGridQuantiles::new(0.0, 64.0);
+        let mut high = FixedGridQuantiles::new(0.0, 64.0);
+        for i in 0..8 {
+            low.push(i as f64 + 0.5); // bins 0..8
+            high.push(56.5 + i as f64); // bins 56..64
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), 16);
+        assert!((low.quantile(0.0) - 0.5).abs() < 1e-9, "min from bin 0");
+        assert!((low.quantile(1.0) - 63.5).abs() < 1e-9, "max from bin 63");
+        // The median straddles the gap: rank 8 is the last low sample.
+        assert!((low.quantile(0.5) - 7.5).abs() < 1e-9);
     }
 
     #[test]

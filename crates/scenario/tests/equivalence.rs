@@ -346,3 +346,47 @@ fn matrix_expansion_is_canonical_row_major() {
         "x3 point scales the random churn"
     );
 }
+
+/// PR 10 extends the contract to the resident service mode: a serve
+/// run's rendered report is a pure function of `(spec, seed, options
+/// minus threads)`, so every worker count must reproduce the serial
+/// report byte-for-byte — feed churn, queue pressure, and all.
+#[test]
+fn serve_reports_are_byte_identical_at_every_thread_count() {
+    let spec = ScenarioSpec::from_json(
+        r#"{
+            "name": "serve-equivalence",
+            "protocol": "routing",
+            "topology": {"family": "grid", "rows": 6, "cols": 6},
+            "seeds": [7]
+        }"#,
+    )
+    .expect("spec parses");
+    let feed = lr_scenario::parse_feed(concat!(
+        "{\"at\": 4, \"fail\": [0, 1]}\n",
+        "{\"at\": 12, \"heal\": [0, 1]}\n",
+        "{\"at\": 16, \"route\": 35}\n",
+    ))
+    .expect("feed parses");
+    let run = |threads: usize| {
+        let options = lr_scenario::ServeOptions {
+            rate: 6,
+            duration: 40,
+            threads,
+            ..Default::default()
+        };
+        lr_scenario::run_serve(&spec, &options, &feed)
+            .expect("serve runs")
+            .render()
+    };
+    let serial = run(1);
+    // The feed's one route query and two churn events both land.
+    assert!(serial.contains("feed 1"), "fixture route must be offered");
+    assert!(
+        serial.contains("churn events applied 2"),
+        "fixture churn must be applied"
+    );
+    for threads in THREAD_COUNTS {
+        assert_eq!(run(threads), serial, "threads = {threads} must match");
+    }
+}

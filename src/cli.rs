@@ -45,6 +45,25 @@ fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// The one fallible parse every numeric flag goes through: failures
+/// name the flag and echo the offending value, and values below `min`
+/// are rejected explicitly — `--threads 0` is an error here, not a
+/// zero-worker hang later.
+fn parse_flag_u64(flag: &str, value: &str, min: u64) -> Result<u64, CliError> {
+    let n: u64 = value
+        .parse()
+        .map_err(|_| err(format!("{flag} needs a positive integer, got {value:?}")))?;
+    if n < min {
+        return Err(err(format!("{flag} must be at least {min}, got {value:?}")));
+    }
+    Ok(n)
+}
+
+/// [`parse_flag_u64`] for `usize`-typed flags (thread counts, sizes).
+fn parse_flag_usize(flag: &str, value: &str, min: usize) -> Result<usize, CliError> {
+    parse_flag_u64(flag, value, min as u64).map(|n| n as usize)
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 lr — link reversal toolbox (Radeva & Lynch, PODC 2011 reproduction)
@@ -83,10 +102,26 @@ USAGE:
                                       --checks a,b,..: subset by key;
                                       --no-append); rows append to
                                       BENCH_pr6.json
+    lr serve <spec>                   resident service mode: settle the spec's
+                                      instance once, keep it live, and serve an
+                                      open-loop request stream against it
+                                      (--rate R: generated route queries per
+                                      tick, default 10; --duration T: served
+                                      ticks, default 100; --threads N: probe
+                                      workers, output bit-identical at any N;
+                                      --batch B / --queue Q: admission batch
+                                      cap and bounded queue size — overflow is
+                                      a counted drop, never a panic; --seed S:
+                                      override the spec's first seed;
+                                      --feed <path|->: newline-JSON events
+                                      {\"at\":T, route|fail|heal|crash|restore|
+                                      crash_leader: ...}, `-` reads stdin;
+                                      --smoke marks the row; --no-append);
+                                      rows append to BENCH_pr10.json
     lr obs validate <trace>...        check files are valid Chrome trace_events
                                       JSON (the CI gate over exported traces)
 
-OBSERVABILITY (run | scenario | modelcheck):
+OBSERVABILITY (run | scenario | modelcheck | serve):
     --obs <off|summary|json|chrome>   record the command with lr-obs (default
                                       off — a single relaxed atomic load on the
                                       hot path): summary appends a span/counter
@@ -139,7 +174,7 @@ pub fn run_cli(args: &[&str], stdin: &str) -> Result<String, CliError> {
     match args {
         [] | ["help"] | ["--help"] | ["-h"] => Ok(USAGE.to_string()),
         ["generate", rest @ ..] => cmd_generate(rest),
-        ["run" | "scenario" | "modelcheck", ..] => {
+        ["run" | "scenario" | "modelcheck" | "serve", ..] => {
             // The obs-aware commands: `--obs`/`--obs-out` are stripped
             // here, before the per-command parsers see the arguments.
             let (mode, obs_out, inner) = parse_obs_flags(args)?;
@@ -215,6 +250,7 @@ fn run_with_obs(
             ["run", rest @ ..] => cmd_run(rest, stdin),
             ["scenario", rest @ ..] => cmd_scenario(rest),
             ["modelcheck", rest @ ..] => cmd_modelcheck(rest),
+            ["serve", rest @ ..] => cmd_serve(rest, stdin),
             _ => Err(err(format!("unknown command\n\n{USAGE}"))),
         }
     }
@@ -313,13 +349,11 @@ fn cmd_generate(args: &[&str]) -> Result<String, CliError> {
         .split_first()
         .ok_or_else(|| err(format!("generate needs a family\n\n{USAGE}")))?;
     let parse_n = |s: Option<&&str>| -> Result<usize, CliError> {
-        s.ok_or_else(|| err("missing size argument"))?
-            .parse()
-            .map_err(|_| err("size must be an integer"))
+        parse_flag_usize("size", s.ok_or_else(|| err("missing size argument"))?, 1)
     };
-    let seed = rest.get(1).map_or(Ok(0u64), |s| {
-        s.parse().map_err(|_| err("seed must be an integer"))
-    })?;
+    let seed = rest
+        .get(1)
+        .map_or(Ok(0u64), |s| parse_flag_u64("seed", s, 0))?;
     let inst = match *family {
         "chain-away" => generate::chain_away(parse_n(rest.first())?),
         "chain-toward" => generate::chain_toward(parse_n(rest.first())?),
@@ -370,15 +404,7 @@ fn cmd_run(args: &[&str], stdin: &str) -> Result<String, CliError> {
             ))),
         }
     };
-    let parse_threads = |value: &str| -> Result<usize, CliError> {
-        let n: usize = value
-            .parse()
-            .map_err(|_| err(format!("--threads needs a positive integer, got {value:?}")))?;
-        if n == 0 {
-            return Err(err("--threads must be at least 1"));
-        }
-        Ok(n)
-    };
+    let parse_threads = |value: &str| parse_flag_usize("--threads", value, 1);
     let mut engine_choice = EngineChoice::Frontier;
     let mut threads = 1usize;
     let mut policy_arg: Option<&str> = None;
@@ -557,15 +583,7 @@ fn parse_scenario_flags(
             )))
         }
     };
-    let parse_threads = |value: &str| -> Result<usize, CliError> {
-        let n: usize = value
-            .parse()
-            .map_err(|_| err(format!("--threads needs a positive integer, got {value:?}")))?;
-        if n == 0 {
-            return Err(err("--threads must be at least 1"));
-        }
-        Ok(n)
-    };
+    let parse_threads = |value: &str| parse_flag_usize("--threads", value, 1);
     let mut it = rest.iter();
     while let Some(&arg) = it.next() {
         match arg {
@@ -760,6 +778,118 @@ fn cmd_scenario(args: &[&str]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `lr serve <spec>`: the resident service mode. Loads a (non-matrix)
+/// scenario spec, settles its instance, and serves the open-loop
+/// workload — seeded generator plus optional `--feed` newline-JSON
+/// events (`-` reads stdin). One [`ServeRecord`] row appends to the
+/// `BENCH_pr10.json` trajectory unless `--no-append`.
+///
+/// [`ServeRecord`]: lr_bench::trajectory::ServeRecord
+fn cmd_serve(args: &[&str], stdin: &str) -> Result<String, CliError> {
+    use lr_bench::trajectory::{
+        append_records_to, load_records_from, trajectory_path_named, ServeRecord, SERVE_TRAJECTORY,
+    };
+    use lr_scenario::serve::{parse_feed, run_serve, ServeOptions};
+    use lr_scenario::spec::ScenarioSpec;
+
+    let mut options = ServeOptions::default();
+    let mut append = true;
+    let mut feed_arg: Option<String> = None;
+    let mut path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--smoke" => options.smoke = true,
+            "--no-append" => append = false,
+            _ => {
+                // Valued flags, `--flag value` or `--flag=value`.
+                let (flag, inline) = match arg.split_once('=') {
+                    Some((f, v)) if f.starts_with("--") => (f, Some(v)),
+                    _ => (arg, None),
+                };
+                let mut value = |what: &str| -> Result<&str, CliError> {
+                    match inline {
+                        Some(v) => Ok(v),
+                        None => it
+                            .next()
+                            .copied()
+                            .ok_or_else(|| err(format!("{flag} needs a value ({what})"))),
+                    }
+                };
+                match flag {
+                    "--rate" => {
+                        options.rate = parse_flag_u64("--rate", value("requests per tick")?, 0)?;
+                    }
+                    "--duration" => {
+                        options.duration = parse_flag_u64("--duration", value("served ticks")?, 1)?;
+                    }
+                    "--threads" => {
+                        options.threads =
+                            parse_flag_usize("--threads", value("worker thread count")?, 1)?;
+                    }
+                    "--batch" => {
+                        options.batch =
+                            parse_flag_usize("--batch", value("admission batch cap")?, 1)?;
+                    }
+                    "--queue" => {
+                        options.queue =
+                            parse_flag_usize("--queue", value("bounded queue capacity")?, 1)?;
+                    }
+                    "--seed" => {
+                        options.seed = Some(parse_flag_u64("--seed", value("base seed")?, 0)?);
+                    }
+                    "--feed" => {
+                        feed_arg =
+                            Some(value("newline-JSON events path, or - for stdin")?.to_string());
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(err(format!("unknown flag {arg:?} for `lr serve`")));
+                    }
+                    _ if path.is_some() => {
+                        return Err(err(format!("unexpected argument {arg:?}")));
+                    }
+                    _ => path = Some(arg),
+                }
+            }
+        }
+    }
+    let path = path.ok_or_else(|| err(format!("serve needs a scenario spec file\n\n{USAGE}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let spec = ScenarioSpec::from_json(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    if spec.matrix.is_some() {
+        return Err(err(format!(
+            "{path}: spec declares a matrix; `lr serve` drives a single instance"
+        )));
+    }
+    let feed = match feed_arg.as_deref() {
+        None => Vec::new(),
+        Some("-") => parse_feed(stdin).map_err(|e| err(format!("--feed -: {e}")))?,
+        Some(p) => {
+            let t = std::fs::read_to_string(p).map_err(|e| err(format!("cannot read {p}: {e}")))?;
+            parse_feed(&t).map_err(|e| err(format!("{p}: {e}")))?
+        }
+    };
+    let report = run_serve(&spec, &options, &feed).map_err(|e| err(format!("{path}: {e}")))?;
+    let mut out = report.render();
+    if append {
+        let trajectory = trajectory_path_named(SERVE_TRAJECTORY);
+        append_records_to(&trajectory, &[report.to_record()])
+            .map_err(|e| err(format!("{path}: {e}")))?;
+        let total = load_records_from::<ServeRecord>(&trajectory)
+            .map_err(|e| err(format!("trajectory re-parse failed: {e}")))?
+            .len();
+        let _ = writeln!(
+            out,
+            "1 row appended to {} ({total} total, re-parsed OK)",
+            trajectory.display()
+        );
+    } else {
+        let _ = writeln!(out, "1 row (append skipped)");
+    }
+    Ok(out)
+}
+
 /// Resolves the outer thread count for `lr modelcheck`: the `--threads`
 /// flag wins, then the `LR_MC_THREADS` environment value, then 1.
 fn resolve_mc_threads(flag: Option<usize>, env: Option<&str>) -> usize {
@@ -778,13 +908,7 @@ fn cmd_modelcheck(args: &[&str]) -> Result<String, CliError> {
     let mut threads_flag: Option<usize> = None;
     let mut checks: Vec<CheckKind> = CheckKind::ALL.to_vec();
     let mut append = true;
-    let parse_threads = |value: &str| -> Result<usize, CliError> {
-        value
-            .parse::<usize>()
-            .ok()
-            .filter(|&t| t >= 1)
-            .ok_or_else(|| err(format!("--threads needs a positive integer, got {value:?}")))
-    };
+    let parse_threads = |value: &str| parse_flag_usize("--threads", value, 1);
     let parse_checks = |value: &str| -> Result<Vec<CheckKind>, CliError> {
         let kinds: Vec<CheckKind> = value
             .split(',')
@@ -1048,10 +1172,13 @@ mod tests {
         assert!(e.0.contains("unknown engine"), "{e}");
         let e = run_cli(&["run", "PR", "--engine"], &inst).unwrap_err();
         assert!(e.0.contains("needs a value"), "{e}");
+        // The shared flag parser names the flag and echoes the value.
         let e = run_cli(&["run", "PR", "--threads", "0"], &inst).unwrap_err();
-        assert!(e.0.contains("at least 1"), "{e}");
+        assert!(e.0.contains("--threads must be at least 1"), "{e}");
+        assert!(e.0.contains("\"0\""), "offending value echoed: {e}");
         let e = run_cli(&["run", "PR", "--threads", "nope"], &inst).unwrap_err();
-        assert!(e.0.contains("positive integer"), "{e}");
+        assert!(e.0.contains("--threads needs a positive integer"), "{e}");
+        assert!(e.0.contains("\"nope\""), "offending value echoed: {e}");
         let e = run_cli(&["run", "PR", "--frob"], &inst).unwrap_err();
         assert!(e.0.contains("unknown flag"), "{e}");
         let e = run_cli(&["run", "PR", "first", "second"], &inst).unwrap_err();
@@ -1150,9 +1277,12 @@ mod tests {
     fn scenario_sweep_rejects_bad_threads() {
         let path = example_spec("matrix_sweep.json");
         let e = run_cli(&["scenario", "sweep", "--threads", "0", &path], "").unwrap_err();
-        assert!(e.0.contains("at least 1"), "{e}");
+        assert!(e.0.contains("at least 1") && e.0.contains("\"0\""), "{e}");
         let e = run_cli(&["scenario", "sweep", "--threads", "nope", &path], "").unwrap_err();
-        assert!(e.0.contains("positive integer"), "{e}");
+        assert!(
+            e.0.contains("positive integer") && e.0.contains("\"nope\""),
+            "{e}"
+        );
         let e = run_cli(&["scenario", "sweep", &path, "--threads"], "").unwrap_err();
         assert!(e.0.contains("needs a value"), "{e}");
         // --threads belongs to sweep, not run — both spellings, echoed
@@ -1222,7 +1352,12 @@ mod tests {
         assert!(run_cli(&["modelcheck", "x"], "").is_err());
         assert!(run_cli(&["modelcheck", "3", "3"], "").is_err());
         let e = run_cli(&["modelcheck", "3", "--threads", "0"], "").unwrap_err();
-        assert!(e.0.contains("positive integer"), "{e}");
+        assert!(e.0.contains("at least 1") && e.0.contains("\"0\""), "{e}");
+        let e = run_cli(&["modelcheck", "3", "--threads", "abc"], "").unwrap_err();
+        assert!(
+            e.0.contains("positive integer") && e.0.contains("\"abc\""),
+            "{e}"
+        );
         let e = run_cli(&["modelcheck", "3", "--threads"], "").unwrap_err();
         assert!(e.0.contains("needs a value"), "{e}");
         let e = run_cli(&["modelcheck", "3", "--checks", "bogus"], "").unwrap_err();
@@ -1324,6 +1459,118 @@ mod tests {
         );
         assert!(out.contains("modelcheck.check"), "{out}");
         assert!(out.contains("modelcheck.states"), "{out}");
+    }
+
+    /// Writes a small serve-able spec to a temp file; returns its path.
+    fn serve_spec(tag: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("lr_cli_serve_{tag}_{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            r#"{
+                "name": "cli-serve",
+                "topology": {"family": "grid", "rows": 4, "cols": 4},
+                "seeds": [11]
+            }"#,
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn serve_output_is_deterministic_across_runs_and_threads() {
+        let path = serve_spec("det");
+        let p = path.to_str().unwrap();
+        let base_args = ["serve", p, "--rate", "5", "--duration", "20", "--no-append"];
+        let a = run_cli(&base_args, "").unwrap();
+        let b = run_cli(&base_args, "").unwrap();
+        assert_eq!(a, b, "fixed seed, byte-identical output");
+        assert!(a.contains("serve cli-serve:"), "{a}");
+        assert!(a.contains("latency (ticks): p50"), "{a}");
+        assert!(a.contains("append skipped"), "{a}");
+        for threads in ["2", "4"] {
+            let mut args = base_args.to_vec();
+            args.extend_from_slice(&["--threads", threads]);
+            let par = run_cli(&args, "").unwrap();
+            assert_eq!(par, a, "--threads {threads} must not change the output");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_reads_a_feed_from_stdin() {
+        let path = serve_spec("feed");
+        let p = path.to_str().unwrap();
+        let feed = "{\"at\": 2, \"fail\": [0, 1]}\n{\"at\": 6, \"route\": 3}\n";
+        let out = run_cli(
+            &[
+                "serve",
+                p,
+                "--rate",
+                "0",
+                "--duration",
+                "8",
+                "--feed",
+                "-",
+                "--no-append",
+            ],
+            feed,
+        )
+        .unwrap();
+        assert!(out.contains("feed 1"), "one feed route offered: {out}");
+        assert!(out.contains("churn events applied 1"), "{out}");
+        let bad = run_cli(&["serve", p, "--feed", "-", "--no-append"], "not json").unwrap_err();
+        assert!(bad.0.contains("feed line 1"), "{bad}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_rejects_bad_usage() {
+        let path = serve_spec("bad");
+        let p = path.to_str().unwrap();
+        assert!(run_cli(&["serve"], "").is_err());
+        let e = run_cli(&["serve", p, "--threads", "0"], "").unwrap_err();
+        assert!(e.0.contains("--threads must be at least 1"), "{e}");
+        assert!(e.0.contains("\"0\""), "{e}");
+        let e = run_cli(&["serve", p, "--rate", "abc"], "").unwrap_err();
+        assert!(
+            e.0.contains("--rate needs a positive integer") && e.0.contains("\"abc\""),
+            "{e}"
+        );
+        let e = run_cli(&["serve", p, "--duration=0"], "").unwrap_err();
+        assert!(e.0.contains("--duration must be at least 1"), "{e}");
+        let e = run_cli(&["serve", p, "--frob"], "").unwrap_err();
+        assert!(e.0.contains("unknown flag"), "{e}");
+        let e = run_cli(&["serve", p, p], "").unwrap_err();
+        assert!(e.0.contains("unexpected argument"), "{e}");
+        let e = run_cli(&["serve", "/nonexistent/spec.json"], "").unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_with_obs_summary_reports_batch_spans() {
+        let path = serve_spec("obs");
+        let p = path.to_str().unwrap();
+        let out = run_cli(
+            &[
+                "serve",
+                p,
+                "--rate",
+                "3",
+                "--duration",
+                "10",
+                "--no-append",
+                "--obs",
+                "summary",
+            ],
+            "",
+        )
+        .unwrap();
+        assert!(out.contains("observability summary"), "{out}");
+        assert!(out.contains("serve.batch"), "{out}");
+        assert!(out.contains("serve.settle"), "{out}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -309,6 +309,122 @@ fn bad_input_fails_with_message_and_nonzero_exit() {
     assert!(stderr.contains("unknown algorithm"));
 }
 
+/// Satellite contract of the shared numeric-flag parser, end-to-end:
+/// every rejection names the flag and echoes the offending value as the
+/// user typed it, and `--threads 0` is an explicit error — not a
+/// zero-worker hang.
+#[test]
+fn numeric_flag_errors_name_the_flag_and_echo_the_value() {
+    let (instance, _, ok) = run_with_stdin(&["generate", "chain-away", "4"], "");
+    assert!(ok);
+    let (_, stderr, ok) = run_with_stdin(&["run", "PR", "--threads", "abc"], &instance);
+    assert!(!ok, "non-numeric --threads must fail");
+    assert!(
+        stderr.contains("--threads needs a positive integer"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("\"abc\""), "value echoed: {stderr}");
+    let (_, stderr, ok) = run_with_stdin(&["run", "PR", "--threads", "0"], &instance);
+    assert!(!ok, "--threads 0 must be rejected, not hang");
+    assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+    assert!(stderr.contains("\"0\""), "value echoed: {stderr}");
+}
+
+/// Writes a small serve spec next to the other temp fixtures; the
+/// examples directory is off limits here because every JSON in it is
+/// auto-run by the scenario smoke test above.
+fn write_serve_spec(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("lr_bin_serve_{tag}_{}.json", std::process::id()));
+    std::fs::write(
+        &path,
+        r#"{
+            "name": "bin-serve",
+            "topology": {"family": "grid", "rows": 5, "cols": 5},
+            "seeds": [23]
+        }"#,
+    )
+    .unwrap();
+    path
+}
+
+/// `lr serve` end-to-end: for a fixed seed the full stdout is
+/// byte-identical across runs and across `--threads {1, 2, 4}` — the
+/// acceptance contract of the resident service mode.
+#[test]
+fn serve_is_byte_identical_across_runs_and_thread_counts() {
+    let spec = write_serve_spec("det");
+    let spec_s = spec.to_str().unwrap();
+    let args = |threads: &'static str| {
+        vec![
+            "serve",
+            spec_s,
+            "--rate",
+            "8",
+            "--duration",
+            "30",
+            "--threads",
+            threads,
+            "--no-append",
+        ]
+    };
+    let (base, stderr, ok) = run_with_stdin(&args("1"), "");
+    assert!(ok, "serve failed: {stderr}");
+    assert!(base.contains("serve bin-serve:"), "{base}");
+    assert!(base.contains("latency (ticks): p50"), "{base}");
+    let (again, _, ok) = run_with_stdin(&args("1"), "");
+    assert!(ok);
+    assert_eq!(base, again, "same seed, same bytes");
+    for threads in ["2", "4"] {
+        let (par, stderr, ok) = run_with_stdin(&args(threads), "");
+        assert!(ok, "serve --threads {threads} failed: {stderr}");
+        assert_eq!(base, par, "--threads {threads} changed the output");
+    }
+    let _ = std::fs::remove_file(&spec);
+}
+
+/// The CI serve-smoke pipeline end-to-end: a feed-driven smoke run with
+/// `--obs chrome` exports a trace that `lr obs validate` accepts.
+#[test]
+fn serve_smoke_with_chrome_trace_round_trips_through_validate() {
+    let spec = write_serve_spec("obs");
+    let spec_s = spec.to_str().unwrap();
+    let trace =
+        std::env::temp_dir().join(format!("lr_bin_serve_trace_{}.json", std::process::id()));
+    let trace_s = trace.to_str().unwrap();
+    let feed = "{\"at\": 3, \"fail\": [0, 1]}\n{\"at\": 9, \"heal\": [0, 1]}\n{\"at\": 12, \"route\": 7}\n";
+    let (out, stderr, ok) = run_with_stdin(
+        &[
+            "serve",
+            spec_s,
+            "--rate",
+            "5",
+            "--duration",
+            "20",
+            "--feed",
+            "-",
+            "--smoke",
+            "--no-append",
+            "--obs",
+            "chrome",
+            "--obs-out",
+            trace_s,
+        ],
+        feed,
+    );
+    assert!(ok, "serve smoke failed: {stderr}");
+    assert!(out.contains("feed 1"), "feed route offered: {out}");
+    assert!(out.contains("churn events applied 2"), "{out}");
+    assert!(out.contains("chrome trace"), "{out}");
+    let (validated, stderr, ok) = run_with_stdin(&["obs", "validate", trace_s], "");
+    assert!(ok, "validate failed: {stderr}");
+    assert!(validated.contains(": OK"), "{validated}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.contains("serve.batch"), "{text}");
+    assert!(text.contains("serve.settle"), "{text}");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&spec);
+}
+
 /// `lr modelcheck` end-to-end: the full n = 3 battery verifies through a
 /// real process at 2 outer threads, and `LR_MC_THREADS` is honored when
 /// the flag is absent (both paths must report the same instance totals).
